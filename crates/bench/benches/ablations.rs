@@ -1,0 +1,69 @@
+//! Criterion bench: ablations over the design choices called out in
+//! DESIGN.md §5 — TabDDPM timestep count and SMOTE neighbourhood size.
+//!
+//! These measure fit+sample cost; the corresponding quality trade-offs are
+//! exercised by the integration test `tests/ablations.rs` at the workspace
+//! root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pandasim::{records_to_table, FilterFunnel, GeneratorConfig, WorkloadGenerator};
+use surrogate::{SmoteConfig, SmoteSampler, TabDdpm, TabDdpmConfig, TabularGenerator};
+use tabular::Table;
+
+fn training_table(rows: usize) -> Table {
+    let gross = WorkloadGenerator::new(GeneratorConfig {
+        gross_records: rows * 3,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    let funnel = FilterFunnel::apply(&gross);
+    let table = records_to_table(&funnel.records);
+    let keep: Vec<usize> = (0..rows.min(table.n_rows())).collect();
+    table.take(&keep)
+}
+
+fn bench_tabddpm_timesteps(c: &mut Criterion) {
+    let train = training_table(1_500);
+    let mut group = c.benchmark_group("ablation_tabddpm_timesteps");
+    group.sample_size(10);
+    for &timesteps in &[10usize, 25, 50] {
+        group.bench_with_input(
+            BenchmarkId::new("fit_and_sample", timesteps),
+            &timesteps,
+            |b, &timesteps| {
+                b.iter(|| {
+                    let mut model = TabDdpm::new(TabDdpmConfig {
+                        timesteps,
+                        epochs: 5,
+                        ..TabDdpmConfig::fast()
+                    });
+                    model.fit(&train).unwrap();
+                    model.sample(500, 1).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_smote_k(c: &mut Criterion) {
+    let train = training_table(1_500);
+    let mut group = c.benchmark_group("ablation_smote_k");
+    group.sample_size(10);
+    for &k in &[1usize, 5, 15] {
+        group.bench_with_input(BenchmarkId::new("fit_and_sample", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut model = SmoteSampler::new(SmoteConfig {
+                    k_neighbors: k,
+                    ..SmoteConfig::default()
+                });
+                model.fit(&train).unwrap();
+                model.sample(500, 1).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tabddpm_timesteps, bench_smote_k);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: synthetic PanDA workload generation and filtering
+//! throughput (supports experiment E1 and all downstream experiments).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pandasim::{records_to_table, FilterFunnel, GeneratorConfig, WorkloadGenerator};
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pandasim_generator");
+    group.sample_size(10);
+    for &rows in &[2_000usize, 10_000, 40_000] {
+        group.bench_with_input(BenchmarkId::new("generate", rows), &rows, |b, &rows| {
+            let config = GeneratorConfig {
+                gross_records: rows,
+                ..GeneratorConfig::default()
+            };
+            b.iter(|| WorkloadGenerator::new(config.clone()).generate());
+        });
+    }
+    group.finish();
+}
+
+fn bench_funnel_and_convert(c: &mut Criterion) {
+    let gross = WorkloadGenerator::new(GeneratorConfig {
+        gross_records: 20_000,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    let mut group = c.benchmark_group("pandasim_pipeline");
+    group.sample_size(10);
+    group.bench_function("filter_funnel_20k", |b| {
+        b.iter(|| FilterFunnel::apply(&gross))
+    });
+    let funnel = FilterFunnel::apply(&gross);
+    group.bench_function("records_to_table", |b| {
+        b.iter(|| records_to_table(&funnel.records))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generator, bench_funnel_and_convert);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: event throughput of the downstream HTC-grid simulator
+//! (experiment E6) across brokerage policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htcsim::{BrokerPolicy, GridSimulator, SimConfig, SimJob};
+use pandasim::{FilterFunnel, GeneratorConfig, WorkloadGenerator};
+
+fn bench_simulation(c: &mut Criterion) {
+    let generator = WorkloadGenerator::new(GeneratorConfig {
+        gross_records: 20_000,
+        ..GeneratorConfig::default()
+    });
+    let gross = generator.generate();
+    let funnel = FilterFunnel::apply(&gross);
+    let jobs: Vec<SimJob> = funnel.records.iter().map(SimJob::from_record).collect();
+
+    let mut group = c.benchmark_group("htcsim_run");
+    group.sample_size(10);
+    for policy in BrokerPolicy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("policy", policy.name()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut simulator = GridSimulator::new(
+                        generator.sites(),
+                        SimConfig {
+                            policy,
+                            ..SimConfig::default()
+                        },
+                    );
+                    simulator.run(&jobs)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

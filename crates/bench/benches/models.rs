@@ -1,0 +1,96 @@
+//! Criterion bench: surrogate model training steps and sampling throughput
+//! (supports experiments E2–E5, which all fit and sample the four models).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pandasim::{records_to_table, FilterFunnel, GeneratorConfig, WorkloadGenerator};
+use surrogate::{
+    CtabGan, CtabGanConfig, SmoteConfig, SmoteSampler, TabDdpm, TabDdpmConfig, TabularGenerator,
+    Tvae, TvaeConfig,
+};
+use tabular::Table;
+
+fn training_table(rows: usize) -> Table {
+    let gross = WorkloadGenerator::new(GeneratorConfig {
+        gross_records: rows * 3,
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    let funnel = FilterFunnel::apply(&gross);
+    let table = records_to_table(&funnel.records);
+    let keep: Vec<usize> = (0..rows.min(table.n_rows())).collect();
+    table.take(&keep)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let train = training_table(2_000);
+    let mut group = c.benchmark_group("surrogate_fit_2k_rows");
+    group.sample_size(10);
+    group.bench_function("smote", |b| {
+        b.iter(|| {
+            let mut model = SmoteSampler::new(SmoteConfig::default());
+            model.fit(&train).unwrap();
+        })
+    });
+    group.bench_function("tvae_fast", |b| {
+        b.iter(|| {
+            let mut model = Tvae::new(TvaeConfig {
+                epochs: 5,
+                ..TvaeConfig::fast()
+            });
+            model.fit(&train).unwrap();
+        })
+    });
+    group.bench_function("ctabgan_fast", |b| {
+        b.iter(|| {
+            let mut model = CtabGan::new(CtabGanConfig {
+                epochs: 5,
+                ..CtabGanConfig::fast()
+            });
+            model.fit(&train).unwrap();
+        })
+    });
+    group.bench_function("tabddpm_fast", |b| {
+        b.iter(|| {
+            let mut model = TabDdpm::new(TabDdpmConfig {
+                epochs: 5,
+                ..TabDdpmConfig::fast()
+            });
+            model.fit(&train).unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_sample(c: &mut Criterion) {
+    let train = training_table(2_000);
+    let mut smote = SmoteSampler::new(SmoteConfig::default());
+    smote.fit(&train).unwrap();
+    let mut ddpm = TabDdpm::new(TabDdpmConfig {
+        epochs: 5,
+        ..TabDdpmConfig::fast()
+    });
+    ddpm.fit(&train).unwrap();
+    let mut tvae = Tvae::new(TvaeConfig {
+        epochs: 5,
+        ..TvaeConfig::fast()
+    });
+    tvae.fit(&train).unwrap();
+
+    let mut group = c.benchmark_group("surrogate_sample");
+    group.sample_size(10);
+    for &n in &[500usize, 2_000] {
+        group.bench_with_input(BenchmarkId::new("smote", n), &n, |b, &n| {
+            b.iter(|| smote.sample(n, 1).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("tvae", n), &n, |b, &n| {
+            b.iter(|| tvae.sample(n, 1).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("tabddpm", n), &n, |b, &n| {
+            b.iter(|| ddpm.sample(n, 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_sample);
+criterion_main!(benches);

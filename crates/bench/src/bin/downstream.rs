@@ -1,0 +1,76 @@
+//! Experiment E6 (extension, §VI) — downstream response of an event-driven
+//! HTC-grid simulation to real vs. surrogate-generated workloads.
+//!
+//! The paper motivates the surrogate models as a source of "more realistic
+//! workload inputs to calibrate large-scale event-based simulations". Here we
+//! drive the `htcsim` grid simulator once with the ground-truth job stream
+//! and once with each model's synthetic stream, under every brokerage
+//! policy, and compare the simulator's aggregate responses (makespan, mean
+//! wait, WAN traffic). A good surrogate produces responses close to the
+//! ground truth's.
+//!
+//! ```text
+//! cargo run -p bench --release --bin downstream -- --rows 20000 --budget smoke
+//! ```
+
+use std::collections::BTreeMap;
+
+use bench::{maybe_write_json, prepare_data, sample_all_models, ExperimentOptions};
+use htcsim::{BrokerPolicy, GridSimulator, SimConfig, SimJob, SimReport};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct DownstreamArtifact {
+    /// policy -> source ("GT" or model name) -> simulator report.
+    responses: BTreeMap<String, BTreeMap<String, SimReport>>,
+}
+
+fn main() {
+    let options = ExperimentOptions::from_args(std::env::args().skip(1));
+    let data = prepare_data(&options);
+    let models = sample_all_models(&data.train, options.budget, options.seed);
+
+    let mut sources: Vec<(String, Vec<SimJob>)> =
+        vec![("GT".to_string(), SimJob::from_table(&data.train))];
+    for (name, synthetic) in &models {
+        sources.push(((*name).to_string(), SimJob::from_table(synthetic)));
+    }
+
+    let mut artifact = DownstreamArtifact {
+        responses: BTreeMap::new(),
+    };
+
+    for policy in BrokerPolicy::ALL {
+        println!("\n== brokerage policy: {} ==", policy.name());
+        println!(
+            "{:<10} {:>10} {:>12} {:>12} {:>14} {:>12}",
+            "source", "completed", "makespan(h)", "wait(h)", "transfer(h)", "WAN(TB)"
+        );
+        let mut per_source = BTreeMap::new();
+        for (source, jobs) in &sources {
+            let mut simulator = GridSimulator::new(
+                data.generator.sites(),
+                SimConfig {
+                    policy,
+                    ..SimConfig::default()
+                },
+            );
+            let report = simulator.run(jobs);
+            println!(
+                "{:<10} {:>10} {:>12.1} {:>12.2} {:>14.3} {:>12.2}",
+                source,
+                report.completed,
+                report.makespan_hours,
+                report.mean_wait_hours,
+                report.mean_transfer_hours,
+                report.wan_bytes / 1e12
+            );
+            per_source.insert(source.clone(), report);
+        }
+        artifact.responses.insert(policy.name().to_string(), per_source);
+    }
+
+    println!("\ninterpretation: the closer a model's row is to GT, the better the surrogate");
+    println!("serves as a calibration input for the event-based grid simulation.");
+    maybe_write_json(&options, &artifact);
+}

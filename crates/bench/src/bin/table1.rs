@@ -1,0 +1,47 @@
+//! Experiment E5 — reproduce **Table I**: WD, JSD, diff-CORR, DCR and
+//! diff-MLEF for TVAE, CTABGAN+, SMOTE and TabDDPM.
+//!
+//! ```text
+//! cargo run -p bench --release --bin table1 -- --rows 30000 --budget standard
+//! ```
+
+use bench::{maybe_write_json, prepare_data, sample_all_models, ExperimentOptions};
+use metrics::{evaluate_surrogate, EvaluationConfig, SurrogateReport};
+
+fn main() {
+    let options = ExperimentOptions::from_args(std::env::args().skip(1));
+    println!("== Table I: performance comparisons on surrogate models ==");
+    println!(
+        "simulated gross records: {}, window: {} days, budget: {:?}",
+        options.gross_records, options.days, options.budget
+    );
+
+    let data = prepare_data(&options);
+    println!("\nfiltering funnel (Fig. 3b):");
+    for line in data.funnel.render() {
+        println!("  {line}");
+    }
+    println!(
+        "train rows: {}, test rows: {}",
+        data.train.n_rows(),
+        data.test.n_rows()
+    );
+
+    let evaluation = EvaluationConfig::paper();
+    let mut reports: Vec<SurrogateReport> = Vec::new();
+
+    println!("\n{}", SurrogateReport::table_header());
+    for (name, synthetic) in sample_all_models(&data.train, options.budget, options.seed) {
+        let report = evaluate_surrogate(name, &data.train, &data.test, &synthetic, &evaluation);
+        println!("{}", report.table_row());
+        reports.push(report);
+    }
+
+    println!("\npaper reference values (Table I):");
+    println!("  TVAE      WD 0.961  JSD 0.806  diff-CORR 0.653  DCR 0.143  diff-MLEF  5.875");
+    println!("  CTABGAN+  WD 1.000  JSD 0.820  diff-CORR 0.658  DCR 0.105  diff-MLEF 10.464");
+    println!("  SMOTE     WD 0.871  JSD 0.799  diff-CORR 0.011  DCR 0.001  diff-MLEF  0.058");
+    println!("  TabDDPM   WD 0.874  JSD 0.799  diff-CORR 0.036  DCR 0.025  diff-MLEF  0.826");
+
+    maybe_write_json(&options, &reports);
+}

@@ -1,0 +1,367 @@
+//! CTABGAN+-style conditional GAN for mixed-type tabular data.
+//!
+//! A generator MLP maps latent noise (concatenated with a conditional one-hot
+//! vector selecting a category of a randomly chosen discrete column, the
+//! "training-by-sampling" trick of the CTGAN family) to an encoded row; a
+//! discriminator MLP scores rows as real or synthetic. Both are trained with
+//! the standard non-saturating GAN objective on binary cross-entropy.
+//! Categorical blocks of the generator output go through a per-block softmax
+//! so the discriminator always sees valid simplex blocks.
+
+use nn::{bce_with_logits, standard_normal_matrix, Adam, AdamConfig, CosineDecay, LrSchedule, Matrix, Mlp, MlpConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tabular::{FeatureKind, Table};
+
+use crate::codec::TableCodec;
+use crate::mixed::{mixed_activation, mixed_activation_backward};
+use crate::traits::{SurrogateError, TabularGenerator};
+
+/// CTABGAN+ hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CtabGanConfig {
+    /// Latent noise dimensionality.
+    pub latent_dim: usize,
+    /// Hidden widths of the generator.
+    pub generator_hidden: Vec<usize>,
+    /// Hidden widths of the discriminator.
+    pub discriminator_hidden: Vec<usize>,
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Peak learning rate (cosine-decayed).
+    pub learning_rate: f64,
+    /// Number of discriminator updates per generator update.
+    pub discriminator_steps: usize,
+    /// Use the conditional (training-by-sampling) vector.
+    pub conditional: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CtabGanConfig {
+    fn default() -> Self {
+        Self {
+            latent_dim: 32,
+            generator_hidden: vec![128, 128],
+            discriminator_hidden: vec![128, 64],
+            epochs: 60,
+            batch_size: 256,
+            learning_rate: 2e-4,
+            discriminator_steps: 1,
+            conditional: true,
+            seed: 13,
+        }
+    }
+}
+
+impl CtabGanConfig {
+    /// Small configuration for unit tests.
+    pub fn fast() -> Self {
+        Self {
+            latent_dim: 8,
+            generator_hidden: vec![32],
+            discriminator_hidden: vec![32],
+            epochs: 20,
+            batch_size: 64,
+            learning_rate: 2e-3,
+            ..Default::default()
+        }
+    }
+}
+
+/// The CTABGAN+ surrogate model.
+#[derive(Debug, Clone)]
+pub struct CtabGan {
+    config: CtabGanConfig,
+    codec: Option<TableCodec>,
+    generator: Option<Mlp>,
+    /// Index of the categorical span used for conditioning plus the marginal
+    /// distribution of its categories in the training data.
+    condition: Option<(usize, Vec<f64>)>,
+    /// Generator / discriminator loss per epoch, for diagnostics.
+    pub loss_history: Vec<(f64, f64)>,
+}
+
+impl CtabGan {
+    /// New, unfitted model.
+    pub fn new(config: CtabGanConfig) -> Self {
+        Self {
+            config,
+            codec: None,
+            generator: None,
+            condition: None,
+            loss_history: Vec::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CtabGanConfig {
+        &self.config
+    }
+
+    /// Width of the conditional vector (0 when conditioning is disabled or no
+    /// categorical column exists).
+    fn cond_width(&self, codec: &TableCodec) -> usize {
+        match &self.condition {
+            Some((span_idx, _)) => codec.spans()[*span_idx].width,
+            None => 0,
+        }
+    }
+
+    /// Sample a batch of conditional one-hot vectors from the training
+    /// marginal.
+    fn sample_condition<R: Rng>(&self, codec: &TableCodec, rows: usize, rng: &mut R) -> Matrix {
+        let Some((span_idx, marginal)) = &self.condition else {
+            return Matrix::zeros(rows, 0);
+        };
+        let width = codec.spans()[*span_idx].width;
+        let mut out = Matrix::zeros(rows, width);
+        for r in 0..rows {
+            let mut u: f64 = rng.gen_range(0.0..1.0);
+            let mut chosen = width - 1;
+            for (i, &p) in marginal.iter().enumerate() {
+                if u < p {
+                    chosen = i;
+                    break;
+                }
+                u -= p;
+            }
+            out.set(r, chosen, 1.0);
+        }
+        out
+    }
+}
+
+impl TabularGenerator for CtabGan {
+    fn name(&self) -> &'static str {
+        "CTABGAN+"
+    }
+
+    fn fit(&mut self, train: &Table) -> Result<(), SurrogateError> {
+        let codec = TableCodec::fit(train)?;
+        let data = codec.encode(train)?;
+        let width = codec.encoded_width();
+        let cfg = self.config.clone();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Choose the conditioning column: the categorical span with the
+        // largest cardinality (most informative condition).
+        self.condition = if cfg.conditional {
+            codec
+                .spans()
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.kind == FeatureKind::Categorical)
+                .max_by_key(|(_, s)| s.width)
+                .map(|(idx, span)| {
+                    let mut marginal = vec![0.0; span.width];
+                    for r in 0..data.rows() {
+                        let block = &data.row(r)[span.start..span.start + span.width];
+                        if let Some(code) = block.iter().position(|&v| v > 0.5) {
+                            marginal[code] += 1.0;
+                        }
+                    }
+                    let total: f64 = marginal.iter().sum::<f64>().max(1.0);
+                    for m in &mut marginal {
+                        *m /= total;
+                    }
+                    (idx, marginal)
+                })
+        } else {
+            None
+        };
+        let cond_width = self.cond_width(&codec);
+
+        let mut generator = Mlp::new(
+            &MlpConfig::relu(cfg.latent_dim + cond_width, cfg.generator_hidden.clone(), width),
+            &mut rng,
+        );
+        let mut discriminator = Mlp::new(
+            &MlpConfig::relu(width + cond_width, cfg.discriminator_hidden.clone(), 1),
+            &mut rng,
+        );
+        let mut adam = Adam::new(AdamConfig::default());
+
+        let n = data.rows();
+        let batch = cfg.batch_size.min(n).max(1);
+        let steps_per_epoch = n.div_ceil(batch);
+        let schedule = CosineDecay {
+            base_lr: cfg.learning_rate,
+            min_lr: cfg.learning_rate * 0.01,
+            total_steps: cfg.epochs * steps_per_epoch,
+            warmup_steps: 0,
+        };
+
+        let mut step = 0usize;
+        self.loss_history.clear();
+
+        for _epoch in 0..cfg.epochs {
+            let mut d_loss_sum = 0.0;
+            let mut g_loss_sum = 0.0;
+            for _ in 0..steps_per_epoch {
+                let lr = schedule.lr_at(step);
+                step += 1;
+
+                // ---- Discriminator update(s) ----
+                for _ in 0..cfg.discriminator_steps {
+                    let real_idx: Vec<usize> =
+                        (0..batch).map(|_| rng.gen_range(0..n)).collect();
+                    let real = data.take_rows(&real_idx);
+                    let cond = self.sample_condition(&codec, batch, &mut rng);
+
+                    let z = standard_normal_matrix(batch, cfg.latent_dim, &mut rng);
+                    let g_in = z.hconcat(&cond);
+                    let fake_raw = generator.infer(&g_in);
+                    let fake = mixed_activation(codec.spans(), &fake_raw);
+
+                    let d_real_in = real.hconcat(&cond);
+                    let d_fake_in = fake.hconcat(&cond);
+
+                    let real_logits = discriminator.forward(&d_real_in);
+                    let (loss_real, grad_real) =
+                        bce_with_logits(&real_logits, &Matrix::filled(batch, 1, 1.0));
+                    discriminator.backward(&grad_real);
+                    discriminator.clip_gradients(5.0);
+                    discriminator.apply_gradients(&mut adam, 10, lr);
+
+                    let fake_logits = discriminator.forward(&d_fake_in);
+                    let (loss_fake, grad_fake) =
+                        bce_with_logits(&fake_logits, &Matrix::filled(batch, 1, 0.0));
+                    discriminator.backward(&grad_fake);
+                    discriminator.clip_gradients(5.0);
+                    discriminator.apply_gradients(&mut adam, 10, lr);
+
+                    d_loss_sum += loss_real + loss_fake;
+                }
+
+                // ---- Generator update ----
+                let cond = self.sample_condition(&codec, batch, &mut rng);
+                let z = standard_normal_matrix(batch, cfg.latent_dim, &mut rng);
+                let g_in = z.hconcat(&cond);
+                let fake_raw = generator.forward(&g_in);
+                let fake = mixed_activation(codec.spans(), &fake_raw);
+                let d_in = fake.hconcat(&cond);
+
+                let logits = discriminator.forward(&d_in);
+                // Non-saturating generator loss: fool the discriminator.
+                let (g_loss, grad_logits) =
+                    bce_with_logits(&logits, &Matrix::filled(batch, 1, 1.0));
+                g_loss_sum += g_loss;
+
+                // Backprop through the discriminator to its input, keep only
+                // the data part (drop the conditional columns), then through
+                // the mixed activation into the generator.
+                let grad_d_in = discriminator.backward(&grad_logits);
+                let grad_fake = grad_d_in.slice_cols(0, width);
+                let grad_fake_raw = mixed_activation_backward(codec.spans(), &fake, &grad_fake);
+                generator.backward(&grad_fake_raw);
+                generator.clip_gradients(5.0);
+                generator.apply_gradients(&mut adam, 20, lr);
+            }
+            self.loss_history.push((
+                g_loss_sum / steps_per_epoch as f64,
+                d_loss_sum / (steps_per_epoch * cfg.discriminator_steps.max(1)) as f64,
+            ));
+        }
+
+        self.codec = Some(codec);
+        self.generator = Some(generator);
+        Ok(())
+    }
+
+    fn sample(&self, n: usize, seed: u64) -> Result<Table, SurrogateError> {
+        let codec = self
+            .codec
+            .as_ref()
+            .ok_or(SurrogateError::NotFitted("CTABGAN+"))?;
+        let generator = self.generator.as_ref().expect("generator set when codec is");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let z = standard_normal_matrix(n, self.config.latent_dim, &mut rng);
+        let cond = self.sample_condition(codec, n, &mut rng);
+        let raw = generator.infer(&z.hconcat(&cond));
+        let activated = mixed_activation(codec.spans(), &raw);
+        codec.decode(&activated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabular::Column;
+
+    fn toy(n: usize, seed: u64) -> Table {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut values = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            if rng.gen_bool(0.7) {
+                values.push(rng.gen_range(1.0..5.0));
+                labels.push("BNL");
+            } else {
+                values.push(rng.gen_range(50.0..60.0));
+                labels.push("CERN");
+            }
+        }
+        let mut t = Table::new();
+        t.push_column("workload", Column::Numerical(values)).unwrap();
+        t.push_column("site", Column::from_labels(&labels)).unwrap();
+        t
+    }
+
+    #[test]
+    fn fit_and_sample_schema() {
+        let train = toy(200, 1);
+        let mut gan = CtabGan::new(CtabGanConfig::fast());
+        gan.fit(&train).unwrap();
+        let synthetic = gan.sample(40, 9).unwrap();
+        assert_eq!(synthetic.n_rows(), 40);
+        assert_eq!(synthetic.names(), train.names());
+        for r in 0..synthetic.n_rows() {
+            assert!(["BNL", "CERN"].contains(&synthetic.label("site", r).unwrap()));
+        }
+        assert_eq!(gan.loss_history.len(), CtabGanConfig::fast().epochs);
+    }
+
+    #[test]
+    fn conditional_vector_follows_training_marginal() {
+        let train = toy(300, 2);
+        let mut gan = CtabGan::new(CtabGanConfig::fast());
+        gan.fit(&train).unwrap();
+        let (_, marginal) = gan.condition.as_ref().expect("conditioning enabled");
+        let sum: f64 = marginal.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // BNL dominates the training data, so its marginal mass must be larger.
+        let bnl_share = marginal.iter().cloned().fold(0.0, f64::max);
+        assert!(bnl_share > 0.55);
+    }
+
+    #[test]
+    fn unconditional_mode_works() {
+        let train = toy(150, 3);
+        let mut gan = CtabGan::new(CtabGanConfig {
+            conditional: false,
+            ..CtabGanConfig::fast()
+        });
+        gan.fit(&train).unwrap();
+        assert!(gan.condition.is_none());
+        assert_eq!(gan.sample(10, 0).unwrap().n_rows(), 10);
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let train = toy(120, 4);
+        let mut gan = CtabGan::new(CtabGanConfig::fast());
+        gan.fit(&train).unwrap();
+        assert_eq!(gan.sample(15, 3).unwrap(), gan.sample(15, 3).unwrap());
+        assert_ne!(gan.sample(15, 3).unwrap(), gan.sample(15, 4).unwrap());
+    }
+
+    #[test]
+    fn sample_before_fit_errors() {
+        let gan = CtabGan::new(CtabGanConfig::fast());
+        assert!(matches!(gan.sample(5, 0), Err(SurrogateError::NotFitted(_))));
+    }
+}

@@ -1,0 +1,38 @@
+//! Generative surrogate models for distributed-computing workloads.
+//!
+//! This is the paper's core contribution: four tabular generative models that
+//! learn the joint distribution of PanDA job records and synthesise new,
+//! realistic rows —
+//!
+//! * [`SmoteSampler`](smote::SmoteSampler) — nearest-neighbour interpolation
+//!   (non-learning baseline),
+//! * [`Tvae`](tvae::Tvae) — a variational autoencoder for mixed-type rows,
+//! * [`CtabGan`](ctabgan::CtabGan) — a CTABGAN+-style conditional GAN,
+//! * [`TabDdpm`](tabddpm::TabDdpm) — a denoising-diffusion model with an MLP
+//!   backbone (the paper's recommended model).
+//!
+//! All models implement the [`TabularGenerator`](traits::TabularGenerator)
+//! trait (fit on a [`tabular::Table`], sample any number of synthetic rows)
+//! and share the [`TableCodec`](codec::TableCodec): numerical columns are
+//! Gaussian-quantile-transformed, categorical columns are one-hot encoded —
+//! exactly the preprocessing described in §V-A of the paper.
+//!
+//! [`pipeline`] ties everything together: construct any model by name, fit,
+//! sample and hand the result to the `metrics` crate.
+
+pub mod codec;
+pub mod ctabgan;
+pub mod mixed;
+pub mod pipeline;
+pub mod smote;
+pub mod tabddpm;
+pub mod traits;
+pub mod tvae;
+
+pub use codec::{ColumnSpan, TableCodec};
+pub use ctabgan::{CtabGan, CtabGanConfig};
+pub use pipeline::{build_model, fit_and_sample, ModelKind, TrainingBudget};
+pub use smote::{SmoteConfig, SmoteSampler};
+pub use tabddpm::{TabDdpm, TabDdpmConfig};
+pub use traits::{SurrogateError, TabularGenerator};
+pub use tvae::{Tvae, TvaeConfig};

@@ -1,0 +1,196 @@
+//! Model factory and fit/sample orchestration.
+
+use serde::{Deserialize, Serialize};
+use tabular::Table;
+
+use crate::ctabgan::{CtabGan, CtabGanConfig};
+use crate::smote::{SmoteConfig, SmoteSampler};
+use crate::tabddpm::{TabDdpm, TabDdpmConfig};
+use crate::traits::{SurrogateError, TabularGenerator};
+use crate::tvae::{Tvae, TvaeConfig};
+
+/// The four surrogate models evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Variational autoencoder.
+    Tvae,
+    /// Conditional GAN (CTABGAN+ style).
+    CtabGan,
+    /// Nearest-neighbour interpolation (non-learning baseline).
+    Smote,
+    /// Denoising diffusion model (the paper's recommendation).
+    TabDdpm,
+}
+
+impl ModelKind {
+    /// All four models, in the order of the paper's Table I.
+    pub const ALL: [ModelKind; 4] = [
+        ModelKind::Tvae,
+        ModelKind::CtabGan,
+        ModelKind::Smote,
+        ModelKind::TabDdpm,
+    ];
+
+    /// Name used in tables and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Tvae => "TVAE",
+            ModelKind::CtabGan => "CTABGAN+",
+            ModelKind::Smote => "SMOTE",
+            ModelKind::TabDdpm => "TabDDPM",
+        }
+    }
+
+    /// Parse a model name (case-insensitive, punctuation-insensitive).
+    pub fn parse(name: &str) -> Option<Self> {
+        let key: String = name
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        match key.as_str() {
+            "tvae" => Some(ModelKind::Tvae),
+            "ctabgan" | "ctabganplus" | "ctaggan" => Some(ModelKind::CtabGan),
+            "smote" => Some(ModelKind::Smote),
+            "tabddpm" | "ddpm" => Some(ModelKind::TabDdpm),
+            _ => None,
+        }
+    }
+}
+
+/// How much compute to spend on training: scales epochs and network sizes
+/// between quick smoke tests and full paper-style runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrainingBudget {
+    /// Tiny models and few epochs — unit tests and CI.
+    Smoke,
+    /// Reasonable laptop-scale defaults — examples and benches.
+    Standard,
+    /// Larger networks and more epochs — closest to the paper's setup.
+    Full,
+}
+
+impl TrainingBudget {
+    fn scale_epochs(self, standard: usize) -> usize {
+        match self {
+            TrainingBudget::Smoke => (standard / 4).max(4),
+            TrainingBudget::Standard => standard,
+            TrainingBudget::Full => standard * 4,
+        }
+    }
+}
+
+/// Build a surrogate model of the requested kind with a given budget and
+/// base seed.
+pub fn build_model(kind: ModelKind, budget: TrainingBudget, seed: u64) -> Box<dyn TabularGenerator> {
+    match kind {
+        ModelKind::Smote => Box::new(SmoteSampler::new(SmoteConfig::default())),
+        ModelKind::Tvae => {
+            let base = match budget {
+                TrainingBudget::Smoke => TvaeConfig::fast(),
+                _ => TvaeConfig::default(),
+            };
+            Box::new(Tvae::new(TvaeConfig {
+                epochs: budget.scale_epochs(base.epochs),
+                seed,
+                ..base
+            }))
+        }
+        ModelKind::CtabGan => {
+            let base = match budget {
+                TrainingBudget::Smoke => CtabGanConfig::fast(),
+                _ => CtabGanConfig::default(),
+            };
+            Box::new(CtabGan::new(CtabGanConfig {
+                epochs: budget.scale_epochs(base.epochs),
+                seed,
+                ..base
+            }))
+        }
+        ModelKind::TabDdpm => {
+            let base = match budget {
+                TrainingBudget::Smoke => TabDdpmConfig::fast(),
+                _ => TabDdpmConfig::default(),
+            };
+            Box::new(TabDdpm::new(TabDdpmConfig {
+                epochs: budget.scale_epochs(base.epochs),
+                seed,
+                ..base
+            }))
+        }
+    }
+}
+
+/// Fit a model of the requested kind on `train` and sample `n_samples`
+/// synthetic rows.
+pub fn fit_and_sample(
+    kind: ModelKind,
+    train: &Table,
+    n_samples: usize,
+    budget: TrainingBudget,
+    seed: u64,
+) -> Result<Table, SurrogateError> {
+    let mut model = build_model(kind, budget, seed);
+    model.fit(train)?;
+    model.sample(n_samples, seed.wrapping_add(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tabular::Column;
+
+    fn toy(n: usize) -> Table {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut values = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            values.push(rng.gen_range(1.0..100.0));
+            labels.push(if rng.gen_bool(0.7) { "BNL" } else { "CERN" });
+        }
+        let mut t = Table::new();
+        t.push_column("workload", Column::Numerical(values)).unwrap();
+        t.push_column("site", Column::from_labels(&labels)).unwrap();
+        t
+    }
+
+    #[test]
+    fn model_kind_parsing() {
+        assert_eq!(ModelKind::parse("TabDDPM"), Some(ModelKind::TabDdpm));
+        assert_eq!(ModelKind::parse("ctab-gan+"), Some(ModelKind::CtabGan));
+        assert_eq!(ModelKind::parse("smote"), Some(ModelKind::Smote));
+        assert_eq!(ModelKind::parse("TVAE"), Some(ModelKind::Tvae));
+        assert_eq!(ModelKind::parse("mystery"), None);
+        assert_eq!(ModelKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn names_match_paper_table() {
+        assert_eq!(ModelKind::Tvae.name(), "TVAE");
+        assert_eq!(ModelKind::CtabGan.name(), "CTABGAN+");
+        assert_eq!(ModelKind::Smote.name(), "SMOTE");
+        assert_eq!(ModelKind::TabDdpm.name(), "TabDDPM");
+    }
+
+    #[test]
+    fn budget_scales_epochs() {
+        assert!(TrainingBudget::Smoke.scale_epochs(60) < 60);
+        assert_eq!(TrainingBudget::Standard.scale_epochs(60), 60);
+        assert_eq!(TrainingBudget::Full.scale_epochs(60), 240);
+    }
+
+    #[test]
+    fn every_model_kind_fits_and_samples() {
+        let train = toy(120);
+        for kind in ModelKind::ALL {
+            let synthetic =
+                fit_and_sample(kind, &train, 30, TrainingBudget::Smoke, 7).unwrap_or_else(|e| {
+                    panic!("{} failed: {e}", kind.name());
+                });
+            assert_eq!(synthetic.n_rows(), 30, "{}", kind.name());
+            assert_eq!(synthetic.names(), train.names(), "{}", kind.name());
+        }
+    }
+}

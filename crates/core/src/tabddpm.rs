@@ -1,0 +1,357 @@
+//! TabDDPM: a denoising-diffusion probabilistic model for tabular data.
+//!
+//! The paper's recommended surrogate. Rows are mapped into the encoded space
+//! (quantile-Gaussian numerics + one-hot categoricals); a forward process adds
+//! Gaussian noise over `T` steps following a cosine β-schedule; an MLP
+//! denoiser conditioned on the (normalised) timestep is trained to predict
+//! the injected noise; sampling runs the ancestral reverse process from pure
+//! noise and decodes the result.
+//!
+//! Substitution note (recorded in DESIGN.md): the original TabDDPM uses a
+//! multinomial diffusion for the categorical blocks; here both numerical and
+//! one-hot blocks share the Gaussian diffusion and categories are recovered
+//! by arg-max at decode time. At the scale of this reproduction the Gaussian
+//! treatment preserves the model's qualitative behaviour (high fidelity,
+//! non-trivial distance from training records).
+
+use nn::{standard_normal_matrix, Adam, AdamConfig, CosineDecay, LrSchedule, Matrix, Mlp, MlpConfig, mse_loss};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tabular::Table;
+
+use tabular::FeatureKind;
+
+use crate::codec::{ColumnSpan, TableCodec};
+use crate::traits::{SurrogateError, TabularGenerator};
+
+/// TabDDPM hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TabDdpmConfig {
+    /// Number of diffusion timesteps `T`.
+    pub timesteps: usize,
+    /// Hidden widths of the denoiser MLP.
+    pub hidden: Vec<usize>,
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Peak learning rate (cosine-decayed).
+    pub learning_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TabDdpmConfig {
+    fn default() -> Self {
+        Self {
+            timesteps: 100,
+            hidden: vec![256, 256],
+            epochs: 80,
+            batch_size: 256,
+            learning_rate: 2e-4,
+            seed: 17,
+        }
+    }
+}
+
+impl TabDdpmConfig {
+    /// Small configuration for unit tests.
+    pub fn fast() -> Self {
+        Self {
+            timesteps: 20,
+            hidden: vec![64],
+            epochs: 60,
+            batch_size: 64,
+            learning_rate: 2e-3,
+            ..Default::default()
+        }
+    }
+}
+
+/// Rescale one-hot blocks from `{0, 1}` to `{-1, +1}` so the categorical
+/// signal has the same scale as the quantile-normalised numerics and is not
+/// drowned out by the Gaussian noise. Arg-max decoding is invariant to this
+/// affine map, so no inverse is needed before decoding.
+fn center_categorical_blocks(data: &mut Matrix, spans: &[ColumnSpan]) {
+    for span in spans {
+        if span.kind != FeatureKind::Categorical {
+            continue;
+        }
+        for r in 0..data.rows() {
+            for c in span.start..span.start + span.width {
+                let v = data.get(r, c);
+                data.set(r, c, 2.0 * v - 1.0);
+            }
+        }
+    }
+}
+
+/// Cosine β-schedule (Nichol & Dhariwal) producing per-step ᾱ values.
+fn cosine_alpha_bar(timesteps: usize) -> Vec<f64> {
+    let s = 0.008;
+    let f = |t: f64| ((t / timesteps as f64 + s) / (1.0 + s) * std::f64::consts::FRAC_PI_2)
+        .cos()
+        .powi(2);
+    let f0 = f(0.0);
+    (1..=timesteps).map(|t| (f(t as f64) / f0).clamp(1e-5, 0.9999)).collect()
+}
+
+/// The TabDDPM surrogate model.
+#[derive(Debug, Clone)]
+pub struct TabDdpm {
+    config: TabDdpmConfig,
+    codec: Option<TableCodec>,
+    denoiser: Option<Mlp>,
+    alpha_bar: Vec<f64>,
+    /// Mean training loss per epoch, for diagnostics.
+    pub loss_history: Vec<f64>,
+}
+
+impl TabDdpm {
+    /// New, unfitted model.
+    pub fn new(config: TabDdpmConfig) -> Self {
+        let alpha_bar = cosine_alpha_bar(config.timesteps);
+        Self {
+            config,
+            codec: None,
+            denoiser: None,
+            alpha_bar,
+            loss_history: Vec::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TabDdpmConfig {
+        &self.config
+    }
+
+    /// The ᾱ schedule (monotone decreasing in `t`).
+    pub fn alpha_bar(&self) -> &[f64] {
+        &self.alpha_bar
+    }
+
+    /// Build the denoiser input: the noisy row concatenated with two timestep
+    /// embedding features (normalised t and a sinusoidal phase).
+    fn denoiser_input(x_noisy: &Matrix, t_frac: &[f64]) -> Matrix {
+        let rows = x_noisy.rows();
+        let mut t_cols = Matrix::zeros(rows, 2);
+        for r in 0..rows {
+            t_cols.set(r, 0, t_frac[r]);
+            t_cols.set(r, 1, (t_frac[r] * std::f64::consts::PI).sin());
+        }
+        x_noisy.hconcat(&t_cols)
+    }
+}
+
+impl TabularGenerator for TabDdpm {
+    fn name(&self) -> &'static str {
+        "TabDDPM"
+    }
+
+    fn fit(&mut self, train: &Table) -> Result<(), SurrogateError> {
+        let codec = TableCodec::fit(train)?;
+        let mut data = codec.encode(train)?;
+        center_categorical_blocks(&mut data, codec.spans());
+        let width = codec.encoded_width();
+        let cfg = self.config.clone();
+        let timesteps = cfg.timesteps;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let mut denoiser = Mlp::new(
+            &MlpConfig::relu(width + 2, cfg.hidden.clone(), width),
+            &mut rng,
+        );
+        let mut adam = Adam::new(AdamConfig::default());
+
+        let n = data.rows();
+        let batch = cfg.batch_size.min(n).max(1);
+        let steps_per_epoch = n.div_ceil(batch);
+        let schedule = CosineDecay {
+            base_lr: cfg.learning_rate,
+            min_lr: cfg.learning_rate * 0.01,
+            total_steps: cfg.epochs * steps_per_epoch,
+            warmup_steps: 0,
+        };
+
+        let mut step = 0usize;
+        self.loss_history.clear();
+
+        for _epoch in 0..cfg.epochs {
+            let mut epoch_loss = 0.0;
+            for _ in 0..steps_per_epoch {
+                let lr = schedule.lr_at(step);
+                step += 1;
+
+                let idx: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..n)).collect();
+                let x0 = data.take_rows(&idx);
+
+                // Per-row timestep and noise.
+                let ts: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..timesteps)).collect();
+                let t_frac: Vec<f64> = ts.iter().map(|&t| (t + 1) as f64 / timesteps as f64).collect();
+                let noise = standard_normal_matrix(batch, width, &mut rng);
+
+                // x_t = sqrt(ᾱ_t) x0 + sqrt(1 - ᾱ_t) ε
+                let mut x_noisy = Matrix::zeros(batch, width);
+                for r in 0..batch {
+                    let ab = self.alpha_bar[ts[r]];
+                    let (sa, sb) = (ab.sqrt(), (1.0 - ab).sqrt());
+                    for c in 0..width {
+                        x_noisy.set(r, c, sa * x0.get(r, c) + sb * noise.get(r, c));
+                    }
+                }
+
+                let input = Self::denoiser_input(&x_noisy, &t_frac);
+                let predicted = denoiser.forward(&input);
+                let (loss, grad) = mse_loss(&predicted, &noise);
+                epoch_loss += loss;
+                denoiser.backward(&grad);
+                denoiser.clip_gradients(5.0);
+                denoiser.apply_gradients(&mut adam, 0, lr);
+            }
+            self.loss_history.push(epoch_loss / steps_per_epoch as f64);
+        }
+
+        self.codec = Some(codec);
+        self.denoiser = Some(denoiser);
+        Ok(())
+    }
+
+    fn sample(&self, n: usize, seed: u64) -> Result<Table, SurrogateError> {
+        let codec = self
+            .codec
+            .as_ref()
+            .ok_or(SurrogateError::NotFitted("TabDDPM"))?;
+        let denoiser = self.denoiser.as_ref().expect("denoiser set when codec is");
+        let width = codec.encoded_width();
+        let timesteps = self.config.timesteps;
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Reconstruct the per-step α from ᾱ.
+        let mut alphas = Vec::with_capacity(timesteps);
+        for t in 0..timesteps {
+            let prev = if t == 0 { 1.0 } else { self.alpha_bar[t - 1] };
+            alphas.push((self.alpha_bar[t] / prev).clamp(1e-5, 0.9999));
+        }
+
+        let mut x = standard_normal_matrix(n, width, &mut rng);
+        for t in (0..timesteps).rev() {
+            let t_frac = vec![(t + 1) as f64 / timesteps as f64; n];
+            let input = Self::denoiser_input(&x, &t_frac);
+            let eps_hat = denoiser.infer(&input);
+
+            let alpha = alphas[t];
+            let alpha_bar = self.alpha_bar[t];
+            let coef = (1.0 - alpha) / (1.0 - alpha_bar).sqrt();
+            // Posterior mean.
+            let mut mean = Matrix::zeros(n, width);
+            for r in 0..n {
+                for c in 0..width {
+                    mean.set(
+                        r,
+                        c,
+                        (x.get(r, c) - coef * eps_hat.get(r, c)) / alpha.sqrt(),
+                    );
+                }
+            }
+            if t > 0 {
+                let sigma = ((1.0 - alphas[t]) * (1.0 - self.alpha_bar[t - 1])
+                    / (1.0 - alpha_bar))
+                    .max(0.0)
+                    .sqrt();
+                let z = standard_normal_matrix(n, width, &mut rng);
+                x = mean.add(&z.scale(sigma));
+            } else {
+                x = mean;
+            }
+        }
+        codec.decode(&x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabular::Column;
+
+    fn toy(n: usize, seed: u64) -> Table {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut values = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            if rng.gen_bool(0.65) {
+                values.push(rng.gen_range(1.0..10.0));
+                labels.push("BNL");
+            } else {
+                values.push(rng.gen_range(80.0..120.0));
+                labels.push("CERN");
+            }
+        }
+        let mut t = Table::new();
+        t.push_column("workload", Column::Numerical(values)).unwrap();
+        t.push_column("site", Column::from_labels(&labels)).unwrap();
+        t
+    }
+
+    #[test]
+    fn alpha_bar_schedule_is_monotone_decreasing() {
+        let ab = cosine_alpha_bar(50);
+        assert_eq!(ab.len(), 50);
+        for w in ab.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        assert!(ab[0] > 0.9);
+        assert!(*ab.last().unwrap() < 0.05);
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let train = toy(300, 1);
+        let mut model = TabDdpm::new(TabDdpmConfig::fast());
+        model.fit(&train).unwrap();
+        let first = model.loss_history.first().copied().unwrap();
+        let last = model.loss_history.last().copied().unwrap();
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+        // Predicting unit-variance noise from scratch has loss ≈ 1; a trained
+        // model must do clearly better.
+        assert!(last < 0.95, "final loss {last}");
+    }
+
+    #[test]
+    fn samples_have_training_schema() {
+        let train = toy(250, 2);
+        let mut model = TabDdpm::new(TabDdpmConfig::fast());
+        model.fit(&train).unwrap();
+        let synthetic = model.sample(60, 0).unwrap();
+        assert_eq!(synthetic.n_rows(), 60);
+        assert_eq!(synthetic.names(), train.names());
+        let mut bnl = 0;
+        for r in 0..synthetic.n_rows() {
+            let label = synthetic.label("site", r).unwrap();
+            assert!(["BNL", "CERN"].contains(&label));
+            if label == "BNL" {
+                bnl += 1;
+            }
+        }
+        // The dominant category should stay dominant in the synthetic data.
+        assert!(bnl > 20, "bnl share collapsed: {bnl}/60");
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let train = toy(150, 3);
+        let mut model = TabDdpm::new(TabDdpmConfig::fast());
+        model.fit(&train).unwrap();
+        assert_eq!(model.sample(10, 4).unwrap(), model.sample(10, 4).unwrap());
+        assert_ne!(model.sample(10, 4).unwrap(), model.sample(10, 5).unwrap());
+    }
+
+    #[test]
+    fn sample_before_fit_errors() {
+        let model = TabDdpm::new(TabDdpmConfig::fast());
+        assert!(matches!(
+            model.sample(5, 0),
+            Err(SurrogateError::NotFitted(_))
+        ));
+    }
+}

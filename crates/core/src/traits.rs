@@ -1,0 +1,51 @@
+//! The common interface of all surrogate models.
+
+use std::fmt;
+
+use tabular::{Table, TabularError};
+
+/// Errors raised while fitting or sampling a surrogate model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SurrogateError {
+    /// The model was asked to sample before being fitted.
+    NotFitted(&'static str),
+    /// The training table was unusable (empty, wrong schema, …).
+    InvalidTrainingData(String),
+    /// An underlying tabular operation failed.
+    Tabular(TabularError),
+}
+
+impl fmt::Display for SurrogateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SurrogateError::NotFitted(model) => write!(f, "{model} sampled before fit"),
+            SurrogateError::InvalidTrainingData(msg) => {
+                write!(f, "invalid training data: {msg}")
+            }
+            SurrogateError::Tabular(e) => write!(f, "tabular error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SurrogateError {}
+
+impl From<TabularError> for SurrogateError {
+    fn from(value: TabularError) -> Self {
+        SurrogateError::Tabular(value)
+    }
+}
+
+/// A generative model over mixed-type tabular data.
+///
+/// Implementations are deterministic given the seeds in their configuration,
+/// so experiments are reproducible end to end.
+pub trait TabularGenerator {
+    /// Human-readable model name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Fit the model to a training table.
+    fn fit(&mut self, train: &Table) -> Result<(), SurrogateError>;
+
+    /// Sample `n` synthetic rows with the same schema as the training table.
+    fn sample(&self, n: usize, seed: u64) -> Result<Table, SurrogateError>;
+}

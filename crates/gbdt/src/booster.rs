@@ -1,0 +1,273 @@
+//! The gradient-boosting loop (squared loss).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{BinMapper, FeatureMatrix};
+use crate::tree::{RegressionTree, TreeConfig};
+
+/// Hyper-parameters of the boosted ensemble.
+///
+/// The defaults mirror the paper's MLEF probe settings: 200 iterations,
+/// depth 10 and learning rate 1.0 on a root-mean-square-error objective.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GbdtConfig {
+    /// Number of boosting iterations (trees).
+    pub n_iterations: usize,
+    /// Learning rate (shrinkage) applied to each tree's contribution.
+    pub learning_rate: f64,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Fraction of rows sampled (without replacement) per iteration.
+    pub subsample: f64,
+    /// Maximum histogram bins per feature.
+    pub max_bins: usize,
+    /// RNG seed for row subsampling.
+    pub seed: u64,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        Self {
+            n_iterations: 200,
+            learning_rate: 1.0,
+            max_depth: 10,
+            min_samples_leaf: 16,
+            subsample: 1.0,
+            max_bins: 64,
+            seed: 0,
+        }
+    }
+}
+
+impl GbdtConfig {
+    /// The exact probe configuration from the paper (§V-A-b).
+    pub fn paper_mlef() -> Self {
+        Self::default()
+    }
+
+    /// A small configuration for tests and quick experiments.
+    pub fn fast() -> Self {
+        Self {
+            n_iterations: 40,
+            learning_rate: 0.3,
+            max_depth: 5,
+            min_samples_leaf: 8,
+            subsample: 0.9,
+            max_bins: 32,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted gradient-boosted regression ensemble.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Gbdt {
+    config: GbdtConfig,
+    base_prediction: f64,
+    trees: Vec<RegressionTree>,
+}
+
+impl Gbdt {
+    /// Fit the ensemble on `(data, targets)`.
+    pub fn fit(data: &FeatureMatrix, targets: &[f64], config: GbdtConfig) -> Self {
+        assert_eq!(data.n_rows(), targets.len(), "data/target length mismatch");
+        assert!(data.n_rows() > 0, "cannot fit on an empty dataset");
+        let mapper = BinMapper::fit(data, config.max_bins);
+        let base_prediction = targets.iter().sum::<f64>() / targets.len() as f64;
+        let mut predictions = vec![base_prediction; targets.len()];
+        let mut trees = Vec::with_capacity(config.n_iterations);
+        let tree_config = TreeConfig {
+            max_depth: config.max_depth,
+            min_samples_leaf: config.min_samples_leaf,
+            min_gain: 1e-9,
+            max_bins: config.max_bins,
+        };
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let all_indices: Vec<usize> = (0..data.n_rows()).collect();
+
+        for _ in 0..config.n_iterations {
+            // Squared loss: negative gradient = residual.
+            let residuals: Vec<f64> = targets
+                .iter()
+                .zip(&predictions)
+                .map(|(t, p)| t - p)
+                .collect();
+
+            let indices: Vec<usize> = if config.subsample < 1.0 {
+                let k = ((data.n_rows() as f64) * config.subsample).round().max(1.0) as usize;
+                let mut shuffled = all_indices.clone();
+                shuffled.shuffle(&mut rng);
+                shuffled.truncate(k);
+                shuffled
+            } else {
+                all_indices.clone()
+            };
+
+            let tree = RegressionTree::fit(data, &residuals, &indices, &tree_config, &mapper);
+            for (r, pred) in predictions.iter_mut().enumerate() {
+                *pred += config.learning_rate * tree.predict_row(data.row(r));
+            }
+            trees.push(tree);
+        }
+
+        Self {
+            config,
+            base_prediction,
+            trees,
+        }
+    }
+
+    /// Predict every row of a feature matrix.
+    pub fn predict(&self, data: &FeatureMatrix) -> Vec<f64> {
+        let mut out = vec![self.base_prediction; data.n_rows()];
+        for tree in &self.trees {
+            for (r, pred) in out.iter_mut().enumerate() {
+                *pred += self.config.learning_rate * tree.predict_row(data.row(r));
+            }
+        }
+        out
+    }
+
+    /// Predict one row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        self.base_prediction
+            + self
+                .trees
+                .iter()
+                .map(|t| self.config.learning_rate * t.predict_row(row))
+                .sum::<f64>()
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Configuration used to fit the model.
+    pub fn config(&self) -> GbdtConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::rmse;
+
+    fn friedman_like(n: usize) -> (FeatureMatrix, Vec<f64>) {
+        // Smooth nonlinear target over 4 features (deterministic pseudo-noise).
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let x = i as f64 / n as f64;
+                vec![
+                    x,
+                    (x * 7.3).fract(),
+                    ((i * 13) % 17) as f64 / 17.0,
+                    ((i * 29) % 23) as f64 / 23.0,
+                ]
+            })
+            .collect();
+        let targets: Vec<f64> = rows
+            .iter()
+            .map(|r| 10.0 * (std::f64::consts::PI * r[0] * r[1]).sin() + 20.0 * (r[2] - 0.5).powi(2) + 5.0 * r[3])
+            .collect();
+        (FeatureMatrix::from_rows(&rows), targets)
+    }
+
+    #[test]
+    fn boosting_reduces_error_over_single_tree() {
+        let (data, targets) = friedman_like(600);
+        let single = Gbdt::fit(
+            &data,
+            &targets,
+            GbdtConfig {
+                n_iterations: 1,
+                learning_rate: 1.0,
+                max_depth: 3,
+                ..GbdtConfig::fast()
+            },
+        );
+        let boosted = Gbdt::fit(
+            &data,
+            &targets,
+            GbdtConfig {
+                n_iterations: 50,
+                learning_rate: 0.3,
+                max_depth: 3,
+                ..GbdtConfig::fast()
+            },
+        );
+        let e1 = rmse(&single.predict(&data), &targets);
+        let e2 = rmse(&boosted.predict(&data), &targets);
+        assert!(e2 < e1 * 0.5, "single {e1}, boosted {e2}");
+    }
+
+    #[test]
+    fn generalises_to_held_out_rows() {
+        let (data, targets) = friedman_like(800);
+        let train_idx: Vec<usize> = (0..800).filter(|i| i % 5 != 0).collect();
+        let test_idx: Vec<usize> = (0..800).filter(|i| i % 5 == 0).collect();
+        let train_rows: Vec<Vec<f64>> = train_idx.iter().map(|&i| data.row(i).to_vec()).collect();
+        let train_targets: Vec<f64> = train_idx.iter().map(|&i| targets[i]).collect();
+        let test_rows: Vec<Vec<f64>> = test_idx.iter().map(|&i| data.row(i).to_vec()).collect();
+        let test_targets: Vec<f64> = test_idx.iter().map(|&i| targets[i]).collect();
+
+        let model = Gbdt::fit(
+            &FeatureMatrix::from_rows(&train_rows),
+            &train_targets,
+            GbdtConfig::fast(),
+        );
+        let preds = model.predict(&FeatureMatrix::from_rows(&test_rows));
+        let err = rmse(&preds, &test_targets);
+        let std = {
+            let m = test_targets.iter().sum::<f64>() / test_targets.len() as f64;
+            (test_targets.iter().map(|t| (t - m).powi(2)).sum::<f64>() / test_targets.len() as f64)
+                .sqrt()
+        };
+        assert!(err < std * 0.5, "rmse {err} vs target std {std}");
+    }
+
+    #[test]
+    fn prediction_is_deterministic_for_fixed_seed() {
+        let (data, targets) = friedman_like(200);
+        let a = Gbdt::fit(&data, &targets, GbdtConfig::fast());
+        let b = Gbdt::fit(&data, &targets, GbdtConfig::fast());
+        assert_eq!(a.predict(&data), b.predict(&data));
+    }
+
+    #[test]
+    fn constant_target_is_reproduced_exactly() {
+        let (data, _) = friedman_like(100);
+        let targets = vec![2.5; 100];
+        let model = Gbdt::fit(&data, &targets, GbdtConfig::fast());
+        for p in model.predict(&data) {
+            assert!((p - 2.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn n_trees_matches_iterations() {
+        let (data, targets) = friedman_like(100);
+        let model = Gbdt::fit(
+            &data,
+            &targets,
+            GbdtConfig {
+                n_iterations: 7,
+                ..GbdtConfig::fast()
+            },
+        );
+        assert_eq!(model.n_trees(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let data = FeatureMatrix::from_rows(&[]);
+        let _ = Gbdt::fit(&data, &[], GbdtConfig::fast());
+    }
+}

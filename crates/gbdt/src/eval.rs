@@ -1,0 +1,72 @@
+//! Regression error metrics.
+
+/// Mean squared error.
+pub fn mse(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    assert!(!predictions.is_empty(), "empty input");
+    predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t).powi(2))
+        .sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(predictions: &[f64], targets: &[f64]) -> f64 {
+    mse(predictions, targets).sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    assert!(!predictions.is_empty(), "empty input");
+    predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / predictions.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error_when_equal() {
+        let v = vec![1.0, 2.0, 3.0];
+        assert_eq!(mse(&v, &v), 0.0);
+        assert_eq!(rmse(&v, &v), 0.0);
+        assert_eq!(mae(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let p = vec![1.0, 2.0];
+        let t = vec![3.0, 2.0];
+        assert!((mse(&p, &t) - 2.0).abs() < 1e-12);
+        assert!((rmse(&p, &t) - 2f64.sqrt()).abs() < 1e-12);
+        assert!((mae(&p, &t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_dominates_mae() {
+        // With unequal errors, RMSE >= MAE (Jensen).
+        let p = vec![0.0, 0.0, 0.0];
+        let t = vec![1.0, 2.0, 6.0];
+        assert!(rmse(&p, &t) >= mae(&p, &t));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = mse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn empty_input_panics() {
+        let _ = mae(&[], &[]);
+    }
+}

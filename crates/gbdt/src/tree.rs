@@ -1,0 +1,352 @@
+//! A single histogram-based regression tree.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{BinMapper, FeatureMatrix};
+
+/// Hyper-parameters of one regression tree.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum depth (root is depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples required in a leaf.
+    pub min_samples_leaf: usize,
+    /// Minimum variance-reduction gain required to split a node.
+    pub min_gain: f64,
+    /// Maximum number of histogram bins per feature.
+    pub max_bins: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 6,
+            min_samples_leaf: 8,
+            min_gain: 1e-9,
+            max_bins: 64,
+        }
+    }
+}
+
+/// One node of the tree, stored in a flat arena.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Fit a tree to `(data, targets)` restricted to `row_indices`.
+    pub fn fit(
+        data: &FeatureMatrix,
+        targets: &[f64],
+        row_indices: &[usize],
+        config: &TreeConfig,
+        mapper: &BinMapper,
+    ) -> Self {
+        assert_eq!(data.n_rows(), targets.len(), "data/target length mismatch");
+        let mut tree = Self { nodes: Vec::new() };
+        if row_indices.is_empty() {
+            tree.nodes.push(Node::Leaf { value: 0.0 });
+            return tree;
+        }
+        tree.build(data, targets, row_indices.to_vec(), 0, config, mapper);
+        tree
+    }
+
+    /// Recursively build the node for `indices`, returning its arena id.
+    fn build(
+        &mut self,
+        data: &FeatureMatrix,
+        targets: &[f64],
+        indices: Vec<usize>,
+        depth: usize,
+        config: &TreeConfig,
+        mapper: &BinMapper,
+    ) -> usize {
+        let n = indices.len();
+        let sum: f64 = indices.iter().map(|&i| targets[i]).sum();
+        let mean = sum / n as f64;
+
+        if depth >= config.max_depth || n < 2 * config.min_samples_leaf {
+            return self.push_leaf(mean);
+        }
+
+        match self.best_split(data, targets, &indices, config, mapper) {
+            Some((feature, threshold, gain)) if gain > config.min_gain => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                    .into_iter()
+                    .partition(|&i| data.get(i, feature) <= threshold);
+                if left_idx.len() < config.min_samples_leaf
+                    || right_idx.len() < config.min_samples_leaf
+                {
+                    return self.push_leaf(mean);
+                }
+                // Reserve the split slot before recursing so child ids are known.
+                let node_id = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: mean });
+                let left = self.build(data, targets, left_idx, depth + 1, config, mapper);
+                let right = self.build(data, targets, right_idx, depth + 1, config, mapper);
+                self.nodes[node_id] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                node_id
+            }
+            _ => self.push_leaf(mean),
+        }
+    }
+
+    fn push_leaf(&mut self, value: f64) -> usize {
+        self.nodes.push(Node::Leaf { value });
+        self.nodes.len() - 1
+    }
+
+    /// Best (feature, threshold, gain) via per-feature histograms of target
+    /// sums. Gain is the reduction in sum of squared deviations.
+    fn best_split(
+        &self,
+        data: &FeatureMatrix,
+        targets: &[f64],
+        indices: &[usize],
+        config: &TreeConfig,
+        mapper: &BinMapper,
+    ) -> Option<(usize, f64, f64)> {
+        let n = indices.len() as f64;
+        let total_sum: f64 = indices.iter().map(|&i| targets[i]).sum();
+        let mut best: Option<(usize, f64, f64)> = None;
+
+        for feature in 0..data.n_features() {
+            let n_bins = mapper.n_bins(feature);
+            if n_bins < 2 {
+                continue;
+            }
+            let mut bin_sum = vec![0.0; n_bins];
+            let mut bin_count = vec![0usize; n_bins];
+            for &i in indices {
+                let b = mapper.bin(feature, data.get(i, feature));
+                bin_sum[b] += targets[i];
+                bin_count[b] += 1;
+            }
+            // Scan split points between bins.
+            let mut left_sum = 0.0;
+            let mut left_count = 0usize;
+            for b in 0..n_bins - 1 {
+                left_sum += bin_sum[b];
+                left_count += bin_count[b];
+                let right_count = indices.len() - left_count;
+                if left_count < config.min_samples_leaf || right_count < config.min_samples_leaf {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                // Variance-reduction gain (up to constants):
+                // sum_left^2/n_left + sum_right^2/n_right - sum^2/n.
+                let gain = left_sum * left_sum / left_count as f64
+                    + right_sum * right_sum / right_count as f64
+                    - total_sum * total_sum / n;
+                if gain > best.map_or(config.min_gain, |(_, _, g)| g) {
+                    if let Some(threshold) = mapper.edge(feature, b) {
+                        best = Some((feature, threshold, gain));
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Predict a single row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Predict every row of a feature matrix.
+    pub fn predict(&self, data: &FeatureMatrix) -> Vec<f64> {
+        (0..data.n_rows()).map(|r| self.predict_row(data.row(r))).collect()
+    }
+
+    /// Number of nodes in the tree.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves in the tree.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Maximum depth actually reached.
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], id: usize) -> usize {
+            match &nodes[id] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data(n: usize) -> (FeatureMatrix, Vec<f64>) {
+        // y = 1 if x0 > 0.5 else 0, with a second noise feature.
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 / n as f64, ((i * 37) % 11) as f64])
+            .collect();
+        let targets: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
+        (FeatureMatrix::from_rows(&rows), targets)
+    }
+
+    #[test]
+    fn fits_a_step_function() {
+        let (data, targets) = step_data(200);
+        let indices: Vec<usize> = (0..200).collect();
+        let config = TreeConfig::default();
+        let mapper = BinMapper::fit(&data, config.max_bins);
+        let tree = RegressionTree::fit(&data, &targets, &indices, &config, &mapper);
+        let preds = tree.predict(&data);
+        let err: f64 = preds
+            .iter()
+            .zip(&targets)
+            .map(|(p, t)| (p - t).powi(2))
+            .sum::<f64>()
+            / 200.0;
+        assert!(err < 0.02, "err = {err}");
+        assert!(tree.depth() >= 1);
+        assert!(tree.n_leaves() >= 2);
+    }
+
+    #[test]
+    fn depth_zero_gives_single_leaf_mean() {
+        let (data, targets) = step_data(50);
+        let indices: Vec<usize> = (0..50).collect();
+        let config = TreeConfig {
+            max_depth: 0,
+            ..Default::default()
+        };
+        let mapper = BinMapper::fit(&data, config.max_bins);
+        let tree = RegressionTree::fit(&data, &targets, &indices, &config, &mapper);
+        assert_eq!(tree.n_nodes(), 1);
+        let mean = targets.iter().sum::<f64>() / 50.0;
+        assert!((tree.predict_row(&[0.1, 0.0]) - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_min_samples_leaf() {
+        let (data, targets) = step_data(40);
+        let indices: Vec<usize> = (0..40).collect();
+        let config = TreeConfig {
+            min_samples_leaf: 25,
+            ..Default::default()
+        };
+        let mapper = BinMapper::fit(&data, config.max_bins);
+        let tree = RegressionTree::fit(&data, &targets, &indices, &config, &mapper);
+        // No split can produce two leaves of 25+ samples out of 40 rows.
+        assert_eq!(tree.n_nodes(), 1);
+    }
+
+    #[test]
+    fn empty_index_set_gives_zero_leaf() {
+        let (data, targets) = step_data(10);
+        let config = TreeConfig::default();
+        let mapper = BinMapper::fit(&data, config.max_bins);
+        let tree = RegressionTree::fit(&data, &targets, &[], &config, &mapper);
+        assert_eq!(tree.predict_row(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let (data, _) = step_data(30);
+        let targets = vec![4.2; 30];
+        let indices: Vec<usize> = (0..30).collect();
+        let config = TreeConfig::default();
+        let mapper = BinMapper::fit(&data, config.max_bins);
+        let tree = RegressionTree::fit(&data, &targets, &indices, &config, &mapper);
+        for r in 0..30 {
+            assert!((tree.predict_row(data.row(r)) - 4.2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deeper_trees_fit_better() {
+        // Piecewise target with 4 levels needs depth >= 2.
+        let rows: Vec<Vec<f64>> = (0..400).map(|i| vec![i as f64 / 400.0]).collect();
+        let targets: Vec<f64> = rows.iter().map(|r| (r[0] * 4.0).floor()).collect();
+        let data = FeatureMatrix::from_rows(&rows);
+        let indices: Vec<usize> = (0..400).collect();
+        let mapper = BinMapper::fit(&data, 64);
+        let shallow = RegressionTree::fit(
+            &data,
+            &targets,
+            &indices,
+            &TreeConfig {
+                max_depth: 1,
+                ..Default::default()
+            },
+            &mapper,
+        );
+        let deep = RegressionTree::fit(
+            &data,
+            &targets,
+            &indices,
+            &TreeConfig {
+                max_depth: 4,
+                ..Default::default()
+            },
+            &mapper,
+        );
+        let err = |tree: &RegressionTree| {
+            tree.predict(&data)
+                .iter()
+                .zip(&targets)
+                .map(|(p, t)| (p - t).powi(2))
+                .sum::<f64>()
+                / 400.0
+        };
+        assert!(err(&deep) < err(&shallow) * 0.5);
+    }
+}

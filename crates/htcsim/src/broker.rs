@@ -1,0 +1,200 @@
+//! Job-to-site brokerage policies.
+
+use serde::{Deserialize, Serialize};
+
+use crate::site::SimSite;
+use crate::storage::{ReplicaCatalog, TransferModel};
+
+/// The brokerage policy deciding which site a job is dispatched to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BrokerPolicy {
+    /// Cycle through sites regardless of load or data placement
+    /// (the naive baseline).
+    RoundRobin,
+    /// Pick the site with the most free slots.
+    LeastLoaded,
+    /// Prefer sites that already hold the input dataset, falling back to the
+    /// least-loaded site when no replica site has capacity. This mirrors the
+    /// data-aware brokerage the paper's optimisation target cares about.
+    DataLocality,
+}
+
+impl BrokerPolicy {
+    /// All policies, for sweeps.
+    pub const ALL: [BrokerPolicy; 3] = [
+        BrokerPolicy::RoundRobin,
+        BrokerPolicy::LeastLoaded,
+        BrokerPolicy::DataLocality,
+    ];
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BrokerPolicy::RoundRobin => "round-robin",
+            BrokerPolicy::LeastLoaded => "least-loaded",
+            BrokerPolicy::DataLocality => "data-locality",
+        }
+    }
+
+    /// Choose a site for a job needing `cores` cores and reading `dataset`.
+    ///
+    /// Returns `None` when no site can currently accommodate the job (the
+    /// simulator then parks the job until a slot frees up).
+    pub fn choose(
+        self,
+        sites: &[SimSite],
+        cores: u32,
+        dataset: &str,
+        catalog: &ReplicaCatalog,
+        transfer: &TransferModel,
+        bytes: f64,
+        round_robin_cursor: &mut usize,
+    ) -> Option<usize> {
+        let feasible: Vec<usize> = sites
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.can_run(cores))
+            .map(|(i, _)| i)
+            .collect();
+        if feasible.is_empty() {
+            return None;
+        }
+        match self {
+            BrokerPolicy::RoundRobin => {
+                // Advance the cursor until we land on a feasible site.
+                for _ in 0..sites.len() {
+                    let candidate = *round_robin_cursor % sites.len();
+                    *round_robin_cursor += 1;
+                    if feasible.contains(&candidate) {
+                        return Some(candidate);
+                    }
+                }
+                feasible.first().copied()
+            }
+            BrokerPolicy::LeastLoaded => feasible
+                .into_iter()
+                .max_by(|&a, &b| {
+                    sites[a]
+                        .free_slots()
+                        .cmp(&sites[b].free_slots())
+                        .then_with(|| b.cmp(&a))
+                }),
+            BrokerPolicy::DataLocality => {
+                // Score = estimated hours lost to transfer minus a small bonus
+                // for free capacity; lower is better.
+                feasible.into_iter().min_by(|&a, &b| {
+                    let cost = |i: usize| {
+                        let local = catalog.has_replica(dataset, i);
+                        let t = transfer.transfer_hours(bytes, local);
+                        t - 1e-3 * sites[i].free_slots() as f64
+                    };
+                    cost(*&a)
+                        .partial_cmp(&cost(*&b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites() -> Vec<SimSite> {
+        vec![
+            SimSite::new("A", 10, 15.0),
+            SimSite::new("B", 10, 15.0),
+            SimSite::new("C", 4, 15.0),
+        ]
+    }
+
+    #[test]
+    fn round_robin_cycles_through_sites() {
+        let sites = sites();
+        let catalog = ReplicaCatalog::new();
+        let transfer = TransferModel::default();
+        let mut cursor = 0;
+        let picks: Vec<usize> = (0..6)
+            .map(|_| {
+                BrokerPolicy::RoundRobin
+                    .choose(&sites, 1, "ds", &catalog, &transfer, 1e9, &mut cursor)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_loaded_prefers_free_capacity() {
+        let mut sites = sites();
+        sites[0].acquire(9);
+        sites[1].acquire(2);
+        let catalog = ReplicaCatalog::new();
+        let transfer = TransferModel::default();
+        let mut cursor = 0;
+        let pick = BrokerPolicy::LeastLoaded
+            .choose(&sites, 1, "ds", &catalog, &transfer, 1e9, &mut cursor)
+            .unwrap();
+        assert_eq!(pick, 1);
+    }
+
+    #[test]
+    fn data_locality_prefers_replica_site() {
+        let sites = sites();
+        let mut catalog = ReplicaCatalog::new();
+        catalog.add_replica("ds", 2);
+        let transfer = TransferModel::default();
+        let mut cursor = 0;
+        let pick = BrokerPolicy::DataLocality
+            .choose(&sites, 1, "ds", &catalog, &transfer, 5e11, &mut cursor)
+            .unwrap();
+        assert_eq!(pick, 2);
+    }
+
+    #[test]
+    fn data_locality_falls_back_when_replica_site_is_full() {
+        let mut sites = sites();
+        sites[2].acquire(4); // replica site has no free slots
+        let mut catalog = ReplicaCatalog::new();
+        catalog.add_replica("ds", 2);
+        let transfer = TransferModel::default();
+        let mut cursor = 0;
+        let pick = BrokerPolicy::DataLocality
+            .choose(&sites, 1, "ds", &catalog, &transfer, 5e11, &mut cursor)
+            .unwrap();
+        assert_ne!(pick, 2);
+    }
+
+    #[test]
+    fn no_capacity_returns_none() {
+        let mut sites = sites();
+        for s in &mut sites {
+            let slots = s.slots;
+            s.acquire(slots);
+        }
+        let catalog = ReplicaCatalog::new();
+        let transfer = TransferModel::default();
+        let mut cursor = 0;
+        for policy in BrokerPolicy::ALL {
+            assert!(policy
+                .choose(&sites, 1, "ds", &catalog, &transfer, 1e9, &mut cursor)
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn oversized_jobs_skip_small_sites() {
+        let sites = sites();
+        let catalog = ReplicaCatalog::new();
+        let transfer = TransferModel::default();
+        let mut cursor = 0;
+        // 8 cores cannot fit on site C (4 slots).
+        for _ in 0..10 {
+            let pick = BrokerPolicy::RoundRobin
+                .choose(&sites, 8, "ds", &catalog, &transfer, 1e9, &mut cursor)
+                .unwrap();
+            assert_ne!(pick, 2);
+        }
+    }
+}

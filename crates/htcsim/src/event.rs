@@ -1,0 +1,143 @@
+//! The time-ordered event queue driving the simulation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A job enters the brokerage queue.
+    JobArrival {
+        /// Index into the simulator's job list.
+        job: usize,
+    },
+    /// A job's input transfer completes and the job can start computing.
+    TransferComplete {
+        /// Index into the simulator's job list.
+        job: usize,
+        /// Site the job was brokered to.
+        site: usize,
+    },
+    /// A job finishes and frees its slot.
+    JobFinish {
+        /// Index into the simulator's job list.
+        job: usize,
+        /// Site the job ran on.
+        site: usize,
+    },
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Simulation time in hours.
+    pub time: f64,
+    /// Monotone sequence number breaking ties deterministically.
+    pub sequence: u64,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap of events keyed by time (ties broken by insertion order).
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_sequence: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule an event at an absolute time.
+    pub fn push(&mut self, time: f64, kind: EventKind) {
+        assert!(time.is_finite(), "event time must be finite");
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        self.heap.push(Event {
+            time,
+            sequence,
+            kind,
+        });
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(5.0, EventKind::JobArrival { job: 0 });
+        q.push(1.0, EventKind::JobArrival { job: 1 });
+        q.push(3.0, EventKind::JobArrival { job: 2 });
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(order, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(2.0, EventKind::JobArrival { job: 10 });
+        q.push(2.0, EventKind::JobArrival { job: 20 });
+        let first = q.pop().unwrap();
+        let second = q.pop().unwrap();
+        assert_eq!(first.kind, EventKind::JobArrival { job: 10 });
+        assert_eq!(second.kind, EventKind::JobArrival { job: 20 });
+    }
+
+    #[test]
+    fn len_and_empty_track_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1.0, EventKind::JobFinish { job: 0, site: 0 });
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "event time must be finite")]
+    fn non_finite_time_panics() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, EventKind::JobArrival { job: 0 });
+    }
+}

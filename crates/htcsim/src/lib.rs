@@ -1,0 +1,32 @@
+//! Event-driven simulator of a distributed high-throughput-computing grid.
+//!
+//! The paper motivates its surrogate models as a safe source of training and
+//! calibration data for optimising *data placement and job allocation* on the
+//! globally distributed ATLAS computing grid (Fig. 2), and explicitly lists
+//! "more realistic workload inputs to calibrate large-scale event-based
+//! simulations" as a use of the synthetic data. This crate is that
+//! downstream consumer: a discrete-event simulation of computing sites with
+//! bounded execution slots, a replica catalogue with wide-area transfer
+//! costs, and pluggable brokerage policies. Feeding it a real workload and a
+//! surrogate-generated workload and comparing the simulator's responses is an
+//! additional, application-level check of surrogate fidelity (the
+//! `downstream` experiment binary).
+//!
+//! * [`event`] — the time-ordered event queue,
+//! * [`site`] — execution sites with slot accounting,
+//! * [`storage`] — dataset replica catalogue and the transfer-time model,
+//! * [`broker`] — job-to-site brokerage policies,
+//! * [`sim`] — the [`GridSimulator`](sim::GridSimulator) main loop and its
+//!   summary report.
+
+pub mod broker;
+pub mod event;
+pub mod sim;
+pub mod site;
+pub mod storage;
+
+pub use broker::BrokerPolicy;
+pub use event::{Event, EventKind, EventQueue};
+pub use sim::{GridSimulator, SimConfig, SimJob, SimReport};
+pub use site::SimSite;
+pub use storage::{ReplicaCatalog, TransferModel};

@@ -1,0 +1,110 @@
+//! Execution sites with slot accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Runtime state of one computing site in the simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimSite {
+    /// Site name.
+    pub name: String,
+    /// Total execution slots (cores available to the simulated share).
+    pub slots: u32,
+    /// Slots currently occupied.
+    pub busy: u32,
+    /// HS23 benchmark score per core.
+    pub hs23_per_core: f64,
+    /// Cumulative core-hours delivered (for utilisation accounting).
+    pub core_hours_delivered: f64,
+    /// Number of jobs completed at this site.
+    pub jobs_completed: u64,
+}
+
+impl SimSite {
+    /// New idle site.
+    pub fn new(name: impl Into<String>, slots: u32, hs23_per_core: f64) -> Self {
+        assert!(slots > 0, "a site needs at least one slot");
+        assert!(hs23_per_core > 0.0, "HS23 score must be positive");
+        Self {
+            name: name.into(),
+            slots,
+            busy: 0,
+            hs23_per_core,
+            core_hours_delivered: 0.0,
+            jobs_completed: 0,
+        }
+    }
+
+    /// Free slots right now.
+    pub fn free_slots(&self) -> u32 {
+        self.slots - self.busy
+    }
+
+    /// Whether the site can start a job needing `cores` cores.
+    pub fn can_run(&self, cores: u32) -> bool {
+        self.free_slots() >= cores
+    }
+
+    /// Occupy `cores` slots.
+    pub fn acquire(&mut self, cores: u32) {
+        assert!(self.can_run(cores), "site {} over-committed", self.name);
+        self.busy += cores;
+    }
+
+    /// Release `cores` slots after a job of `wall_hours` finished.
+    pub fn release(&mut self, cores: u32, wall_hours: f64) {
+        assert!(self.busy >= cores, "releasing more cores than busy");
+        self.busy -= cores;
+        self.core_hours_delivered += cores as f64 * wall_hours;
+        self.jobs_completed += 1;
+    }
+
+    /// Fraction of total slot-hours used over a horizon.
+    pub fn utilization(&self, horizon_hours: f64) -> f64 {
+        if horizon_hours <= 0.0 {
+            return 0.0;
+        }
+        (self.core_hours_delivered / (self.slots as f64 * horizon_hours)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_accounting() {
+        let mut s = SimSite::new("BNL", 10, 17.0);
+        assert_eq!(s.free_slots(), 10);
+        assert!(s.can_run(8));
+        s.acquire(8);
+        assert_eq!(s.free_slots(), 2);
+        assert!(!s.can_run(4));
+        s.release(8, 2.0);
+        assert_eq!(s.free_slots(), 10);
+        assert_eq!(s.jobs_completed, 1);
+        assert!((s.core_hours_delivered - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let mut s = SimSite::new("T2", 4, 12.0);
+        s.acquire(4);
+        s.release(4, 10.0);
+        assert!((s.utilization(20.0) - 0.5).abs() < 1e-12);
+        assert_eq!(s.utilization(0.0), 0.0);
+        assert!(s.utilization(1.0) <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-committed")]
+    fn overcommit_panics() {
+        let mut s = SimSite::new("X", 2, 10.0);
+        s.acquire(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_panics() {
+        let _ = SimSite::new("X", 0, 10.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Dataset replica catalogue and wide-area transfer model.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Which sites hold a replica of each dataset.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReplicaCatalog {
+    replicas: HashMap<String, Vec<usize>>,
+}
+
+impl ReplicaCatalog {
+    /// Empty catalogue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a replica of `dataset` at `site`.
+    pub fn add_replica(&mut self, dataset: &str, site: usize) {
+        let entry = self.replicas.entry(dataset.to_string()).or_default();
+        if !entry.contains(&site) {
+            entry.push(site);
+        }
+    }
+
+    /// Sites holding a replica of `dataset` (empty if unknown).
+    pub fn sites_with(&self, dataset: &str) -> &[usize] {
+        self.replicas
+            .get(dataset)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Whether `site` already holds `dataset`.
+    pub fn has_replica(&self, dataset: &str, site: usize) -> bool {
+        self.sites_with(dataset).contains(&site)
+    }
+
+    /// Number of datasets known to the catalogue.
+    pub fn n_datasets(&self) -> usize {
+        self.replicas.len()
+    }
+}
+
+/// Simple wide-area transfer cost model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TransferModel {
+    /// Effective wide-area bandwidth per transfer, in bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+    /// Fixed latency overhead per transfer, in hours.
+    pub latency_hours: f64,
+}
+
+impl Default for TransferModel {
+    fn default() -> Self {
+        Self {
+            // 1 GB/s effective per transfer stream, 5-minute setup overhead.
+            bandwidth_bytes_per_s: 1e9,
+            latency_hours: 5.0 / 60.0,
+        }
+    }
+}
+
+impl TransferModel {
+    /// Hours needed to move `bytes` to a site without a replica; zero when
+    /// the data is already local.
+    pub fn transfer_hours(&self, bytes: f64, is_local: bool) -> f64 {
+        if is_local || bytes <= 0.0 {
+            return 0.0;
+        }
+        self.latency_hours + bytes / self.bandwidth_bytes_per_s / 3600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_bookkeeping() {
+        let mut cat = ReplicaCatalog::new();
+        cat.add_replica("ds1", 0);
+        cat.add_replica("ds1", 2);
+        cat.add_replica("ds1", 0); // duplicate ignored
+        cat.add_replica("ds2", 1);
+        assert_eq!(cat.sites_with("ds1"), &[0, 2]);
+        assert!(cat.has_replica("ds1", 2));
+        assert!(!cat.has_replica("ds1", 1));
+        assert!(cat.sites_with("unknown").is_empty());
+        assert_eq!(cat.n_datasets(), 2);
+    }
+
+    #[test]
+    fn local_data_transfers_instantly() {
+        let model = TransferModel::default();
+        assert_eq!(model.transfer_hours(1e12, true), 0.0);
+        assert_eq!(model.transfer_hours(0.0, false), 0.0);
+    }
+
+    #[test]
+    fn remote_transfer_time_scales_with_bytes() {
+        let model = TransferModel {
+            bandwidth_bytes_per_s: 1e9,
+            latency_hours: 0.1,
+        };
+        let one_tb = model.transfer_hours(1e12, false);
+        let ten_tb = model.transfer_hours(1e13, false);
+        assert!(one_tb > 0.1);
+        assert!(ten_tb > 5.0 * one_tb);
+        // 1 TB at 1 GB/s is 1000 s ≈ 0.28 h plus latency.
+        assert!((one_tb - (0.1 + 1000.0 / 3600.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,315 @@
+//! Association (correlation) matrices over mixed-type tables.
+//!
+//! Following the paper (and the `dython` convention it references):
+//!
+//! * numerical–numerical pairs use the absolute **Pearson correlation**,
+//! * categorical–numerical pairs use the **correlation ratio** (η),
+//! * categorical–categorical pairs use **Theil's U** (uncertainty
+//!   coefficient), which is asymmetric; the matrix stores `U(row | col)`.
+//!
+//! The "diff-CORR" scalar of Table I is the mean element-wise L2 distance
+//! between the real and synthetic association matrices.
+
+use serde::{Deserialize, Serialize};
+use tabular::{FeatureKind, Table};
+
+/// Pearson correlation coefficient between two equally long samples.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    assert!(x.len() > 1, "need at least two samples");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx).powi(2);
+        vy += (b - my).powi(2);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    (cov / (vx.sqrt() * vy.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// Correlation ratio η between a categorical grouping and a numerical value:
+/// the square root of the between-group variance over the total variance.
+/// Lies in `[0, 1]`; 0 means the numerical distribution is identical across
+/// categories.
+pub fn correlation_ratio(codes: &[u32], values: &[f64]) -> f64 {
+    assert_eq!(codes.len(), values.len(), "length mismatch");
+    assert!(!codes.is_empty(), "empty input");
+    let cardinality = codes.iter().copied().max().unwrap_or(0) as usize + 1;
+    let mut sums = vec![0.0; cardinality];
+    let mut counts = vec![0usize; cardinality];
+    for (&c, &v) in codes.iter().zip(values) {
+        sums[c as usize] += v;
+        counts[c as usize] += 1;
+    }
+    let total_mean = values.iter().sum::<f64>() / values.len() as f64;
+    let mut between = 0.0;
+    for (s, &n) in sums.iter().zip(&counts) {
+        if n > 0 {
+            let group_mean = s / n as f64;
+            between += n as f64 * (group_mean - total_mean).powi(2);
+        }
+    }
+    let total: f64 = values.iter().map(|v| (v - total_mean).powi(2)).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    (between / total).clamp(0.0, 1.0).sqrt()
+}
+
+/// Shannon entropy (natural log) of a code histogram.
+fn entropy(counts: &[f64], total: f64) -> f64 {
+    counts
+        .iter()
+        .filter(|&&c| c > 0.0)
+        .map(|&c| {
+            let p = c / total;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Theil's uncertainty coefficient `U(x | y)`: the fraction of the entropy of
+/// `x` explained by knowing `y`. Lies in `[0, 1]` and is asymmetric.
+pub fn theils_u(x_codes: &[u32], y_codes: &[u32]) -> f64 {
+    assert_eq!(x_codes.len(), y_codes.len(), "length mismatch");
+    assert!(!x_codes.is_empty(), "empty input");
+    let n = x_codes.len() as f64;
+    let x_card = x_codes.iter().copied().max().unwrap_or(0) as usize + 1;
+    let y_card = y_codes.iter().copied().max().unwrap_or(0) as usize + 1;
+
+    let mut x_counts = vec![0.0; x_card];
+    for &c in x_codes {
+        x_counts[c as usize] += 1.0;
+    }
+    let h_x = entropy(&x_counts, n);
+    if h_x <= 0.0 {
+        return 1.0; // x is constant: trivially fully determined.
+    }
+
+    // Conditional entropy H(x | y).
+    let mut joint = vec![vec![0.0; x_card]; y_card];
+    let mut y_counts = vec![0.0; y_card];
+    for (&x, &y) in x_codes.iter().zip(y_codes) {
+        joint[y as usize][x as usize] += 1.0;
+        y_counts[y as usize] += 1.0;
+    }
+    let mut h_x_given_y = 0.0;
+    for (row, &ny) in joint.iter().zip(&y_counts) {
+        if ny > 0.0 {
+            h_x_given_y += (ny / n) * entropy(row, ny);
+        }
+    }
+    ((h_x - h_x_given_y) / h_x).clamp(0.0, 1.0)
+}
+
+/// A square association matrix over the columns of a table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssociationMatrix {
+    /// Column names, in table order.
+    pub names: Vec<String>,
+    /// Row-major association values; `values[i][j]` relates column `i` (rows)
+    /// to column `j` (columns).
+    pub values: Vec<Vec<f64>>,
+}
+
+impl AssociationMatrix {
+    /// Value relating two named columns.
+    pub fn get(&self, row: &str, col: &str) -> Option<f64> {
+        let i = self.names.iter().position(|n| n == row)?;
+        let j = self.names.iter().position(|n| n == col)?;
+        Some(self.values[i][j])
+    }
+
+    /// Mean element-wise L2 distance to another matrix over shared shape.
+    pub fn l2_diff(&self, other: &AssociationMatrix) -> f64 {
+        assert_eq!(self.names, other.names, "matrices cover different columns");
+        let mut sq = 0.0;
+        let mut count = 0usize;
+        for (ra, rb) in self.values.iter().zip(&other.values) {
+            for (&a, &b) in ra.iter().zip(rb) {
+                sq += (a - b).powi(2);
+                count += 1;
+            }
+        }
+        (sq / count as f64).sqrt()
+    }
+}
+
+/// Compute the mixed-type association matrix of a table.
+pub fn association_matrix(table: &Table) -> AssociationMatrix {
+    let schema = table.schema();
+    let names: Vec<String> = table.names().to_vec();
+    let n = names.len();
+    let mut values = vec![vec![0.0; n]; n];
+
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                values[i][j] = 1.0;
+                continue;
+            }
+            let ki = schema.features()[i].kind;
+            let kj = schema.features()[j].kind;
+            values[i][j] = match (ki, kj) {
+                (FeatureKind::Numerical, FeatureKind::Numerical) => {
+                    let x = table.numerical(&names[i]).expect("numerical column");
+                    let y = table.numerical(&names[j]).expect("numerical column");
+                    pearson(x, y).abs()
+                }
+                (FeatureKind::Categorical, FeatureKind::Numerical) => {
+                    let codes = table.codes(&names[i]).expect("categorical column");
+                    let vals = table.numerical(&names[j]).expect("numerical column");
+                    correlation_ratio(codes, vals)
+                }
+                (FeatureKind::Numerical, FeatureKind::Categorical) => {
+                    let codes = table.codes(&names[j]).expect("categorical column");
+                    let vals = table.numerical(&names[i]).expect("numerical column");
+                    correlation_ratio(codes, vals)
+                }
+                (FeatureKind::Categorical, FeatureKind::Categorical) => {
+                    let x = table.codes(&names[i]).expect("categorical column");
+                    let y = table.codes(&names[j]).expect("categorical column");
+                    theils_u(x, y)
+                }
+            };
+        }
+    }
+    AssociationMatrix { names, values }
+}
+
+/// The paper's diff-CORR: mean L2 distance between real and synthetic
+/// association matrices.
+pub fn diff_corr(real: &Table, synthetic: &Table) -> f64 {
+    let a = association_matrix(real);
+    let b = association_matrix(&synthetic.select(
+        &real.names().iter().map(String::as_str).collect::<Vec<_>>(),
+    )
+    .expect("synthetic table must contain the real table's columns"));
+    a.l2_diff(&b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabular::Column;
+
+    #[test]
+    fn pearson_known_cases() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v + 1.0).collect();
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg) + 1.0).abs() < 1e-12);
+        let constant = vec![5.0; 4];
+        assert_eq!(pearson(&x, &constant), 0.0);
+    }
+
+    #[test]
+    fn correlation_ratio_extremes() {
+        // Perfectly separated groups -> eta = 1.
+        let codes = vec![0, 0, 1, 1];
+        let values = vec![1.0, 1.0, 10.0, 10.0];
+        assert!((correlation_ratio(&codes, &values) - 1.0).abs() < 1e-12);
+        // Identical distribution in both groups -> eta = 0.
+        let values_same = vec![1.0, 2.0, 1.0, 2.0];
+        assert!(correlation_ratio(&codes, &values_same) < 1e-12);
+    }
+
+    #[test]
+    fn theils_u_extremes() {
+        // y fully determines x.
+        let x = vec![0, 0, 1, 1, 2, 2];
+        let y = vec![5, 5, 6, 6, 7, 7];
+        assert!((theils_u(&x, &y) - 1.0).abs() < 1e-12);
+        // Independent: y constant tells nothing about x.
+        let y_const = vec![0; 6];
+        assert!(theils_u(&x, &y_const) < 1e-12);
+        // Constant x is trivially determined.
+        assert!((theils_u(&y_const, &x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theils_u_is_asymmetric() {
+        // x has 2 values, y has 4 values which refine x: knowing y determines
+        // x, but knowing x leaves 1 bit of uncertainty about y.
+        let x = vec![0, 0, 1, 1];
+        let y = vec![0, 1, 2, 3];
+        assert!((theils_u(&x, &y) - 1.0).abs() < 1e-12);
+        assert!(theils_u(&y, &x) < 0.75);
+    }
+
+    fn mixed_table() -> Table {
+        let mut t = Table::new();
+        t.push_column(
+            "site",
+            Column::from_labels(&["A", "A", "B", "B", "A", "B", "A", "B"]),
+        )
+        .unwrap();
+        t.push_column(
+            "status",
+            Column::from_labels(&["ok", "ok", "bad", "bad", "ok", "bad", "ok", "bad"]),
+        )
+        .unwrap();
+        t.push_column(
+            "workload",
+            Column::Numerical(vec![1.0, 1.2, 8.0, 8.5, 0.9, 9.0, 1.1, 7.5]),
+        )
+        .unwrap();
+        t.push_column(
+            "noise",
+            Column::Numerical(vec![0.3, -0.2, 0.1, 0.4, -0.5, 0.2, 0.0, -0.1]),
+        )
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn association_matrix_structure() {
+        let t = mixed_table();
+        let m = association_matrix(&t);
+        assert_eq!(m.names.len(), 4);
+        // Diagonal is 1.
+        for i in 0..4 {
+            assert_eq!(m.values[i][i], 1.0);
+        }
+        // site and status are perfectly associated.
+        assert!(m.get("site", "status").unwrap() > 0.99);
+        // site strongly explains workload.
+        assert!(m.get("site", "workload").unwrap() > 0.9);
+        // noise is unrelated to site.
+        assert!(m.get("site", "noise").unwrap() < 0.6);
+        // All entries in [0, 1].
+        for row in &m.values {
+            for &v in row {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn diff_corr_zero_for_identical_tables() {
+        let t = mixed_table();
+        assert!(diff_corr(&t, &t) < 1e-12);
+    }
+
+    #[test]
+    fn diff_corr_detects_broken_correlations() {
+        let t = mixed_table();
+        // Shuffle workload so the site↔workload coupling is destroyed.
+        let mut broken = t.clone();
+        let workload = broken.column_mut("workload").unwrap();
+        if let Column::Numerical(v) = workload {
+            v.swap(0, 2);
+            v.swap(1, 5);
+            v.swap(4, 7);
+        }
+        assert!(diff_corr(&t, &broken) > 0.1);
+    }
+}

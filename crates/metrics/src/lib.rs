@@ -1,0 +1,36 @@
+//! Evaluation metrics for tabular generative models (§IV-B of the paper).
+//!
+//! Five quantities make up the paper's Table I:
+//!
+//! * **WD** — mean 1-D Wasserstein distance across numerical features
+//!   (computed on min-max-normalised values so features are comparable),
+//! * **JSD** — mean Jensen–Shannon divergence across categorical features,
+//! * **diff-CORR** — mean element-wise L2 difference between the real and
+//!   synthetic association matrices (Pearson for numerical–numerical,
+//!   correlation ratio for categorical–numerical, Theil's U for
+//!   categorical–categorical),
+//! * **DCR** — mean distance to the closest training record (privacy proxy;
+//!   higher is safer),
+//! * **diff-MLEF** — machine-learning efficacy gap: test MSE of a
+//!   gradient-boosted regressor trained on synthetic data minus the test MSE
+//!   of the same regressor trained on real data.
+//!
+//! [`report::evaluate_surrogate`] computes all five at once and
+//! [`report::SurrogateReport`] renders a Table-I-style row.
+
+pub mod correlation;
+pub mod dcr;
+pub mod jsd;
+pub mod mlef;
+pub mod report;
+pub mod wasserstein;
+
+pub use correlation::{
+    association_matrix, correlation_ratio, diff_corr, pearson, theils_u, AssociationMatrix,
+};
+pub use dcr::{distance_to_closest_record, DcrConfig};
+pub use jsd::{jensen_shannon_divergence, mean_jsd};
+pub use jsd::column_jsd;
+pub use mlef::{diff_mlef, mlef_mse, MlefConfig};
+pub use report::{evaluate_surrogate, EvaluationConfig, SurrogateReport};
+pub use wasserstein::{mean_wasserstein, wasserstein_1d, wasserstein_1d_normalized};

@@ -1,0 +1,212 @@
+//! Aggregated Table-I-style evaluation of a synthetic table.
+
+use serde::{Deserialize, Serialize};
+use tabular::Table;
+
+use crate::correlation::diff_corr;
+use crate::dcr::{distance_to_closest_record, DcrConfig};
+use crate::jsd::mean_jsd;
+use crate::mlef::{mlef_mse, MlefConfig};
+use crate::wasserstein::mean_wasserstein;
+
+/// Configuration of the full surrogate evaluation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EvaluationConfig {
+    /// DCR options.
+    pub dcr: DcrConfig,
+    /// MLEF options. Set to `None` to skip the (slow) MLEF probe.
+    pub mlef: Option<MlefConfig>,
+}
+
+impl EvaluationConfig {
+    /// Full paper configuration (all five metrics, paper probe settings).
+    pub fn paper() -> Self {
+        Self {
+            dcr: DcrConfig::default(),
+            mlef: Some(MlefConfig::default()),
+        }
+    }
+
+    /// Fast configuration for tests and examples.
+    pub fn fast() -> Self {
+        Self {
+            dcr: DcrConfig {
+                max_synthetic_rows: 500,
+                max_train_rows: 2_000,
+            },
+            mlef: Some(MlefConfig::fast()),
+        }
+    }
+
+    /// Distribution-only metrics (WD, JSD, diff-CORR, DCR) without MLEF.
+    pub fn without_mlef() -> Self {
+        Self {
+            dcr: DcrConfig::default(),
+            mlef: None,
+        }
+    }
+}
+
+/// One row of the paper's Table I for a single surrogate model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateReport {
+    /// Model name (e.g. "TabDDPM").
+    pub model: String,
+    /// Mean normalised Wasserstein distance over numerical features (↓).
+    pub wd: f64,
+    /// Mean Jensen–Shannon divergence over categorical features (↓).
+    pub jsd: f64,
+    /// Mean L2 difference between association matrices (↓).
+    pub diff_corr: f64,
+    /// Mean distance to the closest training record (↑ = better privacy).
+    pub dcr: f64,
+    /// MLEF(synthetic) − MLEF(train); `None` when the probe was skipped (↓).
+    pub diff_mlef: Option<f64>,
+}
+
+impl SurrogateReport {
+    /// Header matching the paper's Table I column order.
+    pub fn table_header() -> String {
+        format!(
+            "{:<12} {:>8} {:>8} {:>10} {:>8} {:>10}",
+            "Model", "WD↓", "JSD↓", "diff-CORR↓", "DCR↑", "diff-MLEF↓"
+        )
+    }
+
+    /// Render this report as one row of Table I.
+    pub fn table_row(&self) -> String {
+        let mlef = self
+            .diff_mlef
+            .map_or_else(|| "   n/a".to_string(), |v| format!("{v:10.3}"));
+        format!(
+            "{:<12} {:>8.3} {:>8.3} {:>10.3} {:>8.3} {}",
+            self.model, self.wd, self.jsd, self.diff_corr, self.dcr, mlef
+        )
+    }
+}
+
+/// Evaluate a synthetic table against the real train/test split, producing
+/// one Table-I row.
+pub fn evaluate_surrogate(
+    model_name: &str,
+    train: &Table,
+    test: &Table,
+    synthetic: &Table,
+    config: &EvaluationConfig,
+) -> SurrogateReport {
+    let wd = mean_wasserstein(train, synthetic);
+    let jsd = mean_jsd(train, synthetic);
+    let corr = diff_corr(train, synthetic);
+    let dcr = distance_to_closest_record(train, synthetic, config.dcr);
+    let diff_mlef = config.mlef.as_ref().map(|mlef_config| {
+        let base = mlef_mse(train, test, mlef_config);
+        let synth = mlef_mse(synthetic, test, mlef_config);
+        synth - base
+    });
+    SurrogateReport {
+        model: model_name.to_string(),
+        wd,
+        jsd,
+        diff_corr: corr,
+        dcr,
+        diff_mlef,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tabular::Column;
+
+    fn toy(n: usize, seed: u64) -> Table {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sites = ["BNL", "CERN", "SLAC"];
+        let mut labels = Vec::new();
+        let mut workload = Vec::new();
+        let mut nfiles = Vec::new();
+        for _ in 0..n {
+            let s = rng.gen_range(0..3);
+            let f = rng.gen_range(1.0..50.0f64);
+            labels.push(sites[s]);
+            nfiles.push(f);
+            workload.push((s as f64 + 1.0) * 10.0 * f * rng.gen_range(0.8..1.2));
+        }
+        let mut t = Table::new();
+        t.push_column("computingsite", Column::from_labels(&labels)).unwrap();
+        t.push_column("ninputdatafiles", Column::Numerical(nfiles)).unwrap();
+        t.push_column("workload", Column::Numerical(workload)).unwrap();
+        t
+    }
+
+    #[test]
+    fn perfect_copy_scores_perfectly_except_privacy() {
+        let train = toy(400, 1);
+        let test = toy(150, 2);
+        let report = evaluate_surrogate("copy", &train, &test, &train, &EvaluationConfig::fast());
+        assert!(report.wd < 1e-9);
+        assert!(report.jsd < 1e-9);
+        assert!(report.diff_corr < 1e-9);
+        assert!(report.dcr < 1e-9, "copying training rows has no privacy");
+        assert!(report.diff_mlef.unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_resample_beats_noise_on_fidelity() {
+        let train = toy(400, 3);
+        let test = toy(150, 4);
+        // A fresh draw from the same process (good surrogate).
+        let fresh = toy(400, 5);
+        // Pure noise: shuffle workload against the rest (bad surrogate).
+        let mut noise = fresh.clone();
+        if let Column::Numerical(v) = noise.column_mut("workload").unwrap() {
+            v.reverse();
+        }
+        let cfg = EvaluationConfig::fast();
+        let good = evaluate_surrogate("fresh", &train, &test, &fresh, &cfg);
+        let bad = evaluate_surrogate("noise", &train, &test, &noise, &cfg);
+        assert!(good.diff_corr < bad.diff_corr);
+        assert!(good.diff_mlef.unwrap() < bad.diff_mlef.unwrap());
+        // The fresh draw does not copy training rows.
+        assert!(good.dcr > 1e-3);
+    }
+
+    #[test]
+    fn report_rendering_contains_all_columns() {
+        let header = SurrogateReport::table_header();
+        assert!(header.contains("WD"));
+        assert!(header.contains("diff-MLEF"));
+        let report = SurrogateReport {
+            model: "TVAE".to_string(),
+            wd: 0.961,
+            jsd: 0.806,
+            diff_corr: 0.653,
+            dcr: 0.143,
+            diff_mlef: Some(5.875),
+        };
+        let row = report.table_row();
+        assert!(row.contains("TVAE"));
+        assert!(row.contains("0.961"));
+        assert!(row.contains("5.875"));
+        let no_mlef = SurrogateReport {
+            diff_mlef: None,
+            ..report
+        };
+        assert!(no_mlef.table_row().contains("n/a"));
+    }
+
+    #[test]
+    fn without_mlef_skips_probe() {
+        let train = toy(200, 6);
+        let test = toy(80, 7);
+        let report = evaluate_surrogate(
+            "copy",
+            &train,
+            &test,
+            &train,
+            &EvaluationConfig::without_mlef(),
+        );
+        assert!(report.diff_mlef.is_none());
+    }
+}

@@ -1,0 +1,158 @@
+//! 1-D Wasserstein (earth mover's) distance between samples.
+
+use tabular::Table;
+
+/// Exact 1-D Wasserstein-1 distance between two empirical distributions.
+///
+/// Computed as the L1 distance between the two empirical quantile functions,
+/// which for sorted samples reduces to an interleaved CDF sweep. Handles
+/// samples of different sizes.
+pub fn wasserstein_1d(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "empty sample");
+    let mut xs: Vec<f64> = a.iter().copied().filter(|v| v.is_finite()).collect();
+    let mut ys: Vec<f64> = b.iter().copied().filter(|v| v.is_finite()).collect();
+    assert!(!xs.is_empty() && !ys.is_empty(), "no finite samples");
+    xs.sort_by(|p, q| p.partial_cmp(q).expect("finite"));
+    ys.sort_by(|p, q| p.partial_cmp(q).expect("finite"));
+
+    // Sweep over the merged support, integrating |F_a(t) - F_b(t)| dt.
+    let mut distance = 0.0;
+    let (mut i, mut j) = (0usize, 0usize);
+    let (na, nb) = (xs.len() as f64, ys.len() as f64);
+    let mut prev = xs[0].min(ys[0]);
+    while i < xs.len() || j < ys.len() {
+        let next = match (xs.get(i), ys.get(j)) {
+            (Some(&x), Some(&y)) => x.min(y),
+            (Some(&x), None) => x,
+            (None, Some(&y)) => y,
+            (None, None) => break,
+        };
+        let cdf_a = i as f64 / na;
+        let cdf_b = j as f64 / nb;
+        distance += (cdf_a - cdf_b).abs() * (next - prev);
+        prev = next;
+        while i < xs.len() && xs[i] <= next {
+            i += 1;
+        }
+        while j < ys.len() && ys[j] <= next {
+            j += 1;
+        }
+    }
+    distance
+}
+
+/// Wasserstein distance after min-max normalising both samples with the
+/// range of the *reference* sample `a`, so distances are comparable across
+/// features with wildly different scales (bytes vs. days). This is the value
+/// aggregated into the paper's "WD" column.
+pub fn wasserstein_1d_normalized(a: &[f64], b: &[f64]) -> f64 {
+    let min = a.iter().copied().filter(|v| v.is_finite()).fold(f64::INFINITY, f64::min);
+    let max = a
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span = if (max - min).abs() < 1e-300 { 1.0 } else { max - min };
+    let na: Vec<f64> = a.iter().map(|v| (v - min) / span).collect();
+    let nb: Vec<f64> = b.iter().map(|v| (v - min) / span).collect();
+    wasserstein_1d(&na, &nb)
+}
+
+/// Mean normalised Wasserstein distance across all shared numerical columns
+/// of two tables.
+pub fn mean_wasserstein(real: &Table, synthetic: &Table) -> f64 {
+    let schema = real.schema();
+    let numeric = schema.numerical_names();
+    assert!(!numeric.is_empty(), "no numerical columns to compare");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for name in numeric {
+        let (Ok(a), Ok(b)) = (real.numerical(name), synthetic.numerical(name)) else {
+            continue;
+        };
+        total += wasserstein_1d_normalized(a, b);
+        count += 1;
+    }
+    assert!(count > 0, "synthetic table shares no numerical columns");
+    total / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabular::Column;
+
+    #[test]
+    fn identical_samples_have_zero_distance() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        assert!(wasserstein_1d(&a, &a) < 1e-12);
+    }
+
+    #[test]
+    fn shifted_point_masses_have_distance_equal_to_shift() {
+        let a = vec![0.0; 100];
+        let b = vec![2.5; 100];
+        assert!((wasserstein_1d(&a, &b) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_vs_shifted_uniform() {
+        // U[0,1] vs U[1,2] has W1 = 1.
+        let a: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
+        let b: Vec<f64> = a.iter().map(|v| v + 1.0).collect();
+        assert!((wasserstein_1d(&a, &b) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = vec![0.0, 1.0, 2.0, 5.0, 9.0];
+        let b = vec![0.5, 1.5, 3.0, 3.5];
+        assert!((wasserstein_1d(&a, &b) - wasserstein_1d(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_like_monotonicity() {
+        // Moving b further away increases the distance.
+        let a = vec![0.0, 1.0, 2.0];
+        let near: Vec<f64> = a.iter().map(|v| v + 0.5).collect();
+        let far: Vec<f64> = a.iter().map(|v| v + 5.0).collect();
+        assert!(wasserstein_1d(&a, &far) > wasserstein_1d(&a, &near));
+    }
+
+    #[test]
+    fn normalized_distance_is_scale_invariant() {
+        let a = vec![0.0, 10.0, 20.0, 30.0];
+        let b = vec![5.0, 15.0, 25.0, 35.0];
+        let a_big: Vec<f64> = a.iter().map(|v| v * 1e9).collect();
+        let b_big: Vec<f64> = b.iter().map(|v| v * 1e9).collect();
+        let d_small = wasserstein_1d_normalized(&a, &b);
+        let d_big = wasserstein_1d_normalized(&a_big, &b_big);
+        assert!((d_small - d_big).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_wasserstein_over_table() {
+        let mut real = Table::new();
+        real.push_column("x", Column::Numerical(vec![0.0, 1.0, 2.0, 3.0]))
+            .unwrap();
+        real.push_column("y", Column::Numerical(vec![10.0, 11.0, 12.0, 13.0]))
+            .unwrap();
+        let synthetic = real.clone();
+        assert!(mean_wasserstein(&real, &synthetic) < 1e-12);
+
+        let mut shifted = Table::new();
+        shifted
+            .push_column("x", Column::Numerical(vec![3.0, 4.0, 5.0, 6.0]))
+            .unwrap();
+        shifted
+            .push_column("y", Column::Numerical(vec![10.0, 11.0, 12.0, 13.0]))
+            .unwrap();
+        assert!(mean_wasserstein(&real, &shifted) > 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = wasserstein_1d(&[], &[1.0]);
+    }
+}

@@ -1,0 +1,281 @@
+//! Linear layers and activations with manual forward/backward passes.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// Activation applied element-wise after a linear layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// No non-linearity.
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// Leaky ReLU with slope 0.2 on the negative side (the slope CTGAN-family
+    /// generators conventionally use).
+    LeakyRelu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Apply the activation.
+    pub fn forward(self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::LeakyRelu => {
+                if x >= 0.0 {
+                    x
+                } else {
+                    0.2 * x
+                }
+            }
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Derivative of the activation expressed in terms of the *pre-activation*
+    /// input `x`.
+    pub fn derivative(self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu => {
+                if x >= 0.0 {
+                    1.0
+                } else {
+                    0.2
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Sigmoid => {
+                let s = 1.0 / (1.0 + (-x).exp());
+                s * (1.0 - s)
+            }
+        }
+    }
+}
+
+/// Interface shared by trainable layers.
+pub trait Layer {
+    /// Forward pass on a batch (rows are samples).
+    fn forward(&mut self, input: &Matrix) -> Matrix;
+    /// Backward pass: given dL/d(output), accumulate parameter gradients and
+    /// return dL/d(input). Must be called after `forward` on the same batch.
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix;
+    /// Number of trainable parameters.
+    fn n_params(&self) -> usize;
+}
+
+/// Fully connected layer `y = act(x·W + b)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearLayer {
+    /// Weight matrix, shape (in_dim × out_dim).
+    pub weights: Matrix,
+    /// Bias vector, length out_dim.
+    pub bias: Vec<f64>,
+    /// Activation applied after the affine map.
+    pub activation: Activation,
+    /// Accumulated dL/dW from the last backward pass.
+    pub grad_weights: Matrix,
+    /// Accumulated dL/db from the last backward pass.
+    pub grad_bias: Vec<f64>,
+    #[serde(skip)]
+    cache_input: Option<Matrix>,
+    #[serde(skip)]
+    cache_pre_activation: Option<Matrix>,
+}
+
+impl LinearLayer {
+    /// Create a layer with He/Xavier-style initialisation: weights are
+    /// `N(0, 2/(in+out))`, biases start at zero.
+    pub fn new<R: Rng>(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut R) -> Self {
+        let std = (2.0 / (in_dim + out_dim) as f64).sqrt();
+        Self {
+            weights: Matrix::randn(in_dim, out_dim, std, rng),
+            bias: vec![0.0; out_dim],
+            activation,
+            grad_weights: Matrix::zeros(in_dim, out_dim),
+            grad_bias: vec![0.0; out_dim],
+            cache_input: None,
+            cache_pre_activation: None,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Forward pass without storing caches (inference only).
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        let act = self.activation;
+        input
+            .matmul(&self.weights)
+            .add_row_vector(&self.bias)
+            .map(|v| act.forward(v))
+    }
+}
+
+impl Layer for LinearLayer {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let pre = input.matmul(&self.weights).add_row_vector(&self.bias);
+        let act = self.activation;
+        let out = pre.map(|v| act.forward(v));
+        self.cache_input = Some(input.clone());
+        self.cache_pre_activation = Some(pre);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .cache_input
+            .as_ref()
+            .expect("backward called before forward");
+        let pre = self
+            .cache_pre_activation
+            .as_ref()
+            .expect("backward called before forward");
+        let act = self.activation;
+        // dL/d(pre) = dL/d(out) * act'(pre)
+        let grad_pre = grad_output.zip(pre, |g, p| g * act.derivative(p));
+        self.grad_weights = input.transpose().matmul(&grad_pre);
+        self.grad_bias = grad_pre.sum_rows();
+        grad_pre.matmul(&self.weights.transpose())
+    }
+
+    fn n_params(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn activations_and_derivatives() {
+        assert_eq!(Activation::Relu.forward(-1.0), 0.0);
+        assert_eq!(Activation::Relu.forward(2.0), 2.0);
+        assert_eq!(Activation::Relu.derivative(-1.0), 0.0);
+        assert!((Activation::LeakyRelu.forward(-1.0) + 0.2).abs() < 1e-12);
+        assert!((Activation::Sigmoid.forward(0.0) - 0.5).abs() < 1e-12);
+        assert!((Activation::Sigmoid.derivative(0.0) - 0.25).abs() < 1e-12);
+        assert!((Activation::Tanh.derivative(0.0) - 1.0).abs() < 1e-12);
+        assert_eq!(Activation::Identity.derivative(5.0), 1.0);
+    }
+
+    #[test]
+    fn forward_shape_and_determinism() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = LinearLayer::new(4, 3, Activation::Relu, &mut rng);
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0], vec![0.0, -1.0, 0.5, 2.0]]);
+        let y1 = layer.forward(&x);
+        let y2 = layer.infer(&x);
+        assert_eq!(y1.rows(), 2);
+        assert_eq!(y1.cols(), 3);
+        assert_eq!(y1, y2);
+        assert_eq!(layer.in_dim(), 4);
+        assert_eq!(layer.out_dim(), 3);
+        assert_eq!(layer.n_params(), 15);
+    }
+
+    /// Numerical gradient check: perturb each weight and compare the finite
+    /// difference of a scalar loss with the analytic gradient.
+    #[test]
+    fn backward_matches_numerical_gradient() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = LinearLayer::new(3, 2, Activation::Tanh, &mut rng);
+        let x = Matrix::randn(5, 3, 1.0, &mut rng);
+        let target = Matrix::randn(5, 2, 1.0, &mut rng);
+
+        let loss_of = |layer: &LinearLayer, x: &Matrix| -> f64 {
+            let out = layer.infer(x);
+            out.sub(&target).map(|v| v * v).mean()
+        };
+
+        // Analytic gradients.
+        let out = layer.forward(&x);
+        let grad_out = out.sub(&target).scale(2.0 / (out.len() as f64));
+        let grad_in = layer.backward(&grad_out);
+
+        let eps = 1e-6;
+        // Check a handful of weight entries.
+        for &(r, c) in &[(0usize, 0usize), (1, 1), (2, 0)] {
+            let orig = layer.weights.get(r, c);
+            layer.weights.set(r, c, orig + eps);
+            let lp = loss_of(&layer, &x);
+            layer.weights.set(r, c, orig - eps);
+            let lm = loss_of(&layer, &x);
+            layer.weights.set(r, c, orig);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = layer.grad_weights.get(r, c);
+            assert!(
+                (numeric - analytic).abs() < 1e-5,
+                "weight ({r},{c}): numeric {numeric} analytic {analytic}"
+            );
+        }
+
+        // Check an input gradient entry.
+        let mut x2 = x.clone();
+        let orig = x2.get(2, 1);
+        x2.set(2, 1, orig + eps);
+        let lp = loss_of(&layer, &x2);
+        x2.set(2, 1, orig - eps);
+        let lm = loss_of(&layer, &x2);
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!((numeric - grad_in.get(2, 1)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bias_gradient_matches_numerical() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = LinearLayer::new(2, 2, Activation::Sigmoid, &mut rng);
+        let x = Matrix::randn(4, 2, 1.0, &mut rng);
+
+        let loss_of = |layer: &LinearLayer| layer.infer(&x).map(|v| v * v).mean();
+
+        let out = layer.forward(&x);
+        let grad_out = out.scale(2.0 / out.len() as f64);
+        layer.backward(&grad_out);
+
+        let eps = 1e-6;
+        let orig = layer.bias[1];
+        layer.bias[1] = orig + eps;
+        let lp = loss_of(&layer);
+        layer.bias[1] = orig - eps;
+        let lm = loss_of(&layer);
+        layer.bias[1] = orig;
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!((numeric - layer.grad_bias[1]).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_before_forward_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = LinearLayer::new(2, 2, Activation::Relu, &mut rng);
+        let _ = layer.backward(&Matrix::zeros(1, 2));
+    }
+}

@@ -1,0 +1,39 @@
+//! Minimal from-scratch neural-network substrate.
+//!
+//! The surrogate models in the paper — TVAE (variational autoencoder),
+//! CTABGAN+ (conditional GAN) and TabDDPM (diffusion model with MLP
+//! denoiser) — are all built out of multi-layer perceptrons. This crate
+//! provides exactly the pieces those models need, with no external ML
+//! framework:
+//!
+//! * [`matrix`] — a dense row-major `f64` matrix with rayon-parallel matmul,
+//! * [`layer`] — linear layers and activation functions with manual
+//!   forward/backward passes,
+//! * [`mlp`] — a composable feed-forward network,
+//! * [`loss`] — MSE, binary/softmax cross-entropy and the Gaussian KL term
+//!   used by the VAE,
+//! * [`optim`] — SGD and Adam,
+//! * [`schedule`] — cosine learning-rate decay (the schedule the paper
+//!   trains with),
+//! * [`sample`] — Gaussian / Gumbel-softmax sampling helpers.
+//!
+//! Everything is deterministic given an RNG seed, which the tests and the
+//! experiment harness rely on.
+
+pub mod layer;
+pub mod loss;
+pub mod matrix;
+pub mod mlp;
+pub mod optim;
+pub mod sample;
+pub mod schedule;
+
+pub use layer::{Activation, Layer, LinearLayer};
+pub use loss::{
+    bce_with_logits, gaussian_kl, mse_loss, softmax_cross_entropy, softmax_rows,
+};
+pub use matrix::Matrix;
+pub use mlp::{Mlp, MlpConfig};
+pub use optim::{Adam, AdamConfig, Optimizer, Sgd};
+pub use sample::{gumbel_softmax, standard_normal_matrix};
+pub use schedule::{ConstantLr, CosineDecay, LrSchedule};

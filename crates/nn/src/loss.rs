@@ -1,0 +1,175 @@
+//! Loss functions returning `(scalar_loss, dL/d(prediction))` pairs.
+
+use crate::matrix::Matrix;
+
+/// Mean squared error over all elements.
+pub fn mse_loss(prediction: &Matrix, target: &Matrix) -> (f64, Matrix) {
+    assert_eq!(prediction.rows(), target.rows(), "mse shape mismatch");
+    assert_eq!(prediction.cols(), target.cols(), "mse shape mismatch");
+    let n = prediction.len() as f64;
+    let diff = prediction.sub(target);
+    let loss = diff.data().iter().map(|d| d * d).sum::<f64>() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Numerically stable binary cross-entropy on raw logits, averaged over all
+/// elements. `target` entries must lie in `[0, 1]`.
+pub fn bce_with_logits(logits: &Matrix, target: &Matrix) -> (f64, Matrix) {
+    assert_eq!(logits.rows(), target.rows(), "bce shape mismatch");
+    assert_eq!(logits.cols(), target.cols(), "bce shape mismatch");
+    let n = logits.len() as f64;
+    let mut loss = 0.0;
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    for (i, (&z, &t)) in logits.data().iter().zip(target.data()).enumerate() {
+        // log(1 + e^-|z|) + max(z, 0) - z t  (stable form)
+        loss += z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln();
+        let sigma = 1.0 / (1.0 + (-z).exp());
+        grad.data_mut()[i] = (sigma - t) / n;
+    }
+    (loss / n, grad)
+}
+
+/// Row-wise softmax.
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Softmax cross-entropy where each *row block* of the target is a one-hot
+/// (or soft) distribution. Returns the mean loss over rows and the gradient
+/// with respect to the logits.
+pub fn softmax_cross_entropy(logits: &Matrix, target: &Matrix) -> (f64, Matrix) {
+    assert_eq!(logits.rows(), target.rows(), "ce shape mismatch");
+    assert_eq!(logits.cols(), target.cols(), "ce shape mismatch");
+    let probs = softmax_rows(logits);
+    let n = logits.rows() as f64;
+    let mut loss = 0.0;
+    for (p, t) in probs.data().iter().zip(target.data()) {
+        if *t > 0.0 {
+            loss -= t * p.max(1e-12).ln();
+        }
+    }
+    let grad = probs.sub(target).scale(1.0 / n);
+    (loss / n, grad)
+}
+
+/// KL divergence between `N(mu, exp(logvar))` and the standard normal,
+/// summed over latent dimensions and averaged over rows — the regulariser in
+/// the TVAE objective. Returns the loss and the gradients with respect to
+/// `mu` and `logvar`.
+pub fn gaussian_kl(mu: &Matrix, logvar: &Matrix) -> (f64, Matrix, Matrix) {
+    assert_eq!(mu.rows(), logvar.rows(), "kl shape mismatch");
+    assert_eq!(mu.cols(), logvar.cols(), "kl shape mismatch");
+    let n = mu.rows() as f64;
+    let mut loss = 0.0;
+    for (&m, &lv) in mu.data().iter().zip(logvar.data()) {
+        loss += -0.5 * (1.0 + lv - m * m - lv.exp());
+    }
+    let grad_mu = mu.scale(1.0 / n);
+    let grad_logvar = logvar.map(|lv| 0.5 * (lv.exp() - 1.0) / n);
+    (loss / n, grad_mu, grad_logvar)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_when_equal() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let (loss, grad) = mse_loss(&a, &a);
+        assert_eq!(loss, 0.0);
+        assert!(grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn mse_known_value_and_gradient() {
+        let pred = Matrix::from_rows(&[vec![2.0, 0.0]]);
+        let target = Matrix::from_rows(&[vec![0.0, 0.0]]);
+        let (loss, grad) = mse_loss(&pred, &target);
+        assert!((loss - 2.0).abs() < 1e-12);
+        assert!((grad.get(0, 0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bce_matches_manual_computation() {
+        let logits = Matrix::from_rows(&[vec![0.0]]);
+        let target = Matrix::from_rows(&[vec![1.0]]);
+        let (loss, grad) = bce_with_logits(&logits, &target);
+        assert!((loss - 2f64.ln()).abs() < 1e-12);
+        assert!((grad.get(0, 0) + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bce_stable_for_large_logits() {
+        let logits = Matrix::from_rows(&[vec![500.0, -500.0]]);
+        let target = Matrix::from_rows(&[vec![1.0, 0.0]]);
+        let (loss, grad) = bce_with_logits(&logits, &target);
+        assert!(loss.is_finite());
+        assert!(loss < 1e-6);
+        assert!(grad.data().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-1000.0, 0.0, 1000.0]]);
+        let p = softmax_rows(&logits);
+        for r in 0..2 {
+            let sum: f64 = p.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn cross_entropy_prefers_correct_class() {
+        let good = Matrix::from_rows(&[vec![5.0, 0.0, 0.0]]);
+        let bad = Matrix::from_rows(&[vec![0.0, 5.0, 0.0]]);
+        let target = Matrix::from_rows(&[vec![1.0, 0.0, 0.0]]);
+        let (lg, _) = softmax_cross_entropy(&good, &target);
+        let (lb, _) = softmax_cross_entropy(&bad, &target);
+        assert!(lg < lb);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sign() {
+        let logits = Matrix::from_rows(&[vec![0.0, 0.0]]);
+        let target = Matrix::from_rows(&[vec![1.0, 0.0]]);
+        let (_, grad) = softmax_cross_entropy(&logits, &target);
+        assert!(grad.get(0, 0) < 0.0);
+        assert!(grad.get(0, 1) > 0.0);
+    }
+
+    #[test]
+    fn gaussian_kl_zero_at_standard_normal() {
+        let mu = Matrix::zeros(3, 4);
+        let logvar = Matrix::zeros(3, 4);
+        let (loss, gm, gl) = gaussian_kl(&mu, &logvar);
+        assert!(loss.abs() < 1e-12);
+        assert!(gm.data().iter().all(|&g| g == 0.0));
+        assert!(gl.data().iter().all(|&g| g.abs() < 1e-12));
+    }
+
+    #[test]
+    fn gaussian_kl_positive_otherwise() {
+        let mu = Matrix::filled(2, 2, 1.5);
+        let logvar = Matrix::filled(2, 2, -1.0);
+        let (loss, gm, gl) = gaussian_kl(&mu, &logvar);
+        assert!(loss > 0.0);
+        assert!(gm.get(0, 0) > 0.0);
+        assert!(gl.get(0, 0) < 0.0);
+    }
+}

@@ -1,0 +1,399 @@
+//! Dense row-major `f64` matrix with the handful of operations the MLPs need.
+//!
+//! The matmul kernel is parallelised over output rows with rayon once the
+//! work is large enough to amortise the fork/join overhead; below that it
+//! stays sequential, so tiny test-sized problems do not pay for threading.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Work threshold (output cells × inner dimension) above which matmul runs
+/// in parallel.
+const PAR_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Dense row-major matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Matrix filled with a constant.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Build from a row-major vector. Panics if the length does not match.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} != {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Build from nested rows. Panics on ragged input.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for row in rows {
+            assert_eq!(row.len(), n_cols, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: n_rows,
+            cols: n_cols,
+            data,
+        }
+    }
+
+    /// Matrix with i.i.d. `N(0, std²)` entries.
+    pub fn randn<R: Rng>(rows: usize, cols: usize, std: f64, rng: &mut R) -> Self {
+        let normal = Normal::new(0.0, std).expect("std must be finite and positive");
+        let data = (0..rows * cols).map(|_| normal.sample(rng)).collect();
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat row-major data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A view of row `r`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Select a subset of rows by index (indices may repeat).
+    pub fn take_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Horizontally concatenate two matrices with equal row counts.
+    pub fn hconcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "row count mismatch in hconcat");
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Slice a contiguous range of columns.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.cols, "column slice out of range");
+        let mut out = Matrix::zeros(self.rows, end - start);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self × other`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} × {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let work = self.rows * other.cols * self.cols;
+        let n = other.cols;
+        let k = self.cols;
+
+        let kernel = |(r, out_row): (usize, &mut [f64])| {
+            let a_row = &self.data[r * k..(r + 1) * k];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        };
+
+        if work >= PAR_THRESHOLD {
+            out.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(r, out_row)| kernel((r, out_row)));
+        } else {
+            out.data
+                .chunks_mut(n)
+                .enumerate()
+                .for_each(|(r, out_row)| kernel((r, out_row)));
+        }
+        out
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, f: impl Fn(f64) -> f64 + Sync) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise binary operation with another matrix of the same shape.
+    pub fn zip(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
+        assert_eq!(self.rows, other.rows, "zip shape mismatch");
+        assert_eq!(self.cols, other.cols, "zip shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Element-wise addition.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Element-wise multiplication (Hadamard product).
+    pub fn mul(&self, other: &Matrix) -> Matrix {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Scalar multiplication.
+    pub fn scale(&self, s: f64) -> Matrix {
+        self.map(|v| v * s)
+    }
+
+    /// Add a row vector (1 × cols) to every row.
+    pub fn add_row_vector(&self, bias: &[f64]) -> Matrix {
+        assert_eq!(bias.len(), self.cols, "bias width mismatch");
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Column-wise sum, producing a vector of length `cols`.
+    pub fn sum_rows(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_small_known_result() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Matrix::randn(7, 5, 1.0, &mut rng);
+        let mut eye = Matrix::zeros(5, 5);
+        for i in 0..5 {
+            eye.set(i, i, 1.0);
+        }
+        let b = a.matmul(&eye);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmul_parallel_matches_sequential_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // Big enough to trip the parallel path.
+        let a = Matrix::randn(80, 70, 1.0, &mut rng);
+        let b = Matrix::randn(70, 90, 1.0, &mut rng);
+        let c = a.matmul(&b);
+        assert_eq!(c.rows(), 80);
+        assert_eq!(c.cols(), 90);
+        // Cross-check one element against a manual dot product.
+        let manual: f64 = (0..70).map(|k| a.get(3, k) * b.get(k, 11)).sum();
+        assert!((c.get(3, 11) - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn matmul_dimension_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Matrix::randn(4, 9, 1.0, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(5, 2), a.get(2, 5));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::filled(2, 2, 2.0);
+        assert_eq!(a.add(&b).data(), &[3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.sub(&b).data(), &[-1.0, 0.0, 1.0, 2.0]);
+        assert_eq!(a.mul(&b).data(), &[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(a.scale(0.5).data(), &[0.5, 1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn bias_and_sums() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let with_bias = a.add_row_vector(&[10.0, 20.0]);
+        assert_eq!(with_bias.data(), &[11.0, 22.0, 13.0, 24.0]);
+        assert_eq!(a.sum_rows(), vec![4.0, 6.0]);
+        assert!((a.mean() - 2.5).abs() < 1e-12);
+        assert!((a.frobenius_norm() - 30f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_selection_and_concat() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let sub = a.take_rows(&[2, 0]);
+        assert_eq!(sub.data(), &[5.0, 6.0, 1.0, 2.0]);
+        let b = Matrix::from_rows(&[vec![7.0], vec![8.0], vec![9.0]]);
+        let cat = a.hconcat(&b);
+        assert_eq!(cat.cols(), 3);
+        assert_eq!(cat.row(1), &[3.0, 4.0, 8.0]);
+        let cols = cat.slice_cols(1, 3);
+        assert_eq!(cols.row(0), &[2.0, 7.0]);
+    }
+
+    #[test]
+    fn randn_is_seeded() {
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(3);
+        assert_eq!(
+            Matrix::randn(3, 3, 1.0, &mut r1),
+            Matrix::randn(3, 3, 1.0, &mut r2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged rows")]
+    fn ragged_rows_panics() {
+        let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Composable feed-forward networks (multi-layer perceptrons).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::layer::{Activation, Layer, LinearLayer};
+use crate::matrix::Matrix;
+use crate::optim::Optimizer;
+
+/// Architecture description of an MLP.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Input width.
+    pub input_dim: usize,
+    /// Hidden layer widths (may be empty for a single linear map).
+    pub hidden: Vec<usize>,
+    /// Output width.
+    pub output_dim: usize,
+    /// Activation after every hidden layer.
+    pub hidden_activation: Activation,
+    /// Activation after the output layer (often [`Activation::Identity`]).
+    pub output_activation: Activation,
+}
+
+impl MlpConfig {
+    /// Convenience constructor with ReLU hidden layers and a linear output.
+    pub fn relu(input_dim: usize, hidden: Vec<usize>, output_dim: usize) -> Self {
+        Self {
+            input_dim,
+            hidden,
+            output_dim,
+            hidden_activation: Activation::Relu,
+            output_activation: Activation::Identity,
+        }
+    }
+}
+
+/// A stack of [`LinearLayer`]s trained with manual backpropagation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<LinearLayer>,
+}
+
+impl Mlp {
+    /// Build the network described by `config`.
+    pub fn new<R: Rng>(config: &MlpConfig, rng: &mut R) -> Self {
+        let mut dims = vec![config.input_dim];
+        dims.extend(&config.hidden);
+        dims.push(config.output_dim);
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for i in 0..dims.len() - 1 {
+            let activation = if i + 2 == dims.len() {
+                config.output_activation
+            } else {
+                config.hidden_activation
+            };
+            layers.push(LinearLayer::new(dims[i], dims[i + 1], activation, rng));
+        }
+        Self { layers }
+    }
+
+    /// The layers (read-only).
+    pub fn layers(&self) -> &[LinearLayer] {
+        &self.layers
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map_or(0, LinearLayer::in_dim)
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map_or(0, LinearLayer::out_dim)
+    }
+
+    /// Total trainable parameter count.
+    pub fn n_params(&self) -> usize {
+        self.layers.iter().map(Layer::n_params).sum()
+    }
+
+    /// Forward pass storing caches for a subsequent [`Mlp::backward`].
+    pub fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Inference-only forward pass (no caches stored).
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.infer(&x);
+        }
+        x
+    }
+
+    /// Backward pass from dL/d(output); returns dL/d(input).
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut grad = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        grad
+    }
+
+    /// Apply one optimisation step using the gradients accumulated by the
+    /// last backward pass. `param_group` namespaces the optimizer state so
+    /// several networks can share one optimizer without clobbering moments.
+    pub fn apply_gradients<O: Optimizer>(&mut self, optimizer: &mut O, param_group: usize, lr: f64) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let wkey = param_group * 1000 + i * 2;
+            let bkey = wkey + 1;
+            let grads = layer.grad_weights.data().to_vec();
+            optimizer.update(wkey, layer.weights.data_mut(), &grads, lr);
+            let bias_grads = layer.grad_bias.clone();
+            optimizer.update(bkey, &mut layer.bias, &bias_grads, lr);
+        }
+    }
+
+    /// Global L2 norm of all accumulated gradients (for clipping / logging).
+    pub fn grad_norm(&self) -> f64 {
+        let mut sq = 0.0;
+        for layer in &self.layers {
+            sq += layer.grad_weights.data().iter().map(|g| g * g).sum::<f64>();
+            sq += layer.grad_bias.iter().map(|g| g * g).sum::<f64>();
+        }
+        sq.sqrt()
+    }
+
+    /// Scale all accumulated gradients so their global norm is at most
+    /// `max_norm`.
+    pub fn clip_gradients(&mut self, max_norm: f64) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for layer in &mut self.layers {
+                layer.grad_weights = layer.grad_weights.scale(scale);
+                for g in &mut layer.grad_bias {
+                    *g *= scale;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse_loss;
+    use crate::optim::{Adam, AdamConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn architecture_matches_config() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = MlpConfig::relu(6, vec![16, 8], 3);
+        let mlp = Mlp::new(&cfg, &mut rng);
+        assert_eq!(mlp.layers().len(), 3);
+        assert_eq!(mlp.input_dim(), 6);
+        assert_eq!(mlp.output_dim(), 3);
+        assert_eq!(mlp.n_params(), 6 * 16 + 16 + 16 * 8 + 8 + 8 * 3 + 3);
+        let x = Matrix::zeros(4, 6);
+        assert_eq!(mlp.infer(&x).cols(), 3);
+    }
+
+    #[test]
+    fn forward_and_infer_agree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = MlpConfig::relu(4, vec![8], 2);
+        let mut mlp = Mlp::new(&cfg, &mut rng);
+        let x = Matrix::randn(5, 4, 1.0, &mut rng);
+        assert_eq!(mlp.forward(&x), mlp.infer(&x));
+    }
+
+    #[test]
+    fn learns_a_linear_function() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = MlpConfig::relu(2, vec![16], 1);
+        let mut mlp = Mlp::new(&cfg, &mut rng);
+        let mut adam = Adam::new(AdamConfig::default());
+
+        // y = 3 x0 - 2 x1 + 1
+        let x = Matrix::randn(256, 2, 1.0, &mut rng);
+        let y = Matrix::from_vec(
+            256,
+            1,
+            x.data()
+                .chunks(2)
+                .map(|r| 3.0 * r[0] - 2.0 * r[1] + 1.0)
+                .collect(),
+        );
+
+        let mut first_loss = 0.0;
+        let mut last_loss = 0.0;
+        for epoch in 0..300 {
+            let out = mlp.forward(&x);
+            let (loss, grad) = mse_loss(&out, &y);
+            if epoch == 0 {
+                first_loss = loss;
+            }
+            last_loss = loss;
+            mlp.backward(&grad);
+            mlp.apply_gradients(&mut adam, 0, 1e-2);
+        }
+        assert!(
+            last_loss < first_loss * 0.05,
+            "loss did not drop: {first_loss} -> {last_loss}"
+        );
+    }
+
+    #[test]
+    fn gradient_clipping_bounds_norm() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = MlpConfig::relu(3, vec![8], 2);
+        let mut mlp = Mlp::new(&cfg, &mut rng);
+        let x = Matrix::randn(16, 3, 10.0, &mut rng);
+        let out = mlp.forward(&x);
+        mlp.backward(&out.scale(100.0));
+        assert!(mlp.grad_norm() > 1.0);
+        mlp.clip_gradients(1.0);
+        assert!(mlp.grad_norm() <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,116 @@
+//! Stochastic sampling helpers used by the generative models.
+
+use rand::Rng;
+use rand_distr::{Distribution, Gumbel, Normal};
+
+use crate::loss::softmax_rows;
+use crate::matrix::Matrix;
+
+/// Matrix of i.i.d. standard-normal samples (the latent noise for the VAE,
+/// GAN and diffusion models).
+pub fn standard_normal_matrix<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    let normal = Normal::new(0.0, 1.0).expect("unit normal is valid");
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| normal.sample(rng)).collect(),
+    )
+}
+
+/// Gumbel-softmax relaxation of categorical sampling.
+///
+/// Adds Gumbel(0, 1) noise to the logits and applies a temperature-scaled
+/// softmax, giving differentiable "almost one-hot" rows. Temperature → 0
+/// recovers hard argmax sampling; CTGAN-family generators use τ ≈ 0.2.
+pub fn gumbel_softmax<R: Rng>(logits: &Matrix, temperature: f64, rng: &mut R) -> Matrix {
+    assert!(temperature > 0.0, "temperature must be positive");
+    let gumbel = Gumbel::new(0.0, 1.0).expect("unit gumbel is valid");
+    let noisy = logits.map(|_| 0.0).zip(logits, |_, l| l); // clone via zip keeps shape
+    let mut noisy = noisy;
+    for v in noisy.data_mut() {
+        *v = (*v + gumbel.sample(rng)) / temperature;
+    }
+    softmax_rows(&noisy)
+}
+
+/// Sample a categorical index from each row of a probability matrix.
+pub fn sample_categorical_rows<R: Rng>(probs: &Matrix, rng: &mut R) -> Vec<usize> {
+    let mut out = Vec::with_capacity(probs.rows());
+    for r in 0..probs.rows() {
+        let row = probs.row(r);
+        let total: f64 = row.iter().sum();
+        let mut u = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+        let mut chosen = row.len() - 1;
+        for (i, &p) in row.iter().enumerate() {
+            if u < p {
+                chosen = i;
+                break;
+            }
+            u -= p;
+        }
+        out.push(chosen);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_matrix_moments() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = standard_normal_matrix(200, 50, &mut rng);
+        let mean = m.mean();
+        let var = m.data().iter().map(|v| (v - mean).powi(2)).sum::<f64>() / m.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gumbel_softmax_rows_are_distributions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let logits = Matrix::from_rows(&[vec![2.0, 0.0, -2.0], vec![0.0, 0.0, 0.0]]);
+        let soft = gumbel_softmax(&logits, 0.5, &mut rng);
+        for r in 0..soft.rows() {
+            let sum: f64 = soft.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gumbel_softmax_low_temperature_prefers_max_logit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let logits = Matrix::from_rows(&[vec![5.0, 0.0, 0.0]]);
+        let mut wins = 0;
+        for _ in 0..200 {
+            let soft = gumbel_softmax(&logits, 0.1, &mut rng);
+            let row = soft.row(0);
+            if row[0] > row[1] && row[0] > row[2] {
+                wins += 1;
+            }
+        }
+        assert!(wins > 180, "wins = {wins}");
+    }
+
+    #[test]
+    fn categorical_sampling_respects_probabilities() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let probs = Matrix::from_rows(&[vec![0.9, 0.1, 0.0]]);
+        let mut counts = [0usize; 3];
+        for _ in 0..2000 {
+            counts[sample_categorical_rows(&probs, &mut rng)[0]] += 1;
+        }
+        assert!(counts[0] > 1600);
+        assert_eq!(counts[2], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn zero_temperature_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = gumbel_softmax(&Matrix::zeros(1, 2), 0.0, &mut rng);
+    }
+}

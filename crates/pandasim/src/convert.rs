@@ -1,0 +1,123 @@
+//! Conversion from job records to the paper's nine-feature modelling table.
+//!
+//! The paper keeps five categorical features (job status, computing site,
+//! project, production step, data type) and four numerical ones (workload,
+//! creation time, number of input files, input byte size). `creationtime` is
+//! expressed in days since the start of the window; `workload` is the
+//! derived cores × HS23 × CPU-hours quantity.
+
+use tabular::{Column, Table};
+
+use crate::record::JobRecord;
+
+/// The paper's feature columns in canonical order
+/// (five categorical followed by four numerical).
+pub const PAPER_FEATURES: [&str; 9] = [
+    "jobstatus",
+    "computingsite",
+    "project",
+    "prodstep",
+    "datatype",
+    "creationtime",
+    "ninputdatafiles",
+    "inputfilebytes",
+    "workload",
+];
+
+/// Convert filtered job records into the nine-feature modelling table.
+pub fn records_to_table(records: &[JobRecord]) -> Table {
+    let mut table = Table::new();
+
+    let status: Vec<&str> = records.iter().map(|r| r.status.label()).collect();
+    let site: Vec<&str> = records.iter().map(|r| r.computing_site.as_str()).collect();
+    let project: Vec<&str> = records.iter().map(|r| r.project.as_str()).collect();
+    let prodstep: Vec<&str> = records.iter().map(|r| r.prodstep.as_str()).collect();
+    let datatype: Vec<&str> = records.iter().map(|r| r.datatype.as_str()).collect();
+
+    table
+        .push_column("jobstatus", Column::from_labels(&status))
+        .expect("fresh table accepts columns");
+    table
+        .push_column("computingsite", Column::from_labels(&site))
+        .expect("fresh table accepts columns");
+    table
+        .push_column("project", Column::from_labels(&project))
+        .expect("fresh table accepts columns");
+    table
+        .push_column("prodstep", Column::from_labels(&prodstep))
+        .expect("fresh table accepts columns");
+    table
+        .push_column("datatype", Column::from_labels(&datatype))
+        .expect("fresh table accepts columns");
+
+    table
+        .push_column(
+            "creationtime",
+            Column::Numerical(records.iter().map(|r| r.creation_time_days).collect()),
+        )
+        .expect("fresh table accepts columns");
+    table
+        .push_column(
+            "ninputdatafiles",
+            Column::Numerical(records.iter().map(|r| r.n_input_files as f64).collect()),
+        )
+        .expect("fresh table accepts columns");
+    table
+        .push_column(
+            "inputfilebytes",
+            Column::Numerical(records.iter().map(|r| r.input_file_bytes).collect()),
+        )
+        .expect("fresh table accepts columns");
+    table
+        .push_column(
+            "workload",
+            Column::Numerical(records.iter().map(|r| r.workload()).collect()),
+        )
+        .expect("fresh table accepts columns");
+
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::FilterFunnel;
+    use crate::generator::{GeneratorConfig, WorkloadGenerator};
+    use tabular::FeatureKind;
+
+    #[test]
+    fn table_has_paper_schema() {
+        let gross = WorkloadGenerator::new(GeneratorConfig::small()).generate();
+        let funnel = FilterFunnel::apply(&gross);
+        let table = records_to_table(&funnel.records);
+        assert_eq!(table.n_rows(), funnel.surviving());
+        assert_eq!(table.n_cols(), 9);
+        let schema = table.schema();
+        for name in &PAPER_FEATURES[..5] {
+            assert_eq!(schema.kind_of(name).unwrap(), FeatureKind::Categorical);
+        }
+        for name in &PAPER_FEATURES[5..] {
+            assert_eq!(schema.kind_of(name).unwrap(), FeatureKind::Numerical);
+        }
+    }
+
+    #[test]
+    fn numeric_columns_match_records() {
+        let gross = WorkloadGenerator::new(GeneratorConfig::small()).generate();
+        let funnel = FilterFunnel::apply(&gross);
+        let table = records_to_table(&funnel.records);
+        let workload = table.numerical("workload").unwrap();
+        for (r, w) in funnel.records.iter().zip(workload) {
+            assert!((r.workload() - w).abs() < 1e-9);
+        }
+        let status_vocab = table.vocab("jobstatus").unwrap();
+        assert!(status_vocab.len() <= 4);
+    }
+
+    #[test]
+    fn empty_record_list_gives_empty_table() {
+        let table = records_to_table(&[]);
+        assert_eq!(table.n_rows(), 0);
+        assert_eq!(table.n_cols(), 9);
+    }
+}

@@ -1,0 +1,134 @@
+//! The Fig. 3(b) filtering funnel.
+//!
+//! The paper reduces ~2.08M gross PanDA records down to the modelling table
+//! by (1) keeping only user-analysis jobs, (2) keeping only jobs whose input
+//! is a DAOD dataset, (3) keeping only jobs that reached a terminal state
+//! with valid accounting (positive CPU time, non-empty input), and finally
+//! (4) splitting 80/20 into training and test sets. This module reproduces
+//! that funnel and reports the count surviving each stage so the
+//! `fig3_profile` experiment can print the same diagram.
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::{JobRecord, JobSource};
+
+/// One stage of the funnel with the number of records surviving it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunnelStage {
+    /// Human-readable stage name.
+    pub name: String,
+    /// Records remaining after the stage.
+    pub remaining: usize,
+    /// Records dropped by the stage.
+    pub dropped: usize,
+}
+
+/// The full funnel: stages plus the surviving records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FilterFunnel {
+    /// Stages in application order.
+    pub stages: Vec<FunnelStage>,
+    /// Records surviving every stage.
+    #[serde(skip)]
+    pub records: Vec<JobRecord>,
+}
+
+impl FilterFunnel {
+    /// Apply the paper's filtering pipeline to a gross record stream.
+    pub fn apply(gross: &[JobRecord]) -> Self {
+        let mut stages = Vec::new();
+        let mut current: Vec<JobRecord> = gross.to_vec();
+        stages.push(FunnelStage {
+            name: "gross PanDA records".to_string(),
+            remaining: current.len(),
+            dropped: 0,
+        });
+
+        let mut step = |name: &str, current: &mut Vec<JobRecord>, pred: &dyn Fn(&JobRecord) -> bool| {
+            let before = current.len();
+            current.retain(|r| pred(r));
+            stages.push(FunnelStage {
+                name: name.to_string(),
+                remaining: current.len(),
+                dropped: before - current.len(),
+            });
+        };
+
+        step(
+            "user-analysis jobs only",
+            &mut current,
+            &|r| r.source == JobSource::UserAnalysis,
+        );
+        step("DAOD input datasets only", &mut current, &|r| {
+            r.is_daod_input()
+        });
+        step("terminal status with valid accounting", &mut current, &|r| {
+            r.cpu_time_s > 0.0 && r.n_input_files > 0 && r.input_file_bytes > 0.0
+        });
+
+        Self {
+            stages,
+            records: current,
+        }
+    }
+
+    /// Number of records surviving the whole funnel.
+    pub fn surviving(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Render the funnel as text lines, one per stage, in the style of the
+    /// paper's Fig. 3(b).
+    pub fn render(&self) -> Vec<String> {
+        self.stages
+            .iter()
+            .map(|s| format!("{:<40} {:>10}  (-{})", s.name, s.remaining, s.dropped))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, WorkloadGenerator};
+
+    #[test]
+    fn funnel_is_monotone_decreasing() {
+        let gross = WorkloadGenerator::new(GeneratorConfig::small()).generate();
+        let funnel = FilterFunnel::apply(&gross);
+        assert_eq!(funnel.stages[0].remaining, gross.len());
+        for w in funnel.stages.windows(2) {
+            assert!(w[1].remaining <= w[0].remaining);
+            assert_eq!(w[0].remaining - w[1].remaining, w[1].dropped);
+        }
+        assert_eq!(funnel.surviving(), funnel.stages.last().unwrap().remaining);
+    }
+
+    #[test]
+    fn surviving_records_are_user_daod_terminal() {
+        let gross = WorkloadGenerator::new(GeneratorConfig::small()).generate();
+        let funnel = FilterFunnel::apply(&gross);
+        assert!(funnel.surviving() > gross.len() / 4, "funnel too aggressive");
+        for r in &funnel.records {
+            assert_eq!(r.source, JobSource::UserAnalysis);
+            assert!(r.is_daod_input());
+            assert!(r.cpu_time_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn render_has_one_line_per_stage() {
+        let gross = WorkloadGenerator::new(GeneratorConfig::small()).generate();
+        let funnel = FilterFunnel::apply(&gross);
+        let lines = funnel.render();
+        assert_eq!(lines.len(), funnel.stages.len());
+        assert!(lines[0].contains("gross"));
+    }
+
+    #[test]
+    fn empty_input_produces_empty_funnel() {
+        let funnel = FilterFunnel::apply(&[]);
+        assert_eq!(funnel.surviving(), 0);
+        assert!(funnel.stages.iter().all(|s| s.remaining == 0));
+    }
+}

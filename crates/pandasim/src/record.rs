@@ -1,0 +1,156 @@
+//! The raw simulated PanDA job record.
+
+use serde::{Deserialize, Serialize};
+
+/// Terminal (or near-terminal) status of a job, mirroring the four-valued
+/// `jobstatus` column of the paper's filtered dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// Job completed successfully.
+    Finished,
+    /// Job ran but exited with an error.
+    Failed,
+    /// Job was cancelled by the user or the brokerage.
+    Cancelled,
+    /// Job was closed by the system (e.g. superseded task).
+    Closed,
+}
+
+impl JobStatus {
+    /// All statuses, in a fixed order.
+    pub const ALL: [JobStatus; 4] = [
+        JobStatus::Finished,
+        JobStatus::Failed,
+        JobStatus::Cancelled,
+        JobStatus::Closed,
+    ];
+
+    /// Lower-case label as it appears in the PanDA records.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobStatus::Finished => "finished",
+            JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
+            JobStatus::Closed => "closed",
+        }
+    }
+
+    /// Whether the status is terminal with the job having consumed resources.
+    pub fn consumed_resources(self) -> bool {
+        matches!(self, JobStatus::Finished | JobStatus::Failed)
+    }
+}
+
+/// Which PanDA workflow produced the job. The paper keeps only user-analysis
+/// jobs; centralized production is filtered out in the funnel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobSource {
+    /// End-user analysis payload (the paper's focus).
+    UserAnalysis,
+    /// Centrally managed production (reconstruction, derivation, MC).
+    Production,
+}
+
+/// One simulated PanDA job record.
+///
+/// The field set is a superset of the nine features the paper keeps
+/// (see [`crate::convert::PAPER_FEATURES`]); the extra fields exist so the
+/// filtering funnel and the downstream HTC simulator have something to chew
+/// on, exactly as the >100-column raw PanDA records do.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Unique id within the generated stream.
+    pub job_id: u64,
+    /// Creation time in days since the start of the collection window.
+    pub creation_time_days: f64,
+    /// Workflow that produced the job.
+    pub source: JobSource,
+    /// Anonymised user index.
+    pub user_id: u32,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Name of the computing site that executed the job.
+    pub computing_site: String,
+    /// Project section of the input dataset name (e.g. `mc23_13p6TeV`).
+    pub project: String,
+    /// Production step section of the input dataset name (e.g. `deriv`).
+    pub prodstep: String,
+    /// Data type section of the input dataset name (e.g. `DAOD_PHYS`).
+    pub datatype: String,
+    /// Full input dataset name.
+    pub dataset_name: String,
+    /// Number of input data files.
+    pub n_input_files: u32,
+    /// Total size of the input files in bytes.
+    pub input_file_bytes: f64,
+    /// Number of cores allocated to the job.
+    pub cores: u32,
+    /// CPU time consumed, in seconds.
+    pub cpu_time_s: f64,
+    /// HS23 benchmark score per core of the executing site.
+    pub hs23_per_core: f64,
+}
+
+impl JobRecord {
+    /// Derived total computation workload, defined as in the paper:
+    /// number of cores × per-core processing power × CPU time
+    /// (expressed in HS23 × hours).
+    pub fn workload(&self) -> f64 {
+        self.cores as f64 * self.hs23_per_core * (self.cpu_time_s / 3600.0)
+    }
+
+    /// Whether the input dataset is a derived analysis object data (DAOD)
+    /// product — the only dataset family the paper keeps.
+    pub fn is_daod_input(&self) -> bool {
+        self.datatype.starts_with("DAOD")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> JobRecord {
+        JobRecord {
+            job_id: 1,
+            creation_time_days: 3.5,
+            source: JobSource::UserAnalysis,
+            user_id: 7,
+            status: JobStatus::Finished,
+            computing_site: "BNL_PROD".to_string(),
+            project: "mc23_13p6TeV".to_string(),
+            prodstep: "deriv".to_string(),
+            datatype: "DAOD_PHYS".to_string(),
+            dataset_name: "mc23_13p6TeV.12345.deriv.DAOD_PHYS.e1_s2_r3_p4".to_string(),
+            n_input_files: 10,
+            input_file_bytes: 5e9,
+            cores: 8,
+            cpu_time_s: 7200.0,
+            hs23_per_core: 15.0,
+        }
+    }
+
+    #[test]
+    fn workload_is_cores_times_power_times_hours() {
+        let r = record();
+        assert!((r.workload() - 8.0 * 15.0 * 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn daod_detection() {
+        let mut r = record();
+        assert!(r.is_daod_input());
+        r.datatype = "AOD".to_string();
+        assert!(!r.is_daod_input());
+        r.datatype = "DAOD_PHYSLITE".to_string();
+        assert!(r.is_daod_input());
+    }
+
+    #[test]
+    fn status_labels_and_resource_consumption() {
+        assert_eq!(JobStatus::Finished.label(), "finished");
+        assert_eq!(JobStatus::ALL.len(), 4);
+        assert!(JobStatus::Failed.consumed_resources());
+        assert!(!JobStatus::Cancelled.consumed_resources());
+    }
+}

@@ -1,0 +1,194 @@
+//! Minimal CSV interchange for mixed-type tables.
+//!
+//! Only what the experiment harness needs: writing a table out so figure
+//! series can be plotted externally, and reading one back (with an explicit
+//! schema) for round-trips. Quoting is supported for commas inside labels.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::error::TabularError;
+use crate::schema::{FeatureKind, Schema};
+use crate::table::{Column, Table};
+
+/// Write a table as CSV with a header row.
+pub fn write_csv<W: Write>(table: &Table, mut writer: W) -> std::io::Result<()> {
+    let header: Vec<String> = table.names().iter().map(|n| quote(n)).collect();
+    writeln!(writer, "{}", header.join(","))?;
+    for row in 0..table.n_rows() {
+        let mut cells = Vec::with_capacity(table.n_cols());
+        for (name, col) in table.names().iter().zip(table.columns()) {
+            match col {
+                Column::Numerical(v) => cells.push(format_float(v[row])),
+                Column::Categorical { .. } => {
+                    let label = table.label(name, row).unwrap_or("");
+                    cells.push(quote(label));
+                }
+            }
+        }
+        writeln!(writer, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+fn format_float(v: f64) -> String {
+    if v.is_finite() && v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn quote(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Split a CSV line into cells, honouring double-quote escaping.
+fn split_line(line: &str) -> Vec<String> {
+    let mut cells = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                cells.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    cells.push(cur);
+    cells
+}
+
+/// Read a CSV (with header) into a table, interpreting each column according
+/// to the provided schema. Columns present in the file but absent from the
+/// schema are ignored; schema columns missing from the file are an error.
+pub fn read_csv<R: Read>(reader: R, schema: &Schema) -> Result<Table, TabularError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header_line = lines
+        .next()
+        .ok_or(TabularError::Empty("CSV input"))?
+        .map_err(|_| TabularError::Empty("CSV header"))?;
+    let header = split_line(&header_line);
+
+    let mut col_positions = Vec::with_capacity(schema.len());
+    for spec in schema.features() {
+        let pos = header
+            .iter()
+            .position(|h| h == &spec.name)
+            .ok_or_else(|| TabularError::UnknownColumn(spec.name.clone()))?;
+        col_positions.push(pos);
+    }
+
+    let mut numeric_data: Vec<Vec<f64>> = vec![Vec::new(); schema.len()];
+    let mut string_data: Vec<Vec<String>> = vec![Vec::new(); schema.len()];
+
+    for (row_idx, line) in lines.enumerate() {
+        let line = line.map_err(|_| TabularError::Empty("CSV row"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells = split_line(&line);
+        for (i, spec) in schema.features().iter().enumerate() {
+            let cell = cells.get(col_positions[i]).map(String::as_str).unwrap_or("");
+            match spec.kind {
+                FeatureKind::Numerical => {
+                    let v = cell.trim().parse::<f64>().map_err(|_| TabularError::Parse {
+                        row: row_idx + 2,
+                        column: spec.name.clone(),
+                        value: cell.to_string(),
+                    })?;
+                    numeric_data[i].push(v);
+                }
+                FeatureKind::Categorical => string_data[i].push(cell.to_string()),
+            }
+        }
+    }
+
+    let mut table = Table::new();
+    for (i, spec) in schema.features().iter().enumerate() {
+        let col = match spec.kind {
+            FeatureKind::Numerical => Column::Numerical(std::mem::take(&mut numeric_data[i])),
+            FeatureKind::Categorical => Column::from_labels(&string_data[i]),
+        };
+        table.push_column(&spec.name, col)?;
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::FeatureSpec;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new();
+        t.push_column("workload", Column::Numerical(vec![1.5, 2.0, -3.25]))
+            .unwrap();
+        t.push_column(
+            "site",
+            Column::from_labels(&["BNL-ATLAS", "CERN, Tier0", "SLAC"]),
+        )
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_values() {
+        let t = sample_table();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let schema = Schema::new(vec![
+            FeatureSpec::numerical("workload"),
+            FeatureSpec::categorical("site"),
+        ]);
+        let back = read_csv(buf.as_slice(), &schema).unwrap();
+        assert_eq!(back.n_rows(), 3);
+        assert_eq!(back.numerical("workload").unwrap(), t.numerical("workload").unwrap());
+        assert_eq!(back.label("site", 1).unwrap(), "CERN, Tier0");
+    }
+
+    #[test]
+    fn csv_quoted_cells() {
+        let line = r#"a,"b,c","d""e""#;
+        assert_eq!(split_line(line), vec!["a", "b,c", "d\"e"]);
+    }
+
+    #[test]
+    fn csv_missing_column_errors() {
+        let t = sample_table();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let schema = Schema::new(vec![FeatureSpec::numerical("nonexistent")]);
+        assert!(read_csv(buf.as_slice(), &schema).is_err());
+    }
+
+    #[test]
+    fn csv_bad_number_errors() {
+        let csv = "x\nnot_a_number\n";
+        let schema = Schema::new(vec![FeatureSpec::numerical("x")]);
+        let err = read_csv(csv.as_bytes(), &schema).unwrap_err();
+        assert!(matches!(err, TabularError::Parse { .. }));
+    }
+
+    #[test]
+    fn csv_skips_blank_lines() {
+        let csv = "x\n1\n\n2\n";
+        let schema = Schema::new(vec![FeatureSpec::numerical("x")]);
+        let t = read_csv(csv.as_bytes(), &schema).unwrap();
+        assert_eq!(t.n_rows(), 2);
+    }
+}

@@ -1,0 +1,173 @@
+//! Feature kinds and table schemas.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TabularError;
+
+/// Whether a feature holds continuous numbers or discrete categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureKind {
+    /// Continuous (or ordinal treated as continuous) feature stored as `f64`.
+    Numerical,
+    /// Discrete feature stored as integer codes into a string vocabulary.
+    Categorical,
+}
+
+impl FeatureKind {
+    /// Short human-readable tag matching the paper's Fig. 3(a) ("N" / "C").
+    pub fn tag(self) -> &'static str {
+        match self {
+            FeatureKind::Numerical => "N",
+            FeatureKind::Categorical => "C",
+        }
+    }
+}
+
+/// Description of a single feature column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureSpec {
+    /// Column name, e.g. `"computingsite"`.
+    pub name: String,
+    /// Numerical or categorical.
+    pub kind: FeatureKind,
+}
+
+impl FeatureSpec {
+    /// Create a numerical feature spec.
+    pub fn numerical(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            kind: FeatureKind::Numerical,
+        }
+    }
+
+    /// Create a categorical feature spec.
+    pub fn categorical(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            kind: FeatureKind::Categorical,
+        }
+    }
+}
+
+/// Ordered collection of feature specs describing a table.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    features: Vec<FeatureSpec>,
+}
+
+impl Schema {
+    /// Build a schema from a list of feature specs.
+    pub fn new(features: Vec<FeatureSpec>) -> Self {
+        Self { features }
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the schema has no features.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// All feature specs in column order.
+    pub fn features(&self) -> &[FeatureSpec] {
+        &self.features
+    }
+
+    /// Names of all features in column order.
+    pub fn names(&self) -> Vec<&str> {
+        self.features.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Index of a feature by name.
+    pub fn index_of(&self, name: &str) -> Result<usize, TabularError> {
+        self.features
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| TabularError::UnknownColumn(name.to_string()))
+    }
+
+    /// Kind of the feature with the given name.
+    pub fn kind_of(&self, name: &str) -> Result<FeatureKind, TabularError> {
+        self.index_of(name).map(|i| self.features[i].kind)
+    }
+
+    /// Names of numerical features in column order.
+    pub fn numerical_names(&self) -> Vec<&str> {
+        self.features
+            .iter()
+            .filter(|f| f.kind == FeatureKind::Numerical)
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+
+    /// Names of categorical features in column order.
+    pub fn categorical_names(&self) -> Vec<&str> {
+        self.features
+            .iter()
+            .filter(|f| f.kind == FeatureKind::Categorical)
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+
+    /// Append a feature spec, returning an error if the name already exists.
+    pub fn push(&mut self, spec: FeatureSpec) -> Result<(), TabularError> {
+        if self.features.iter().any(|f| f.name == spec.name) {
+            return Err(TabularError::UnknownColumn(format!(
+                "duplicate column `{}`",
+                spec.name
+            )));
+        }
+        self.features.push(spec);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            FeatureSpec::categorical("jobstatus"),
+            FeatureSpec::categorical("computingsite"),
+            FeatureSpec::numerical("workload"),
+            FeatureSpec::numerical("inputfilebytes"),
+        ])
+    }
+
+    #[test]
+    fn index_and_kind_lookup() {
+        let s = sample();
+        assert_eq!(s.index_of("workload").unwrap(), 2);
+        assert_eq!(s.kind_of("jobstatus").unwrap(), FeatureKind::Categorical);
+        assert_eq!(s.kind_of("workload").unwrap(), FeatureKind::Numerical);
+        assert!(s.index_of("nope").is_err());
+    }
+
+    #[test]
+    fn kind_partition_preserves_order() {
+        let s = sample();
+        assert_eq!(s.numerical_names(), vec!["workload", "inputfilebytes"]);
+        assert_eq!(s.categorical_names(), vec!["jobstatus", "computingsite"]);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn duplicate_push_rejected() {
+        let mut s = sample();
+        assert!(s.push(FeatureSpec::numerical("workload")).is_err());
+        assert!(s.push(FeatureSpec::numerical("nfiles")).is_ok());
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn kind_tags_match_paper_notation() {
+        assert_eq!(FeatureKind::Numerical.tag(), "N");
+        assert_eq!(FeatureKind::Categorical.tag(), "C");
+    }
+}

@@ -1,0 +1,442 @@
+//! The columnar [`Table`] container for mixed categorical/numerical data.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TabularError;
+use crate::schema::{FeatureKind, FeatureSpec, Schema};
+
+/// A single column of data.
+///
+/// Numerical columns are dense `f64` vectors. Categorical columns are stored
+/// as `u32` codes into a per-column string vocabulary, which keeps the hot
+/// loops (metric kernels, encoders, model codecs) free of string handling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Column {
+    /// Continuous values.
+    Numerical(Vec<f64>),
+    /// Category codes plus the vocabulary they index into.
+    Categorical {
+        /// Per-row code; always `< vocab.len()`.
+        codes: Vec<u32>,
+        /// Distinct category labels. Index = code.
+        vocab: Vec<String>,
+    },
+}
+
+impl Column {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Numerical(v) => v.len(),
+            Column::Categorical { codes, .. } => codes.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The feature kind of this column.
+    pub fn kind(&self) -> FeatureKind {
+        match self {
+            Column::Numerical(_) => FeatureKind::Numerical,
+            Column::Categorical { .. } => FeatureKind::Categorical,
+        }
+    }
+
+    /// Numerical values, if this is a numerical column.
+    pub fn as_numerical(&self) -> Option<&[f64]> {
+        match self {
+            Column::Numerical(v) => Some(v),
+            Column::Categorical { .. } => None,
+        }
+    }
+
+    /// Category codes, if this is a categorical column.
+    pub fn as_codes(&self) -> Option<&[u32]> {
+        match self {
+            Column::Categorical { codes, .. } => Some(codes),
+            Column::Numerical(_) => None,
+        }
+    }
+
+    /// Vocabulary, if this is a categorical column.
+    pub fn vocab(&self) -> Option<&[String]> {
+        match self {
+            Column::Categorical { vocab, .. } => Some(vocab),
+            Column::Numerical(_) => None,
+        }
+    }
+
+    /// Number of distinct categories (vocabulary size) or, for numerical
+    /// columns, the number of distinct finite values.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            Column::Categorical { vocab, .. } => vocab.len(),
+            Column::Numerical(v) => {
+                let mut sorted: Vec<u64> = v
+                    .iter()
+                    .filter(|x| x.is_finite())
+                    .map(|x| x.to_bits())
+                    .collect();
+                sorted.sort_unstable();
+                sorted.dedup();
+                sorted.len()
+            }
+        }
+    }
+
+    /// Build a categorical column from string labels, constructing the
+    /// vocabulary in first-appearance order.
+    pub fn from_labels<S: AsRef<str>>(labels: &[S]) -> Self {
+        let mut vocab: Vec<String> = Vec::new();
+        let mut codes = Vec::with_capacity(labels.len());
+        for label in labels {
+            let label = label.as_ref();
+            let code = match vocab.iter().position(|v| v == label) {
+                Some(i) => i as u32,
+                None => {
+                    vocab.push(label.to_string());
+                    (vocab.len() - 1) as u32
+                }
+            };
+            codes.push(code);
+        }
+        Column::Categorical { codes, vocab }
+    }
+
+    /// Select a subset of rows by index (indices may repeat).
+    pub fn take(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::Numerical(v) => Column::Numerical(indices.iter().map(|&i| v[i]).collect()),
+            Column::Categorical { codes, vocab } => Column::Categorical {
+                codes: indices.iter().map(|&i| codes[i]).collect(),
+                vocab: vocab.clone(),
+            },
+        }
+    }
+}
+
+/// Columnar table of mixed categorical/numerical features.
+///
+/// Column order is meaningful and reflected by [`Table::schema`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Table {
+    names: Vec<String>,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Create an empty table with no columns.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the table has no rows or no columns.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.columns.is_empty()
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// All columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Derive the schema (name + kind per column).
+    pub fn schema(&self) -> Schema {
+        Schema::new(
+            self.names
+                .iter()
+                .zip(&self.columns)
+                .map(|(name, col)| FeatureSpec {
+                    name: name.clone(),
+                    kind: col.kind(),
+                })
+                .collect(),
+        )
+    }
+
+    /// Append a column. The first column fixes the row count; later columns
+    /// must match it.
+    pub fn push_column(
+        &mut self,
+        name: impl Into<String>,
+        column: Column,
+    ) -> Result<(), TabularError> {
+        let name = name.into();
+        if self.names.iter().any(|n| *n == name) {
+            return Err(TabularError::UnknownColumn(format!(
+                "duplicate column `{name}`"
+            )));
+        }
+        if self.columns.is_empty() {
+            self.rows = column.len();
+        } else if column.len() != self.rows {
+            return Err(TabularError::LengthMismatch {
+                context: "push_column",
+                expected: self.rows,
+                found: column.len(),
+            });
+        }
+        self.names.push(name);
+        self.columns.push(column);
+        Ok(())
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Result<usize, TabularError> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| TabularError::UnknownColumn(name.to_string()))
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> Result<&Column, TabularError> {
+        self.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Mutable column by name.
+    pub fn column_mut(&mut self, name: &str) -> Result<&mut Column, TabularError> {
+        let i = self.index_of(name)?;
+        Ok(&mut self.columns[i])
+    }
+
+    /// Numerical values of a column, erroring if it is categorical.
+    pub fn numerical(&self, name: &str) -> Result<&[f64], TabularError> {
+        self.column(name)?
+            .as_numerical()
+            .ok_or_else(|| TabularError::KindMismatch {
+                column: name.to_string(),
+                expected: "numerical",
+            })
+    }
+
+    /// Codes of a categorical column, erroring if it is numerical.
+    pub fn codes(&self, name: &str) -> Result<&[u32], TabularError> {
+        self.column(name)?
+            .as_codes()
+            .ok_or_else(|| TabularError::KindMismatch {
+                column: name.to_string(),
+                expected: "categorical",
+            })
+    }
+
+    /// Vocabulary of a categorical column.
+    pub fn vocab(&self, name: &str) -> Result<&[String], TabularError> {
+        self.column(name)?
+            .vocab()
+            .ok_or_else(|| TabularError::KindMismatch {
+                column: name.to_string(),
+                expected: "categorical",
+            })
+    }
+
+    /// String label of a categorical cell.
+    pub fn label(&self, name: &str, row: usize) -> Result<&str, TabularError> {
+        let col = self.column(name)?;
+        match col {
+            Column::Categorical { codes, vocab } => {
+                let code = codes[row];
+                vocab
+                    .get(code as usize)
+                    .map(String::as_str)
+                    .ok_or(TabularError::InvalidCode {
+                        column: name.to_string(),
+                        code,
+                        cardinality: vocab.len(),
+                    })
+            }
+            Column::Numerical(_) => Err(TabularError::KindMismatch {
+                column: name.to_string(),
+                expected: "categorical",
+            }),
+        }
+    }
+
+    /// Select a subset of rows by index (indices may repeat), preserving
+    /// column order and vocabularies.
+    pub fn take(&self, indices: &[usize]) -> Table {
+        Table {
+            names: self.names.clone(),
+            columns: self.columns.iter().map(|c| c.take(indices)).collect(),
+            rows: indices.len(),
+        }
+    }
+
+    /// Keep only the named columns, in the given order.
+    pub fn select(&self, names: &[&str]) -> Result<Table, TabularError> {
+        let mut out = Table::new();
+        for &name in names {
+            let i = self.index_of(name)?;
+            out.push_column(name, self.columns[i].clone())?;
+        }
+        Ok(out)
+    }
+
+    /// Vertically stack another table with an identical schema under this one.
+    pub fn vstack(&self, other: &Table) -> Result<Table, TabularError> {
+        if self.names != other.names {
+            return Err(TabularError::LengthMismatch {
+                context: "vstack (column sets differ)",
+                expected: self.names.len(),
+                found: other.names.len(),
+            });
+        }
+        let mut out = Table::new();
+        for (i, name) in self.names.iter().enumerate() {
+            let merged = match (&self.columns[i], &other.columns[i]) {
+                (Column::Numerical(a), Column::Numerical(b)) => {
+                    let mut v = a.clone();
+                    v.extend_from_slice(b);
+                    Column::Numerical(v)
+                }
+                (
+                    Column::Categorical { codes: ca, vocab: va },
+                    Column::Categorical { codes: cb, vocab: vb },
+                ) => {
+                    // Re-map the other table's codes into this table's
+                    // vocabulary, extending it for unseen labels.
+                    let mut vocab = va.clone();
+                    let mut codes = ca.clone();
+                    let mut remap = Vec::with_capacity(vb.len());
+                    for label in vb {
+                        let code = match vocab.iter().position(|v| v == label) {
+                            Some(j) => j as u32,
+                            None => {
+                                vocab.push(label.clone());
+                                (vocab.len() - 1) as u32
+                            }
+                        };
+                        remap.push(code);
+                    }
+                    codes.extend(cb.iter().map(|&c| remap[c as usize]));
+                    Column::Categorical { codes, vocab }
+                }
+                _ => {
+                    return Err(TabularError::KindMismatch {
+                        column: name.clone(),
+                        expected: "matching column kinds",
+                    })
+                }
+            };
+            out.push_column(name, merged)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Table {
+        let mut t = Table::new();
+        t.push_column("workload", Column::Numerical(vec![1.0, 2.0, 3.0, 4.0]))
+            .unwrap();
+        t.push_column("site", Column::from_labels(&["BNL", "CERN", "BNL", "SLAC"]))
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let t = toy();
+        assert_eq!(t.n_rows(), 4);
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.numerical("workload").unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.codes("site").unwrap(), &[0, 1, 0, 2]);
+        assert_eq!(t.vocab("site").unwrap(), &["BNL", "CERN", "SLAC"]);
+        assert_eq!(t.label("site", 3).unwrap(), "SLAC");
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut t = toy();
+        let err = t
+            .push_column("bad", Column::Numerical(vec![1.0]))
+            .unwrap_err();
+        assert!(matches!(err, TabularError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let mut t = toy();
+        assert!(t
+            .push_column("site", Column::Numerical(vec![0.0; 4]))
+            .is_err());
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let t = toy();
+        assert!(t.numerical("site").is_err());
+        assert!(t.codes("workload").is_err());
+    }
+
+    #[test]
+    fn take_preserves_vocab_and_order() {
+        let t = toy();
+        let sub = t.take(&[3, 0, 0]);
+        assert_eq!(sub.n_rows(), 3);
+        assert_eq!(sub.numerical("workload").unwrap(), &[4.0, 1.0, 1.0]);
+        assert_eq!(sub.codes("site").unwrap(), &[2, 0, 0]);
+        assert_eq!(sub.vocab("site").unwrap(), t.vocab("site").unwrap());
+    }
+
+    #[test]
+    fn select_reorders_columns() {
+        let t = toy();
+        let s = t.select(&["site", "workload"]).unwrap();
+        assert_eq!(s.names(), &["site".to_string(), "workload".to_string()]);
+        assert!(t.select(&["missing"]).is_err());
+    }
+
+    #[test]
+    fn vstack_remaps_vocabulary() {
+        let t = toy();
+        let mut other = Table::new();
+        other
+            .push_column("workload", Column::Numerical(vec![5.0]))
+            .unwrap();
+        other
+            .push_column("site", Column::from_labels(&["TOKYO"]))
+            .unwrap();
+        let stacked = t.vstack(&other).unwrap();
+        assert_eq!(stacked.n_rows(), 5);
+        assert_eq!(stacked.label("site", 4).unwrap(), "TOKYO");
+        assert_eq!(stacked.vocab("site").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn schema_reflects_columns() {
+        let t = toy();
+        let s = t.schema();
+        assert_eq!(s.kind_of("workload").unwrap(), FeatureKind::Numerical);
+        assert_eq!(s.kind_of("site").unwrap(), FeatureKind::Categorical);
+    }
+
+    #[test]
+    fn cardinality_counts_distinct() {
+        let t = toy();
+        assert_eq!(t.column("site").unwrap().cardinality(), 3);
+        assert_eq!(t.column("workload").unwrap().cardinality(), 4);
+    }
+}

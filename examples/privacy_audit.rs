@@ -1,0 +1,65 @@
+//! Privacy audit: how close do synthetic rows come to real training records?
+//!
+//! The paper's DCR (distance to closest record) metric is the guard against
+//! surrogates that simply memorise the training data — a concern because
+//! PanDA records ultimately derive from identifiable user activity. This
+//! example sweeps SMOTE's neighbourhood size and compares it against TabDDPM
+//! to show the fidelity/privacy trade-off the paper describes in §V-B(c).
+//!
+//! ```text
+//! cargo run --release --example privacy_audit
+//! ```
+
+use panda_surrogate::metrics::{
+    distance_to_closest_record, mean_wasserstein, DcrConfig,
+};
+use panda_surrogate::pandasim::{
+    records_to_table, FilterFunnel, GeneratorConfig, WorkloadGenerator,
+};
+use panda_surrogate::surrogate::{
+    SmoteConfig, SmoteSampler, TabDdpm, TabDdpmConfig, TabularGenerator,
+};
+
+fn main() {
+    let generator = WorkloadGenerator::new(GeneratorConfig {
+        gross_records: 8_000,
+        ..GeneratorConfig::default()
+    });
+    let funnel = FilterFunnel::apply(&generator.generate());
+    let train = records_to_table(&funnel.records);
+    let n_synthetic = 2_000.min(train.n_rows());
+    let dcr_config = DcrConfig::default();
+
+    println!("rows in training table: {}\n", train.n_rows());
+    println!(
+        "{:<24} {:>10} {:>12}",
+        "generator", "DCR (↑)", "mean WD (↓)"
+    );
+
+    // SMOTE with increasingly large neighbourhoods: interpolation reaches
+    // further from the anchor rows, trading fidelity for a little distance.
+    for k in [1usize, 5, 15] {
+        let mut smote = SmoteSampler::new(SmoteConfig {
+            k_neighbors: k,
+            ..SmoteConfig::default()
+        });
+        smote.fit(&train).expect("SMOTE fits");
+        let synthetic = smote.sample(n_synthetic, 3).expect("SMOTE samples");
+        let dcr = distance_to_closest_record(&train, &synthetic, dcr_config);
+        let wd = mean_wasserstein(&train, &synthetic);
+        println!("{:<24} {:>10.4} {:>12.4}", format!("SMOTE (k = {k})"), dcr, wd);
+    }
+
+    // TabDDPM: a learned model that samples from the distribution rather than
+    // interpolating stored rows.
+    let mut ddpm = TabDdpm::new(TabDdpmConfig::fast());
+    ddpm.fit(&train).expect("TabDDPM fits");
+    let synthetic = ddpm.sample(n_synthetic, 3).expect("TabDDPM samples");
+    let dcr = distance_to_closest_record(&train, &synthetic, dcr_config);
+    let wd = mean_wasserstein(&train, &synthetic);
+    println!("{:<24} {:>10.4} {:>12.4}", "TabDDPM (fast)", dcr, wd);
+
+    println!("\nreading the table: SMOTE rows sit almost on top of real records (tiny DCR),");
+    println!("which is exactly the privacy risk the paper flags; the diffusion model keeps a");
+    println!("healthier distance at a modest cost in per-feature fidelity.");
+}

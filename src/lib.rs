@@ -1,0 +1,34 @@
+//! # panda-surrogate
+//!
+//! A Rust reproduction of *"AI Surrogate Model for Distributed Computing
+//! Workloads"* (SC 2024): generative surrogate models for PanDA/ATLAS-style
+//! job-submission records, plus every substrate needed to train and evaluate
+//! them — a synthetic workload generator, a small neural-network stack, a
+//! gradient-boosting regressor, the paper's evaluation metrics, and an
+//! event-driven distributed-computing simulator for downstream validation.
+//!
+//! This facade crate simply re-exports the workspace crates under one roof so
+//! examples and downstream users can depend on a single package:
+//!
+//! * [`surrogate`] — the four generative models (SMOTE, TVAE, CTABGAN+,
+//!   TabDDPM) and the fit/sample pipeline (the paper's core contribution).
+//! * [`pandasim`] — the synthetic PanDA job-record generator and the Fig. 3
+//!   filtering funnel (substitute for the proprietary ATLAS data).
+//! * [`tabular`] — mixed-type tables, encodings and transforms.
+//! * [`nn`] — matrices, MLPs, losses and optimizers.
+//! * [`gbdt`] — gradient-boosted regression trees (the CatBoost substitute
+//!   used by the machine-learning-efficacy metric).
+//! * [`metrics`] — Wasserstein distance, Jensen–Shannon divergence,
+//!   association matrices, distance-to-closest-record and MLEF.
+//! * [`htcsim`] — an event-driven HTC-grid simulator that consumes real or
+//!   synthetic workloads.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough.
+
+pub use gbdt;
+pub use htcsim;
+pub use metrics;
+pub use nn;
+pub use pandasim;
+pub use surrogate;
+pub use tabular;

@@ -1,0 +1,129 @@
+//! Ablation studies over the design choices listed in DESIGN.md §5.
+//!
+//! These are quality-oriented counterparts of the Criterion `ablations`
+//! bench: they check that the trade-offs the paper discusses actually show up
+//! in the metrics (e.g. SMOTE's privacy risk shrinking as interpolation
+//! reaches further, diffusion quality improving with more timesteps).
+
+use panda_surrogate::metrics::{distance_to_closest_record, mean_wasserstein, DcrConfig};
+use panda_surrogate::pandasim::{
+    records_to_table, FilterFunnel, GeneratorConfig, WorkloadGenerator,
+};
+use panda_surrogate::surrogate::{
+    SmoteConfig, SmoteSampler, TabDdpm, TabDdpmConfig, TableCodec, TabularGenerator,
+};
+use panda_surrogate::tabular::Table;
+
+fn training_table(gross: usize, seed: u64) -> Table {
+    let generator = WorkloadGenerator::new(GeneratorConfig {
+        gross_records: gross,
+        seed,
+        ..GeneratorConfig::default()
+    });
+    let funnel = FilterFunnel::apply(&generator.generate());
+    records_to_table(&funnel.records)
+}
+
+#[test]
+fn smote_neighbourhood_size_trades_privacy_for_fidelity() {
+    let train = training_table(4_000, 21);
+    let dcr_config = DcrConfig {
+        max_synthetic_rows: 800,
+        max_train_rows: 4_000,
+    };
+    let mut dcr_by_k = Vec::new();
+    for k in [1usize, 15] {
+        let mut smote = SmoteSampler::new(SmoteConfig {
+            k_neighbors: k,
+            ..SmoteConfig::default()
+        });
+        smote.fit(&train).unwrap();
+        let synthetic = smote.sample(1_000, 5).unwrap();
+        let dcr = distance_to_closest_record(&train, &synthetic, dcr_config);
+        let wd = mean_wasserstein(&train, &synthetic);
+        // Fidelity stays high for any k.
+        assert!(wd < 0.15, "k={k}: WD {wd}");
+        dcr_by_k.push((k, dcr));
+    }
+    // Interpolating towards the 15th-nearest neighbour strays further from
+    // the anchor than interpolating towards the 1st-nearest one.
+    assert!(
+        dcr_by_k[1].1 > dcr_by_k[0].1,
+        "DCR did not grow with k: {dcr_by_k:?}"
+    );
+}
+
+#[test]
+fn tabddpm_with_more_timesteps_is_at_least_as_faithful() {
+    let train = training_table(3_000, 22);
+    let mut wd_by_steps = Vec::new();
+    for timesteps in [3usize, 20] {
+        let mut model = TabDdpm::new(TabDdpmConfig {
+            timesteps,
+            ..TabDdpmConfig::fast()
+        });
+        model.fit(&train).unwrap();
+        let synthetic = model.sample(1_500, 9).unwrap();
+        wd_by_steps.push((timesteps, mean_wasserstein(&train, &synthetic)));
+    }
+    // A 3-step reverse process is a very coarse sampler; 20 steps must not be
+    // worse (allowing a small tolerance for sampling noise).
+    assert!(
+        wd_by_steps[1].1 <= wd_by_steps[0].1 * 1.25 + 0.02,
+        "more timesteps degraded fidelity: {wd_by_steps:?}"
+    );
+}
+
+#[test]
+fn codec_one_hot_layout_matches_vocabulary_sizes() {
+    let train = training_table(2_000, 23);
+    let codec = TableCodec::fit(&train).unwrap();
+    let expected_width: usize = train
+        .columns()
+        .iter()
+        .map(|c| match c {
+            panda_surrogate::tabular::Column::Numerical(_) => 1,
+            panda_surrogate::tabular::Column::Categorical { vocab, .. } => vocab.len(),
+        })
+        .sum();
+    assert_eq!(codec.encoded_width(), expected_width);
+    // Encoding and decoding the training table must preserve every
+    // categorical label (the decode is arg-max over exact one-hots).
+    let encoded = codec.encode(&train).unwrap();
+    let decoded = codec.decode(&encoded).unwrap();
+    for column in ["jobstatus", "computingsite", "datatype"] {
+        for r in (0..train.n_rows()).step_by(97) {
+            assert_eq!(
+                decoded.label(column, r).unwrap(),
+                train.label(column, r).unwrap()
+            );
+        }
+    }
+}
+
+#[test]
+fn dcr_space_choice_numeric_only_vs_mixed() {
+    // Dropping the categorical columns from the DCR computation loses the
+    // mismatch penalty, so the mixed-space DCR is never smaller than the
+    // numeric-only one on the same rows.
+    let train = training_table(2_500, 24);
+    let mut smote = SmoteSampler::new(SmoteConfig::default());
+    smote.fit(&train).unwrap();
+    let synthetic = smote.sample(600, 2).unwrap();
+
+    let dcr_config = DcrConfig {
+        max_synthetic_rows: 600,
+        max_train_rows: 3_000,
+    };
+    let mixed = distance_to_closest_record(&train, &synthetic, dcr_config);
+
+    let numeric_columns = ["creationtime", "ninputdatafiles", "inputfilebytes", "workload"];
+    let train_numeric = train.select(&numeric_columns).unwrap();
+    let synthetic_numeric = synthetic.select(&numeric_columns).unwrap();
+    let numeric_only = distance_to_closest_record(&train_numeric, &synthetic_numeric, dcr_config);
+
+    assert!(
+        mixed + 1e-9 >= numeric_only,
+        "mixed {mixed} < numeric-only {numeric_only}"
+    );
+}

@@ -1,0 +1,142 @@
+//! End-to-end integration tests spanning every crate in the workspace:
+//! workload generation → filtering → modelling table → surrogate fitting →
+//! evaluation, mirroring the structure of the paper's experiment pipeline.
+
+use panda_surrogate::metrics::{evaluate_surrogate, EvaluationConfig};
+use panda_surrogate::pandasim::{
+    records_to_table, FilterFunnel, GeneratorConfig, WorkloadGenerator, PAPER_FEATURES,
+};
+use panda_surrogate::surrogate::{fit_and_sample, ModelKind, TrainingBudget};
+use panda_surrogate::tabular::{train_test_split, FeatureKind, SplitOptions, Table};
+
+fn prepared(gross: usize, seed: u64) -> (Table, Table) {
+    let generator = WorkloadGenerator::new(GeneratorConfig {
+        gross_records: gross,
+        seed,
+        ..GeneratorConfig::default()
+    });
+    let funnel = FilterFunnel::apply(&generator.generate());
+    let table = records_to_table(&funnel.records);
+    train_test_split(&table, SplitOptions::default()).expect("non-empty table")
+}
+
+#[test]
+fn modelling_table_has_the_paper_schema() {
+    let (train, test) = prepared(4_000, 1);
+    for table in [&train, &test] {
+        assert_eq!(table.n_cols(), 9);
+        let schema = table.schema();
+        for name in &PAPER_FEATURES[..5] {
+            assert_eq!(schema.kind_of(name).unwrap(), FeatureKind::Categorical);
+        }
+        for name in &PAPER_FEATURES[5..] {
+            assert_eq!(schema.kind_of(name).unwrap(), FeatureKind::Numerical);
+        }
+        // Workload must be strictly positive (cores × HS23 × CPU hours).
+        assert!(table
+            .numerical("workload")
+            .unwrap()
+            .iter()
+            .all(|&w| w > 0.0 && w.is_finite()));
+    }
+}
+
+#[test]
+fn every_model_produces_schema_compatible_synthetic_data() {
+    let (train, _test) = prepared(4_000, 2);
+    for kind in ModelKind::ALL {
+        let synthetic = fit_and_sample(kind, &train, 500, TrainingBudget::Smoke, 3)
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        assert_eq!(synthetic.n_rows(), 500, "{}", kind.name());
+        assert_eq!(synthetic.names(), train.names(), "{}", kind.name());
+        // Every categorical label must come from the training vocabulary.
+        for column in ["jobstatus", "computingsite", "project", "prodstep", "datatype"] {
+            let train_vocab = train.vocab(column).unwrap();
+            for r in 0..synthetic.n_rows() {
+                let label = synthetic.label(column, r).unwrap();
+                assert!(
+                    train_vocab.iter().any(|v| v == label),
+                    "{}: unseen label {label} in {column}",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn copying_the_training_data_is_detected_as_a_privacy_failure() {
+    let (train, test) = prepared(3_000, 3);
+    let report = evaluate_surrogate(
+        "copy",
+        &train,
+        &test,
+        &train,
+        &EvaluationConfig::fast(),
+    );
+    // Perfect fidelity on every distributional metric…
+    assert!(report.wd < 1e-9);
+    assert!(report.jsd < 1e-9);
+    assert!(report.diff_corr < 1e-9);
+    assert!(report.diff_mlef.unwrap().abs() < 1e-9);
+    // …but zero distance to the training records.
+    assert!(report.dcr < 1e-9);
+}
+
+#[test]
+fn smote_is_more_faithful_but_less_private_than_a_marginal_shuffle() {
+    let (train, test) = prepared(4_000, 4);
+
+    // SMOTE synthetic data.
+    let smote = fit_and_sample(ModelKind::Smote, &train, train.n_rows(), TrainingBudget::Smoke, 5)
+        .expect("SMOTE fits");
+
+    // A "marginal-only" baseline: independently shuffle every column, which
+    // preserves per-feature distributions but destroys all correlations.
+    let shuffled = {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let n = train.n_rows();
+        let mut result = train.clone();
+        for name in train.names() {
+            let mut perm: Vec<usize> = (0..n).collect();
+            perm.shuffle(&mut rng);
+            let permuted_column = train.select(&[name.as_str()]).unwrap().take(&perm);
+            *result.column_mut(&name).unwrap() = permuted_column.columns()[0].clone();
+        }
+        result
+    };
+
+    let config = EvaluationConfig::fast();
+    let smote_report = evaluate_surrogate("SMOTE", &train, &test, &smote, &config);
+    let shuffled_report = evaluate_surrogate("shuffle", &train, &test, &shuffled, &config);
+
+    // The shuffle keeps marginals, so WD/JSD stay tiny for both; the paper's
+    // discriminating metrics are correlation structure and MLEF.
+    assert!(
+        smote_report.diff_corr < shuffled_report.diff_corr,
+        "SMOTE {} vs shuffle {}",
+        smote_report.diff_corr,
+        shuffled_report.diff_corr
+    );
+    assert!(
+        smote_report.diff_mlef.unwrap() < shuffled_report.diff_mlef.unwrap(),
+        "SMOTE {:?} vs shuffle {:?}",
+        smote_report.diff_mlef,
+        shuffled_report.diff_mlef
+    );
+    // And SMOTE, interpolating between real rows, sits much closer to the
+    // training data than the shuffled rows do.
+    assert!(smote_report.dcr < shuffled_report.dcr + 1e-9);
+}
+
+#[test]
+fn generated_stream_is_reproducible_across_the_whole_pipeline() {
+    let (train_a, _) = prepared(2_500, 7);
+    let (train_b, _) = prepared(2_500, 7);
+    assert_eq!(train_a, train_b);
+    let synth_a = fit_and_sample(ModelKind::Smote, &train_a, 100, TrainingBudget::Smoke, 1).unwrap();
+    let synth_b = fit_and_sample(ModelKind::Smote, &train_b, 100, TrainingBudget::Smoke, 1).unwrap();
+    assert_eq!(synth_a, synth_b);
+}
