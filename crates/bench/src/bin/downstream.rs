@@ -15,7 +15,7 @@
 
 use std::collections::BTreeMap;
 
-use bench::{maybe_write_json, prepare_data, sample_all_models, ExperimentOptions};
+use bench::{fit_all, maybe_write_json, prepare_data, ExperimentOptions};
 use htcsim::{BrokerPolicy, GridSimulator, SimConfig, SimJob, SimReport};
 use serde::Serialize;
 
@@ -28,12 +28,16 @@ struct DownstreamArtifact {
 fn main() {
     let options = ExperimentOptions::from_args(std::env::args().skip(1));
     let data = prepare_data(&options);
-    let models = sample_all_models(&data.train, options.budget, options.seed);
+    let fits = fit_all(&data.train, options.budget, options.seed);
+    if fits.report_failures() == fits.runs.len() {
+        eprintln!("error: every surrogate model failed — nothing to compare against GT");
+        std::process::exit(1);
+    }
 
     let mut sources: Vec<(String, Vec<SimJob>)> =
         vec![("GT".to_string(), SimJob::from_table(&data.train))];
-    for (name, synthetic) in &models {
-        sources.push(((*name).to_string(), SimJob::from_table(synthetic)));
+    for (name, synthetic) in fits.successes() {
+        sources.push((name.to_string(), SimJob::from_table(synthetic)));
     }
 
     let mut artifact = DownstreamArtifact {
@@ -67,7 +71,9 @@ fn main() {
             );
             per_source.insert(source.clone(), report);
         }
-        artifact.responses.insert(policy.name().to_string(), per_source);
+        artifact
+            .responses
+            .insert(policy.name().to_string(), per_source);
     }
 
     println!("\ninterpretation: the closer a model's row is to GT, the better the surrogate");

@@ -27,7 +27,10 @@ fn main() {
         .expect("train and test share a schema");
     let profile = summarize(&merged);
     for column in &profile {
-        println!("{:<18} {:>4} {:>10}", column.name, column.kind, column.unique);
+        println!(
+            "{:<18} {:>4} {:>10}",
+            column.name, column.kind, column.unique
+        );
     }
 
     println!("\n== Fig. 3(b): filtering diagram ==");

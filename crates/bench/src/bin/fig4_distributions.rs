@@ -10,12 +10,17 @@
 
 use std::collections::BTreeMap;
 
-use bench::{maybe_write_json, prepare_data, sample_all_models, ExperimentOptions};
+use bench::{fit_all, maybe_write_json, prepare_data, ExperimentOptions};
 use metrics::{column_jsd, wasserstein_1d_normalized};
 use serde::Serialize;
 use tabular::stats::{histogram_with_range, top_k_frequencies};
 
-const NUMERICAL: [&str; 4] = ["workload", "creationtime", "ninputdatafiles", "inputfilebytes"];
+const NUMERICAL: [&str; 4] = [
+    "workload",
+    "creationtime",
+    "ninputdatafiles",
+    "inputfilebytes",
+];
 const CATEGORICAL: [&str; 4] = ["jobstatus", "computingsite", "project", "datatype"];
 const BINS: usize = 24;
 const TOP_K: usize = 5;
@@ -31,7 +36,12 @@ struct Fig4Artifact {
 fn main() {
     let options = ExperimentOptions::from_args(std::env::args().skip(1));
     let data = prepare_data(&options);
-    let models = sample_all_models(&data.train, options.budget, options.seed);
+    let fits = fit_all(&data.train, options.budget, options.seed);
+    if fits.report_failures() == fits.runs.len() {
+        eprintln!("error: every surrogate model failed — nothing to compare");
+        std::process::exit(1);
+    }
+    let models: Vec<(&str, &tabular::Table)> = fits.successes().collect();
 
     let mut artifact = Fig4Artifact {
         numerical: BTreeMap::new(),
@@ -56,7 +66,10 @@ fn main() {
             "GT".to_string(),
             histogram_with_range(&gt_values, BINS, min, max).pmf(),
         );
-        println!("\n[{feature}{}]", if log_scale { ", log scale" } else { "" });
+        println!(
+            "\n[{feature}{}]",
+            if log_scale { ", log scale" } else { "" }
+        );
         println!("  {:<10} {}", "GT", sparkline(&per_model["GT"]));
         for (name, synthetic) in &models {
             let values = synthetic.numerical(feature).expect("numerical feature");

@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use bench::{maybe_write_json, prepare_data, sample_all_models, ExperimentOptions};
+use bench::{fit_all, maybe_write_json, prepare_data, ExperimentOptions};
 use metrics::{association_matrix, AssociationMatrix};
 use serde::Serialize;
 
@@ -52,9 +52,21 @@ fn main() {
     };
 
     println!("\n== Fig. 5(b): synthetic data correlations and diff vs GT ==");
-    for (name, synthetic) in sample_all_models(&data.train, options.budget, options.seed) {
+    let fits = fit_all(&data.train, options.budget, options.seed);
+    if fits.report_failures() == fits.runs.len() {
+        eprintln!("error: every surrogate model failed — nothing to correlate");
+        std::process::exit(1);
+    }
+    for (name, synthetic) in fits.successes() {
         let aligned = synthetic
-            .select(&data.train.names().iter().map(String::as_str).collect::<Vec<_>>())
+            .select(
+                &data
+                    .train
+                    .names()
+                    .iter()
+                    .map(String::as_str)
+                    .collect::<Vec<_>>(),
+            )
             .expect("synthetic table has the training columns");
         let matrix = association_matrix(&aligned);
         let diff = gt.l2_diff(&matrix);

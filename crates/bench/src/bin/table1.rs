@@ -5,7 +5,7 @@
 //! cargo run -p bench --release --bin table1 -- --rows 30000 --budget standard
 //! ```
 
-use bench::{maybe_write_json, prepare_data, sample_all_models, ExperimentOptions};
+use bench::{fit_all, maybe_write_json, prepare_data, ExperimentOptions};
 use metrics::{evaluate_surrogate, EvaluationConfig, SurrogateReport};
 
 fn main() {
@@ -30,9 +30,15 @@ fn main() {
     let evaluation = EvaluationConfig::paper();
     let mut reports: Vec<SurrogateReport> = Vec::new();
 
+    let fits = fit_all(&data.train, options.budget, options.seed);
+    if fits.report_failures() == fits.runs.len() {
+        eprintln!("error: every surrogate model failed — nothing to evaluate");
+        std::process::exit(1);
+    }
+
     println!("\n{}", SurrogateReport::table_header());
-    for (name, synthetic) in sample_all_models(&data.train, options.budget, options.seed) {
-        let report = evaluate_surrogate(name, &data.train, &data.test, &synthetic, &evaluation);
+    for (name, synthetic) in fits.successes() {
+        let report = evaluate_surrogate(name, &data.train, &data.test, synthetic, &evaluation);
         println!("{}", report.table_row());
         reports.push(report);
     }

@@ -5,198 +5,28 @@
 //! same dataset-preparation path so that Table I, Fig. 4 and Fig. 5 are
 //! computed over exactly the same train/test split and the same fitted
 //! models.
+//!
+//! The orchestration itself lives in [`surrogate::experiment`] — the single
+//! fit→sample→evaluate runtime for the whole workspace (parallel model fits,
+//! per-model error isolation). This crate only re-exports it so the binaries
+//! keep their `bench::` imports, and adds [`report_failures`], the shared
+//! way binaries surface partially failed runs.
 
-use pandasim::{records_to_table, FilterFunnel, GeneratorConfig, WorkloadGenerator};
-use surrogate::{fit_and_sample, ModelKind, TrainingBudget};
-use tabular::{train_test_split, SplitOptions, Table};
+pub use surrogate::experiment::{
+    fit_all, fit_all_with_mode, fit_models_with, maybe_write_json, prepare_data, sample_all_models,
+    ExecutionMode, ExperimentError, ExperimentOptions, FitReport, ModelRun, PreparedData,
+};
 
-/// Command-line options shared by the experiment binaries.
-#[derive(Debug, Clone)]
-pub struct ExperimentOptions {
-    /// Number of gross PanDA records to simulate before filtering.
-    pub gross_records: usize,
-    /// Length of the simulated collection window in days.
-    pub days: f64,
-    /// Training budget for the neural surrogates.
-    pub budget: TrainingBudget,
-    /// Base RNG seed.
-    pub seed: u64,
-    /// Optional path to write a JSON artifact with the experiment's series.
-    pub output_json: Option<String>,
-}
-
-impl Default for ExperimentOptions {
-    fn default() -> Self {
-        Self {
-            gross_records: 30_000,
-            days: 150.0,
-            budget: TrainingBudget::Standard,
-            seed: 2024,
-            output_json: None,
-        }
+/// Print every failed model run to stderr and return how many failed.
+///
+/// The binaries keep going with the surviving models — the point of the
+/// `Result`-based runtime is that one diverging GAN no longer kills a whole
+/// Table-I run — but they still exit non-zero when nothing succeeded.
+pub fn report_failures(report: &FitReport) -> usize {
+    let mut failed = 0;
+    for (kind, error) in report.failures() {
+        eprintln!("warning: {} failed to fit/sample: {error}", kind.name());
+        failed += 1;
     }
-}
-
-impl ExperimentOptions {
-    /// Parse options from `--key value` style command-line arguments.
-    /// Unknown keys are ignored so binaries can add their own flags.
-    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
-        let mut options = Self::default();
-        let args: Vec<String> = args.into_iter().collect();
-        let mut i = 0;
-        while i < args.len() {
-            let key = args[i].as_str();
-            let value = args.get(i + 1).cloned();
-            match (key, value) {
-                ("--rows", Some(v)) => {
-                    if let Ok(n) = v.parse() {
-                        options.gross_records = n;
-                    }
-                    i += 2;
-                }
-                ("--days", Some(v)) => {
-                    if let Ok(d) = v.parse() {
-                        options.days = d;
-                    }
-                    i += 2;
-                }
-                ("--budget", Some(v)) => {
-                    options.budget = match v.as_str() {
-                        "smoke" => TrainingBudget::Smoke,
-                        "full" => TrainingBudget::Full,
-                        _ => TrainingBudget::Standard,
-                    };
-                    i += 2;
-                }
-                ("--seed", Some(v)) => {
-                    if let Ok(s) = v.parse() {
-                        options.seed = s;
-                    }
-                    i += 2;
-                }
-                ("--json", Some(v)) => {
-                    options.output_json = Some(v);
-                    i += 2;
-                }
-                _ => i += 1,
-            }
-        }
-        options
-    }
-}
-
-/// The prepared dataset every experiment starts from: the gross stream, the
-/// filtering funnel, and the 80/20 train/test split of the modelling table.
-pub struct PreparedData {
-    /// The workload generator (kept for its site catalogue).
-    pub generator: WorkloadGenerator,
-    /// The filtering funnel including the surviving records.
-    pub funnel: FilterFunnel,
-    /// Training split of the nine-feature modelling table.
-    pub train: Table,
-    /// Test split of the nine-feature modelling table.
-    pub test: Table,
-}
-
-/// Generate, filter and split the synthetic PanDA dataset.
-pub fn prepare_data(options: &ExperimentOptions) -> PreparedData {
-    let generator = WorkloadGenerator::new(GeneratorConfig {
-        gross_records: options.gross_records,
-        days: options.days,
-        seed: options.seed,
-        ..GeneratorConfig::default()
-    });
-    let gross = generator.generate();
-    let funnel = FilterFunnel::apply(&gross);
-    let table = records_to_table(&funnel.records);
-    let (train, test) = train_test_split(
-        &table,
-        SplitOptions {
-            train_fraction: 0.8,
-            shuffle: true,
-            seed: options.seed,
-        },
-    )
-    .expect("non-empty modelling table");
-    PreparedData {
-        generator,
-        funnel,
-        train,
-        test,
-    }
-}
-
-/// Fit every surrogate model on the training table and sample as many rows
-/// as the training set holds, returning `(model name, synthetic table)` in
-/// the paper's Table-I order.
-pub fn sample_all_models(
-    train: &Table,
-    budget: TrainingBudget,
-    seed: u64,
-) -> Vec<(&'static str, Table)> {
-    ModelKind::ALL
-        .iter()
-        .map(|&kind| {
-            let synthetic = fit_and_sample(kind, train, train.n_rows(), budget, seed)
-                .unwrap_or_else(|e| panic!("{} failed to fit/sample: {e}", kind.name()));
-            (kind.name(), synthetic)
-        })
-        .collect()
-}
-
-/// Write a serde-serialisable artifact to the path given in the options, if
-/// one was requested.
-pub fn maybe_write_json<T: serde::Serialize>(options: &ExperimentOptions, artifact: &T) {
-    if let Some(path) = &options.output_json {
-        let json = serde_json::to_string_pretty(artifact).expect("serialisable artifact");
-        std::fs::write(path, json).unwrap_or_else(|e| eprintln!("could not write {path}: {e}"));
-        println!("wrote artifact to {path}");
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn argument_parsing_handles_all_flags() {
-        let options = ExperimentOptions::from_args(
-            [
-                "--rows", "5000", "--days", "30", "--budget", "smoke", "--seed", "7", "--json",
-                "/tmp/x.json", "--unknown", "ignored",
-            ]
-            .iter()
-            .map(|s| s.to_string()),
-        );
-        assert_eq!(options.gross_records, 5000);
-        assert_eq!(options.days, 30.0);
-        assert_eq!(options.budget, TrainingBudget::Smoke);
-        assert_eq!(options.seed, 7);
-        assert_eq!(options.output_json.as_deref(), Some("/tmp/x.json"));
-    }
-
-    #[test]
-    fn argument_parsing_defaults() {
-        let options = ExperimentOptions::from_args(Vec::<String>::new());
-        assert_eq!(options.gross_records, 30_000);
-        assert_eq!(options.budget, TrainingBudget::Standard);
-    }
-
-    #[test]
-    fn prepare_data_produces_consistent_split() {
-        let options = ExperimentOptions {
-            gross_records: 3_000,
-            ..Default::default()
-        };
-        let data = prepare_data(&options);
-        assert!(data.funnel.surviving() > 500);
-        assert_eq!(
-            data.train.n_rows() + data.test.n_rows(),
-            data.funnel.surviving()
-        );
-        assert_eq!(data.train.n_cols(), 9);
-        // 80/20 within rounding.
-        let ratio = data.train.n_rows() as f64 / data.funnel.surviving() as f64;
-        assert!((ratio - 0.8).abs() < 0.01);
-    }
+    failed
 }

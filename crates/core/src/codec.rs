@@ -8,9 +8,7 @@
 
 use nn::Matrix;
 use serde::{Deserialize, Serialize};
-use tabular::{
-    Column, FeatureKind, NumericTransform, OneHotEncoder, QuantileTransformer, Table,
-};
+use tabular::{Column, FeatureKind, NumericTransform, OneHotEncoder, QuantileTransformer, Table};
 
 use crate::traits::SurrogateError;
 

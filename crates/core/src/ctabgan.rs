@@ -8,7 +8,10 @@
 //! Categorical blocks of the generator output go through a per-block softmax
 //! so the discriminator always sees valid simplex blocks.
 
-use nn::{bce_with_logits, standard_normal_matrix, Adam, AdamConfig, CosineDecay, LrSchedule, Matrix, Mlp, MlpConfig};
+use nn::{
+    bce_with_logits, standard_normal_matrix, Adam, AdamConfig, CosineDecay, LrSchedule, Matrix,
+    Mlp, MlpConfig,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -176,7 +179,11 @@ impl TabularGenerator for CtabGan {
         let cond_width = self.cond_width(&codec);
 
         let mut generator = Mlp::new(
-            &MlpConfig::relu(cfg.latent_dim + cond_width, cfg.generator_hidden.clone(), width),
+            &MlpConfig::relu(
+                cfg.latent_dim + cond_width,
+                cfg.generator_hidden.clone(),
+                width,
+            ),
             &mut rng,
         );
         let mut discriminator = Mlp::new(
@@ -207,8 +214,7 @@ impl TabularGenerator for CtabGan {
 
                 // ---- Discriminator update(s) ----
                 for _ in 0..cfg.discriminator_steps {
-                    let real_idx: Vec<usize> =
-                        (0..batch).map(|_| rng.gen_range(0..n)).collect();
+                    let real_idx: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..n)).collect();
                     let real = data.take_rows(&real_idx);
                     let cond = self.sample_condition(&codec, batch, &mut rng);
 
@@ -277,7 +283,10 @@ impl TabularGenerator for CtabGan {
             .codec
             .as_ref()
             .ok_or(SurrogateError::NotFitted("CTABGAN+"))?;
-        let generator = self.generator.as_ref().expect("generator set when codec is");
+        let generator = self
+            .generator
+            .as_ref()
+            .expect("generator set when codec is");
         let mut rng = StdRng::seed_from_u64(seed);
         let z = standard_normal_matrix(n, self.config.latent_dim, &mut rng);
         let cond = self.sample_condition(codec, n, &mut rng);
@@ -306,7 +315,8 @@ mod tests {
             }
         }
         let mut t = Table::new();
-        t.push_column("workload", Column::Numerical(values)).unwrap();
+        t.push_column("workload", Column::Numerical(values))
+            .unwrap();
         t.push_column("site", Column::from_labels(&labels)).unwrap();
         t
     }
@@ -362,6 +372,9 @@ mod tests {
     #[test]
     fn sample_before_fit_errors() {
         let gan = CtabGan::new(CtabGanConfig::fast());
-        assert!(matches!(gan.sample(5, 0), Err(SurrogateError::NotFitted(_))));
+        assert!(matches!(
+            gan.sample(5, 0),
+            Err(SurrogateError::NotFitted(_))
+        ));
     }
 }

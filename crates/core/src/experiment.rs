@@ -1,0 +1,390 @@
+//! The single fit→sample→evaluate experiment runtime shared by every
+//! experiment binary, example and integration test.
+//!
+//! This module owns the orchestration that used to live in the `bench`
+//! crate: preparing the synthetic PanDA dataset ([`prepare_data`]) and
+//! fitting/sampling the paper's four surrogate models. Two properties are
+//! load-bearing:
+//!
+//! * **Parallelism** — [`fit_all`] fans the four [`ModelKind`] fits out
+//!   across threads with rayon. Each model owns its own seeded RNG (derived
+//!   only from the experiment seed), so parallel and sequential execution
+//!   produce byte-identical synthetic tables; `tests/experiment.rs` asserts
+//!   this.
+//! * **Failure isolation** — a diverging model surfaces as a per-model
+//!   `Err` in its [`ModelRun`] instead of panicking, so one bad fit no
+//!   longer kills a whole Table-I run. [`FitReport::into_tables`] aggregates
+//!   any failures into an [`ExperimentError`] for callers that need
+//!   all-or-nothing semantics.
+
+use rayon::prelude::*;
+
+use pandasim::{records_to_table, FilterFunnel, GeneratorConfig, WorkloadGenerator};
+use tabular::{train_test_split, SplitOptions, Table};
+
+use crate::pipeline::{fit_and_sample, ModelKind, TrainingBudget};
+use crate::traits::SurrogateError;
+
+/// Command-line options shared by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExperimentOptions {
+    /// Number of gross PanDA records to simulate before filtering.
+    pub gross_records: usize,
+    /// Length of the simulated collection window in days.
+    pub days: f64,
+    /// Training budget for the neural surrogates.
+    pub budget: TrainingBudget,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Optional path to write a JSON artifact with the experiment's series.
+    pub output_json: Option<String>,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        Self {
+            gross_records: 30_000,
+            days: 150.0,
+            budget: TrainingBudget::Standard,
+            seed: 2024,
+            output_json: None,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// Parse options from `--key value` style command-line arguments.
+    /// Unknown keys are ignored so binaries can add their own flags.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut options = Self::default();
+        let args: Vec<String> = args.into_iter().collect();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i].as_str();
+            let value = args.get(i + 1).cloned();
+            match (key, value) {
+                ("--rows", Some(v)) => {
+                    if let Ok(n) = v.parse() {
+                        options.gross_records = n;
+                    }
+                    i += 2;
+                }
+                ("--days", Some(v)) => {
+                    if let Ok(d) = v.parse() {
+                        options.days = d;
+                    }
+                    i += 2;
+                }
+                ("--budget", Some(v)) => {
+                    options.budget = match v.as_str() {
+                        "smoke" => TrainingBudget::Smoke,
+                        "full" => TrainingBudget::Full,
+                        _ => TrainingBudget::Standard,
+                    };
+                    i += 2;
+                }
+                ("--seed", Some(v)) => {
+                    if let Ok(s) = v.parse() {
+                        options.seed = s;
+                    }
+                    i += 2;
+                }
+                ("--json", Some(v)) => {
+                    options.output_json = Some(v);
+                    i += 2;
+                }
+                _ => i += 1,
+            }
+        }
+        options
+    }
+}
+
+/// The prepared dataset every experiment starts from: the gross stream, the
+/// filtering funnel, and the 80/20 train/test split of the modelling table.
+pub struct PreparedData {
+    /// The workload generator (kept for its site catalogue).
+    pub generator: WorkloadGenerator,
+    /// The filtering funnel including the surviving records.
+    pub funnel: FilterFunnel,
+    /// The full (unsplit) nine-feature modelling table, in funnel order.
+    pub table: Table,
+    /// Training split of the nine-feature modelling table.
+    pub train: Table,
+    /// Test split of the nine-feature modelling table.
+    pub test: Table,
+}
+
+/// Generate, filter and split the synthetic PanDA dataset.
+pub fn prepare_data(options: &ExperimentOptions) -> PreparedData {
+    let generator = WorkloadGenerator::new(GeneratorConfig {
+        gross_records: options.gross_records,
+        days: options.days,
+        seed: options.seed,
+        ..GeneratorConfig::default()
+    });
+    let gross = generator.generate();
+    let funnel = FilterFunnel::apply(&gross);
+    let table = records_to_table(&funnel.records);
+    let (train, test) = train_test_split(
+        &table,
+        SplitOptions {
+            train_fraction: 0.8,
+            shuffle: true,
+            seed: options.seed,
+        },
+    )
+    .expect("non-empty modelling table");
+    PreparedData {
+        generator,
+        funnel,
+        table,
+        train,
+        test,
+    }
+}
+
+/// Whether [`fit_models_with`] fans the model fits out across threads or
+/// runs them one after another. The two modes are byte-identical in output;
+/// `Sequential` exists for determinism tests and for debugging with clean
+/// stack traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// One rayon task per model (the default).
+    Parallel,
+    /// One model after another on the calling thread.
+    Sequential,
+}
+
+/// The outcome of fitting and sampling one surrogate model.
+#[derive(Debug)]
+pub struct ModelRun {
+    /// Which model this run fitted.
+    pub kind: ModelKind,
+    /// The synthetic table, or why the model could not produce one.
+    pub outcome: Result<Table, SurrogateError>,
+}
+
+/// Per-model failures aggregated over one experiment run.
+#[derive(Debug)]
+pub struct ExperimentError {
+    /// `(model, error)` for every model that failed.
+    pub failures: Vec<(ModelKind, SurrogateError)>,
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} surrogate model(s) failed:", self.failures.len())?;
+        for (kind, error) in &self.failures {
+            write!(f, " [{}: {error}]", kind.name())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+/// Every model's run from one experiment, in the paper's Table-I order.
+#[derive(Debug)]
+pub struct FitReport {
+    /// One entry per requested model, order preserved.
+    pub runs: Vec<ModelRun>,
+}
+
+impl FitReport {
+    /// The models that produced a synthetic table, as `(name, table)`.
+    pub fn successes(&self) -> impl Iterator<Item = (&'static str, &Table)> {
+        self.runs.iter().filter_map(|run| {
+            run.outcome
+                .as_ref()
+                .ok()
+                .map(|table| (run.kind.name(), table))
+        })
+    }
+
+    /// The models that failed, with their errors.
+    pub fn failures(&self) -> impl Iterator<Item = (ModelKind, &SurrogateError)> {
+        self.runs
+            .iter()
+            .filter_map(|run| run.outcome.as_ref().err().map(|e| (run.kind, e)))
+    }
+
+    /// Print every failed model run to stderr and return how many failed.
+    ///
+    /// Callers keep going with the surviving models — the point of the
+    /// `Result`-based runtime is that one diverging GAN no longer kills a
+    /// whole Table-I run — but can compare the count against
+    /// `runs.len()` to bail out when nothing succeeded.
+    pub fn report_failures(&self) -> usize {
+        let mut failed = 0;
+        for (kind, error) in self.failures() {
+            eprintln!("warning: {} failed to fit/sample: {error}", kind.name());
+            failed += 1;
+        }
+        failed
+    }
+
+    /// All-or-nothing view: every synthetic table, or an
+    /// [`ExperimentError`] aggregating the failures.
+    pub fn into_tables(self) -> Result<Vec<(&'static str, Table)>, ExperimentError> {
+        let mut tables = Vec::new();
+        let mut failures = Vec::new();
+        for run in self.runs {
+            match run.outcome {
+                Ok(table) => tables.push((run.kind.name(), table)),
+                Err(error) => failures.push((run.kind, error)),
+            }
+        }
+        if failures.is_empty() {
+            Ok(tables)
+        } else {
+            Err(ExperimentError { failures })
+        }
+    }
+}
+
+/// Fit the requested models through an arbitrary fitter. This is the
+/// orchestration core that [`fit_all`] wraps: tests inject failing fitters
+/// here to exercise the error-aggregation path.
+pub fn fit_models_with<F>(kinds: &[ModelKind], mode: ExecutionMode, fitter: F) -> FitReport
+where
+    F: Fn(ModelKind) -> Result<Table, SurrogateError> + Sync,
+{
+    let runs = match mode {
+        ExecutionMode::Parallel => kinds
+            .par_iter()
+            .map(|&kind| ModelRun {
+                kind,
+                outcome: fitter(kind),
+            })
+            .collect(),
+        ExecutionMode::Sequential => kinds
+            .iter()
+            .map(|&kind| ModelRun {
+                kind,
+                outcome: fitter(kind),
+            })
+            .collect(),
+    };
+    FitReport { runs }
+}
+
+/// Fit every surrogate model on `train` concurrently and sample as many
+/// rows as the training set holds. Per-model determinism is seed-derived,
+/// so the result is identical to a sequential run.
+pub fn fit_all(train: &Table, budget: TrainingBudget, seed: u64) -> FitReport {
+    fit_all_with_mode(ExecutionMode::Parallel, train, budget, seed)
+}
+
+/// [`fit_all`] with an explicit [`ExecutionMode`].
+pub fn fit_all_with_mode(
+    mode: ExecutionMode,
+    train: &Table,
+    budget: TrainingBudget,
+    seed: u64,
+) -> FitReport {
+    fit_models_with(&ModelKind::ALL, mode, |kind| {
+        fit_and_sample(kind, train, train.n_rows(), budget, seed)
+    })
+}
+
+/// Fit every surrogate model and return `(model name, synthetic table)` in
+/// the paper's Table-I order, or the aggregated failures.
+///
+/// This is the strict, all-or-nothing successor of the old panicking
+/// `bench::sample_all_models`; binaries that prefer to keep going with the
+/// surviving models use [`fit_all`] and [`FitReport::successes`] instead.
+pub fn sample_all_models(
+    train: &Table,
+    budget: TrainingBudget,
+    seed: u64,
+) -> Result<Vec<(&'static str, Table)>, ExperimentError> {
+    fit_all(train, budget, seed).into_tables()
+}
+
+/// Write a serde-serialisable artifact to the path given in the options, if
+/// one was requested.
+pub fn maybe_write_json<T: serde::Serialize>(options: &ExperimentOptions, artifact: &T) {
+    if let Some(path) = &options.output_json {
+        let json = serde_json::to_string_pretty(artifact).expect("serialisable artifact");
+        match std::fs::write(path, json) {
+            Ok(()) => println!("wrote artifact to {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argument_parsing_handles_all_flags() {
+        let options = ExperimentOptions::from_args(
+            [
+                "--rows",
+                "5000",
+                "--days",
+                "30",
+                "--budget",
+                "smoke",
+                "--seed",
+                "7",
+                "--json",
+                "/tmp/x.json",
+                "--unknown",
+                "ignored",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        );
+        assert_eq!(options.gross_records, 5000);
+        assert_eq!(options.days, 30.0);
+        assert_eq!(options.budget, TrainingBudget::Smoke);
+        assert_eq!(options.seed, 7);
+        assert_eq!(options.output_json.as_deref(), Some("/tmp/x.json"));
+    }
+
+    #[test]
+    fn argument_parsing_defaults() {
+        let options = ExperimentOptions::from_args(Vec::<String>::new());
+        assert_eq!(options.gross_records, 30_000);
+        assert_eq!(options.budget, TrainingBudget::Standard);
+    }
+
+    #[test]
+    fn prepare_data_produces_consistent_split() {
+        let options = ExperimentOptions {
+            gross_records: 3_000,
+            ..Default::default()
+        };
+        let data = prepare_data(&options);
+        assert!(data.funnel.surviving() > 500);
+        assert_eq!(
+            data.train.n_rows() + data.test.n_rows(),
+            data.funnel.surviving()
+        );
+        assert_eq!(data.train.n_cols(), 9);
+        // 80/20 within rounding.
+        let ratio = data.train.n_rows() as f64 / data.funnel.surviving() as f64;
+        assert!((ratio - 0.8).abs() < 0.01);
+    }
+
+    #[test]
+    fn fit_report_separates_successes_from_failures() {
+        let report = fit_models_with(&ModelKind::ALL, ExecutionMode::Sequential, |kind| {
+            if kind == ModelKind::CtabGan {
+                Err(SurrogateError::InvalidTrainingData("injected".to_string()))
+            } else {
+                Ok(Table::new())
+            }
+        });
+        assert_eq!(report.runs.len(), 4);
+        assert_eq!(report.successes().count(), 3);
+        let failures: Vec<ModelKind> = report.failures().map(|(kind, _)| kind).collect();
+        assert_eq!(failures, vec![ModelKind::CtabGan]);
+        let error = report.into_tables().unwrap_err();
+        assert_eq!(error.failures.len(), 1);
+        assert!(error.to_string().contains("CTABGAN+"));
+    }
+}

@@ -19,9 +19,15 @@
 //!
 //! [`pipeline`] ties everything together: construct any model by name, fit,
 //! sample and hand the result to the `metrics` crate.
+//!
+//! [`experiment`] is the shared experiment runtime on top of the pipeline:
+//! dataset preparation ([`experiment::prepare_data`]) and the parallel,
+//! failure-isolating fit of all four models ([`experiment::fit_all`]) that
+//! the `bench` binaries, examples and integration tests all drive.
 
 pub mod codec;
 pub mod ctabgan;
+pub mod experiment;
 pub mod mixed;
 pub mod pipeline;
 pub mod smote;
@@ -31,6 +37,10 @@ pub mod tvae;
 
 pub use codec::{ColumnSpan, TableCodec};
 pub use ctabgan::{CtabGan, CtabGanConfig};
+pub use experiment::{
+    fit_all, fit_all_with_mode, fit_models_with, prepare_data, sample_all_models, ExecutionMode,
+    ExperimentError, ExperimentOptions, FitReport, ModelRun, PreparedData,
+};
 pub use pipeline::{build_model, fit_and_sample, ModelKind, TrainingBudget};
 pub use smote::{SmoteConfig, SmoteSampler};
 pub use tabddpm::{TabDdpm, TabDdpmConfig};

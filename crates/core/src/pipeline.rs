@@ -82,7 +82,11 @@ impl TrainingBudget {
 
 /// Build a surrogate model of the requested kind with a given budget and
 /// base seed.
-pub fn build_model(kind: ModelKind, budget: TrainingBudget, seed: u64) -> Box<dyn TabularGenerator> {
+pub fn build_model(
+    kind: ModelKind,
+    budget: TrainingBudget,
+    seed: u64,
+) -> Box<dyn TabularGenerator> {
     match kind {
         ModelKind::Smote => Box::new(SmoteSampler::new(SmoteConfig::default())),
         ModelKind::Tvae => {
@@ -151,7 +155,8 @@ mod tests {
             labels.push(if rng.gen_bool(0.7) { "BNL" } else { "CERN" });
         }
         let mut t = Table::new();
-        t.push_column("workload", Column::Numerical(values)).unwrap();
+        t.push_column("workload", Column::Numerical(values))
+            .unwrap();
         t.push_column("site", Column::from_labels(&labels)).unwrap();
         t
     }
@@ -185,8 +190,8 @@ mod tests {
     fn every_model_kind_fits_and_samples() {
         let train = toy(120);
         for kind in ModelKind::ALL {
-            let synthetic =
-                fit_and_sample(kind, &train, 30, TrainingBudget::Smoke, 7).unwrap_or_else(|e| {
+            let synthetic = fit_and_sample(kind, &train, 30, TrainingBudget::Smoke, 7)
+                .unwrap_or_else(|e| {
                     panic!("{} failed: {e}", kind.name());
                 });
             assert_eq!(synthetic.n_rows(), 30, "{}", kind.name());

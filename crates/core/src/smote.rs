@@ -145,7 +145,9 @@ mod tests {
 
     fn toy(n: usize) -> Table {
         let mut t = Table::new();
-        let values: Vec<f64> = (0..n).map(|i| (i as f64 * 1.37).sin() * 10.0 + i as f64).collect();
+        let values: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 1.37).sin() * 10.0 + i as f64)
+            .collect();
         let labels: Vec<&str> = (0..n)
             .map(|i| match i % 3 {
                 0 => "BNL",
@@ -153,7 +155,8 @@ mod tests {
                 _ => "SLAC",
             })
             .collect();
-        t.push_column("workload", Column::Numerical(values)).unwrap();
+        t.push_column("workload", Column::Numerical(values))
+            .unwrap();
         t.push_column("site", Column::from_labels(&labels)).unwrap();
         t
     }
@@ -183,7 +186,10 @@ mod tests {
         let min = train_vals.iter().copied().fold(f64::INFINITY, f64::min);
         let max = train_vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         for &v in synthetic.numerical("workload").unwrap() {
-            assert!(v >= min - 1.0 && v <= max + 1.0, "{v} outside [{min}, {max}]");
+            assert!(
+                v >= min - 1.0 && v <= max + 1.0,
+                "{v} outside [{min}, {max}]"
+            );
         }
     }
 

@@ -14,7 +14,10 @@
 //! treatment preserves the model's qualitative behaviour (high fidelity,
 //! non-trivial distance from training records).
 
-use nn::{standard_normal_matrix, Adam, AdamConfig, CosineDecay, LrSchedule, Matrix, Mlp, MlpConfig, mse_loss};
+use nn::{
+    mse_loss, standard_normal_matrix, Adam, AdamConfig, CosineDecay, LrSchedule, Matrix, Mlp,
+    MlpConfig,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -90,11 +93,15 @@ fn center_categorical_blocks(data: &mut Matrix, spans: &[ColumnSpan]) {
 /// Cosine β-schedule (Nichol & Dhariwal) producing per-step ᾱ values.
 fn cosine_alpha_bar(timesteps: usize) -> Vec<f64> {
     let s = 0.008;
-    let f = |t: f64| ((t / timesteps as f64 + s) / (1.0 + s) * std::f64::consts::FRAC_PI_2)
-        .cos()
-        .powi(2);
+    let f = |t: f64| {
+        ((t / timesteps as f64 + s) / (1.0 + s) * std::f64::consts::FRAC_PI_2)
+            .cos()
+            .powi(2)
+    };
     let f0 = f(0.0);
-    (1..=timesteps).map(|t| (f(t as f64) / f0).clamp(1e-5, 0.9999)).collect()
+    (1..=timesteps)
+        .map(|t| (f(t as f64) / f0).clamp(1e-5, 0.9999))
+        .collect()
 }
 
 /// The TabDDPM surrogate model.
@@ -136,9 +143,9 @@ impl TabDdpm {
     fn denoiser_input(x_noisy: &Matrix, t_frac: &[f64]) -> Matrix {
         let rows = x_noisy.rows();
         let mut t_cols = Matrix::zeros(rows, 2);
-        for r in 0..rows {
-            t_cols.set(r, 0, t_frac[r]);
-            t_cols.set(r, 1, (t_frac[r] * std::f64::consts::PI).sin());
+        for (r, &t) in t_frac.iter().enumerate().take(rows) {
+            t_cols.set(r, 0, t);
+            t_cols.set(r, 1, (t * std::f64::consts::PI).sin());
         }
         x_noisy.hconcat(&t_cols)
     }
@@ -188,13 +195,16 @@ impl TabularGenerator for TabDdpm {
 
                 // Per-row timestep and noise.
                 let ts: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..timesteps)).collect();
-                let t_frac: Vec<f64> = ts.iter().map(|&t| (t + 1) as f64 / timesteps as f64).collect();
+                let t_frac: Vec<f64> = ts
+                    .iter()
+                    .map(|&t| (t + 1) as f64 / timesteps as f64)
+                    .collect();
                 let noise = standard_normal_matrix(batch, width, &mut rng);
 
                 // x_t = sqrt(ᾱ_t) x0 + sqrt(1 - ᾱ_t) ε
                 let mut x_noisy = Matrix::zeros(batch, width);
-                for r in 0..batch {
-                    let ab = self.alpha_bar[ts[r]];
+                for (r, &t) in ts.iter().enumerate() {
+                    let ab = self.alpha_bar[t];
                     let (sa, sb) = (ab.sqrt(), (1.0 - ab).sqrt());
                     for c in 0..width {
                         x_noisy.set(r, c, sa * x0.get(r, c) + sb * noise.get(r, c));
@@ -255,8 +265,7 @@ impl TabularGenerator for TabDdpm {
                 }
             }
             if t > 0 {
-                let sigma = ((1.0 - alphas[t]) * (1.0 - self.alpha_bar[t - 1])
-                    / (1.0 - alpha_bar))
+                let sigma = ((1.0 - alphas[t]) * (1.0 - self.alpha_bar[t - 1]) / (1.0 - alpha_bar))
                     .max(0.0)
                     .sqrt();
                 let z = standard_normal_matrix(n, width, &mut rng);
@@ -288,7 +297,8 @@ mod tests {
             }
         }
         let mut t = Table::new();
-        t.push_column("workload", Column::Numerical(values)).unwrap();
+        t.push_column("workload", Column::Numerical(values))
+            .unwrap();
         t.push_column("site", Column::from_labels(&labels)).unwrap();
         t
     }

@@ -6,7 +6,9 @@
 //! KL divergence to the standard normal prior (§IV-A of the paper). Sampling
 //! draws latents from the prior and decodes them.
 
-use nn::{gaussian_kl, standard_normal_matrix, Adam, AdamConfig, CosineDecay, LrSchedule, Mlp, MlpConfig};
+use nn::{
+    gaussian_kl, standard_normal_matrix, Adam, AdamConfig, CosineDecay, LrSchedule, Mlp, MlpConfig,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -151,8 +153,7 @@ impl TabularGenerator for Tvae {
 
                 // Decode and compute losses.
                 let recon = decoder.forward(&z);
-                let (recon_loss, grad_recon) =
-                    mixed_reconstruction_loss(codec.spans(), &recon, &x);
+                let (recon_loss, grad_recon) = mixed_reconstruction_loss(codec.spans(), &recon, &x);
                 let (kl_loss, grad_kl_mu, grad_kl_logvar) = gaussian_kl(&mu, &logvar);
                 epoch_loss += recon_loss + cfg.kl_weight * kl_loss;
 
@@ -162,8 +163,7 @@ impl TabularGenerator for Tvae {
                 // Gradients w.r.t. mu and logvar.
                 let grad_mu = grad_z.add(&grad_kl_mu.scale(cfg.kl_weight));
                 let grad_logvar_from_z = grad_z.mul(&eps).mul(&std).scale(0.5);
-                let grad_logvar =
-                    grad_logvar_from_z.add(&grad_kl_logvar.scale(cfg.kl_weight));
+                let grad_logvar = grad_logvar_from_z.add(&grad_kl_logvar.scale(cfg.kl_weight));
 
                 // Backprop through the encoder.
                 let grad_enc_out = grad_mu.hconcat(&grad_logvar);
@@ -184,7 +184,10 @@ impl TabularGenerator for Tvae {
     }
 
     fn sample(&self, n: usize, seed: u64) -> Result<Table, SurrogateError> {
-        let codec = self.codec.as_ref().ok_or(SurrogateError::NotFitted("TVAE"))?;
+        let codec = self
+            .codec
+            .as_ref()
+            .ok_or(SurrogateError::NotFitted("TVAE"))?;
         let decoder = self.decoder.as_ref().expect("decoder set when codec is");
         let mut rng = StdRng::seed_from_u64(seed);
         let z = standard_normal_matrix(n, self.config.latent_dim, &mut rng);
@@ -214,7 +217,8 @@ mod tests {
             }
         }
         let mut t = Table::new();
-        t.push_column("workload", Column::Numerical(values)).unwrap();
+        t.push_column("workload", Column::Numerical(values))
+            .unwrap();
         t.push_column("site", Column::from_labels(&labels)).unwrap();
         t
     }

@@ -174,7 +174,11 @@ mod tests {
             .collect();
         let targets: Vec<f64> = rows
             .iter()
-            .map(|r| 10.0 * (std::f64::consts::PI * r[0] * r[1]).sin() + 20.0 * (r[2] - 0.5).powi(2) + 5.0 * r[3])
+            .map(|r| {
+                10.0 * (std::f64::consts::PI * r[0] * r[1]).sin()
+                    + 20.0 * (r[2] - 0.5).powi(2)
+                    + 5.0 * r[3]
+            })
             .collect();
         (FeatureMatrix::from_rows(&rows), targets)
     }

@@ -193,7 +193,9 @@ impl RegressionTree {
 
     /// Predict every row of a feature matrix.
     pub fn predict(&self, data: &FeatureMatrix) -> Vec<f64> {
-        (0..data.n_rows()).map(|r| self.predict_row(data.row(r))).collect()
+        (0..data.n_rows())
+            .map(|r| self.predict_row(data.row(r)))
+            .collect()
     }
 
     /// Number of nodes in the tree.

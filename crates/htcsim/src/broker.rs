@@ -40,6 +40,7 @@ impl BrokerPolicy {
     ///
     /// Returns `None` when no site can currently accommodate the job (the
     /// simulator then parks the job until a slot frees up).
+    #[allow(clippy::too_many_arguments)] // mirrors the simulator's brokerage context
     pub fn choose(
         self,
         sites: &[SimSite],
@@ -71,14 +72,12 @@ impl BrokerPolicy {
                 }
                 feasible.first().copied()
             }
-            BrokerPolicy::LeastLoaded => feasible
-                .into_iter()
-                .max_by(|&a, &b| {
-                    sites[a]
-                        .free_slots()
-                        .cmp(&sites[b].free_slots())
-                        .then_with(|| b.cmp(&a))
-                }),
+            BrokerPolicy::LeastLoaded => feasible.into_iter().max_by(|&a, &b| {
+                sites[a]
+                    .free_slots()
+                    .cmp(&sites[b].free_slots())
+                    .then_with(|| b.cmp(&a))
+            }),
             BrokerPolicy::DataLocality => {
                 // Score = estimated hours lost to transfer minus a small bonus
                 // for free capacity; lower is better.
@@ -88,8 +87,8 @@ impl BrokerPolicy {
                         let t = transfer.transfer_hours(bytes, local);
                         t - 1e-3 * sites[i].free_slots() as f64
                     };
-                    cost(*&a)
-                        .partial_cmp(&cost(*&b))
+                    cost(a)
+                        .partial_cmp(&cost(b))
                         .unwrap_or(std::cmp::Ordering::Equal)
                 })
             }

@@ -48,8 +48,12 @@ impl SimJob {
     /// structure at the granularity the surrogate models actually learn.
     pub fn from_table(table: &tabular::Table) -> Vec<Self> {
         let n = table.n_rows();
-        let creation = table.numerical("creationtime").expect("creationtime column");
-        let bytes = table.numerical("inputfilebytes").expect("inputfilebytes column");
+        let creation = table
+            .numerical("creationtime")
+            .expect("creationtime column");
+        let bytes = table
+            .numerical("inputfilebytes")
+            .expect("inputfilebytes column");
         let workload = table.numerical("workload").expect("workload column");
         (0..n)
             .map(|r| {
@@ -180,13 +184,13 @@ impl GridSimulator {
         let mut rr_cursor = 0usize;
 
         let dispatch = |job_idx: usize,
-                            now: f64,
-                            sites: &mut Vec<SimSite>,
-                            catalog: &ReplicaCatalog,
-                            queue: &mut EventQueue,
-                            wan_bytes: &mut f64,
-                            transfer_hours: &mut Vec<f64>,
-                            rr_cursor: &mut usize|
+                        now: f64,
+                        sites: &mut Vec<SimSite>,
+                        catalog: &ReplicaCatalog,
+                        queue: &mut EventQueue,
+                        wan_bytes: &mut f64,
+                        transfer_hours: &mut Vec<f64>,
+                        rr_cursor: &mut usize|
          -> bool {
             let job = &jobs[job_idx];
             let choice = self.config.policy.choose(
@@ -203,10 +207,7 @@ impl GridSimulator {
             };
             sites[site_idx].acquire(job.cores);
             let local = catalog.has_replica(&job.dataset, site_idx);
-            let t_hours = self
-                .config
-                .transfer
-                .transfer_hours(job.input_bytes, local);
+            let t_hours = self.config.transfer.transfer_hours(job.input_bytes, local);
             if !local {
                 *wan_bytes += job.input_bytes;
             }
@@ -309,7 +310,12 @@ mod tests {
         let generator = WorkloadGenerator::new(GeneratorConfig::small());
         let gross = generator.generate();
         let funnel = FilterFunnel::apply(&gross);
-        let jobs: Vec<SimJob> = funnel.records.iter().take(400).map(SimJob::from_record).collect();
+        let jobs: Vec<SimJob> = funnel
+            .records
+            .iter()
+            .take(400)
+            .map(SimJob::from_record)
+            .collect();
         (generator.sites().clone(), jobs)
     }
 

@@ -26,10 +26,7 @@ impl ReplicaCatalog {
 
     /// Sites holding a replica of `dataset` (empty if unknown).
     pub fn sites_with(&self, dataset: &str) -> &[usize] {
-        self.replicas
-            .get(dataset)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.replicas.get(dataset).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Whether `site` already holds `dataset`.

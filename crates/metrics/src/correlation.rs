@@ -188,10 +188,11 @@ pub fn association_matrix(table: &Table) -> AssociationMatrix {
 /// association matrices.
 pub fn diff_corr(real: &Table, synthetic: &Table) -> f64 {
     let a = association_matrix(real);
-    let b = association_matrix(&synthetic.select(
-        &real.names().iter().map(String::as_str).collect::<Vec<_>>(),
-    )
-    .expect("synthetic table must contain the real table's columns"));
+    let b = association_matrix(
+        &synthetic
+            .select(&real.names().iter().map(String::as_str).collect::<Vec<_>>())
+            .expect("synthetic table must contain the real table's columns"),
+    );
     a.l2_diff(&b)
 }
 

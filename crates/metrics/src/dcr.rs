@@ -39,12 +39,21 @@ struct EncodedRows {
     n_rows: usize,
 }
 
-fn encode(table: &Table, ranges: &[(f64, f64)], numeric_names: &[&str], cat_names: &[&str]) -> EncodedRows {
+fn encode(
+    table: &Table,
+    ranges: &[(f64, f64)],
+    numeric_names: &[&str],
+    cat_names: &[&str],
+) -> EncodedRows {
     let numeric = numeric_names
         .iter()
         .zip(ranges)
         .map(|(name, &(min, max))| {
-            let span = if (max - min).abs() < 1e-300 { 1.0 } else { max - min };
+            let span = if (max - min).abs() < 1e-300 {
+                1.0
+            } else {
+                max - min
+            };
             table
                 .numerical(name)
                 .expect("numeric column present")
@@ -55,7 +64,12 @@ fn encode(table: &Table, ranges: &[(f64, f64)], numeric_names: &[&str], cat_name
         .collect();
     let categorical = cat_names
         .iter()
-        .map(|name| table.codes(name).expect("categorical column present").to_vec())
+        .map(|name| {
+            table
+                .codes(name)
+                .expect("categorical column present")
+                .to_vec()
+        })
         .collect();
     EncodedRows {
         numeric,
@@ -90,7 +104,11 @@ pub fn distance_to_closest_record(train: &Table, synthetic: &Table, config: DcrC
         .iter()
         .map(|name| {
             let v = train.numerical(name).expect("numeric column present");
-            let min = v.iter().copied().filter(|x| x.is_finite()).fold(f64::INFINITY, f64::min);
+            let min = v
+                .iter()
+                .copied()
+                .filter(|x| x.is_finite())
+                .fold(f64::INFINITY, f64::min);
             let max = v
                 .iter()
                 .copied()
@@ -107,7 +125,12 @@ pub fn distance_to_closest_record(train: &Table, synthetic: &Table, config: DcrC
     for name in &cat_names {
         let train_vocab = train.vocab(name).expect("categorical column").to_vec();
         let labels: Vec<String> = (0..synthetic_aligned.n_rows())
-            .map(|r| synthetic_aligned.label(name, r).expect("valid code").to_string())
+            .map(|r| {
+                synthetic_aligned
+                    .label(name, r)
+                    .expect("valid code")
+                    .to_string()
+            })
             .collect();
         let codes: Vec<u32> = labels
             .iter()
@@ -118,10 +141,11 @@ pub fn distance_to_closest_record(train: &Table, synthetic: &Table, config: DcrC
                     .map_or(u32::MAX, |i| i as u32)
             })
             .collect();
-        *synthetic_aligned.column_mut(name).expect("column exists") = tabular::Column::Categorical {
-            codes,
-            vocab: train_vocab,
-        };
+        *synthetic_aligned.column_mut(name).expect("column exists") =
+            tabular::Column::Categorical {
+                codes,
+                vocab: train_vocab,
+            };
     }
 
     let train_enc = encode(train, &ranges, &numeric_names, &cat_names);
@@ -171,7 +195,8 @@ mod tests {
 
     fn table(values: &[f64], labels: &[&str]) -> Table {
         let mut t = Table::new();
-        t.push_column("x", Column::Numerical(values.to_vec())).unwrap();
+        t.push_column("x", Column::Numerical(values.to_vec()))
+            .unwrap();
         t.push_column("s", Column::from_labels(labels)).unwrap();
         t
     }

@@ -110,9 +110,7 @@ mod tests {
         let p = dist(&[("a", 0.5), ("b", 0.5)]);
         let close = dist(&[("a", 0.55), ("b", 0.45)]);
         let far = dist(&[("a", 0.95), ("b", 0.05)]);
-        assert!(
-            jensen_shannon_divergence(&p, &close) < jensen_shannon_divergence(&p, &far)
-        );
+        assert!(jensen_shannon_divergence(&p, &close) < jensen_shannon_divergence(&p, &far));
     }
 
     #[test]

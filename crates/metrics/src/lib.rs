@@ -29,8 +29,8 @@ pub use correlation::{
     association_matrix, correlation_ratio, diff_corr, pearson, theils_u, AssociationMatrix,
 };
 pub use dcr::{distance_to_closest_record, DcrConfig};
-pub use jsd::{jensen_shannon_divergence, mean_jsd};
 pub use jsd::column_jsd;
+pub use jsd::{jensen_shannon_divergence, mean_jsd};
 pub use mlef::{diff_mlef, mlef_mse, MlefConfig};
 pub use report::{evaluate_surrogate, EvaluationConfig, SurrogateReport};
 pub use wasserstein::{mean_wasserstein, wasserstein_1d, wasserstein_1d_normalized};

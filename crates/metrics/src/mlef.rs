@@ -201,7 +201,8 @@ mod tests {
             .unwrap();
         t.push_column("ninputdatafiles", Column::Numerical(nfiles))
             .unwrap();
-        t.push_column("workload", Column::Numerical(workload)).unwrap();
+        t.push_column("workload", Column::Numerical(workload))
+            .unwrap();
         t
     }
 

@@ -134,9 +134,12 @@ mod tests {
             workload.push((s as f64 + 1.0) * 10.0 * f * rng.gen_range(0.8..1.2));
         }
         let mut t = Table::new();
-        t.push_column("computingsite", Column::from_labels(&labels)).unwrap();
-        t.push_column("ninputdatafiles", Column::Numerical(nfiles)).unwrap();
-        t.push_column("workload", Column::Numerical(workload)).unwrap();
+        t.push_column("computingsite", Column::from_labels(&labels))
+            .unwrap();
+        t.push_column("ninputdatafiles", Column::Numerical(nfiles))
+            .unwrap();
+        t.push_column("workload", Column::Numerical(workload))
+            .unwrap();
         t
     }
 

@@ -46,13 +46,21 @@ pub fn wasserstein_1d(a: &[f64], b: &[f64]) -> f64 {
 /// features with wildly different scales (bytes vs. days). This is the value
 /// aggregated into the paper's "WD" column.
 pub fn wasserstein_1d_normalized(a: &[f64], b: &[f64]) -> f64 {
-    let min = a.iter().copied().filter(|v| v.is_finite()).fold(f64::INFINITY, f64::min);
+    let min = a
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(f64::INFINITY, f64::min);
     let max = a
         .iter()
         .copied()
         .filter(|v| v.is_finite())
         .fold(f64::NEG_INFINITY, f64::max);
-    let span = if (max - min).abs() < 1e-300 { 1.0 } else { max - min };
+    let span = if (max - min).abs() < 1e-300 {
+        1.0
+    } else {
+        max - min
+    };
     let na: Vec<f64> = a.iter().map(|v| (v - min) / span).collect();
     let nb: Vec<f64> = b.iter().map(|v| (v - min) / span).collect();
     wasserstein_1d(&na, &nb)

@@ -29,9 +29,7 @@ pub mod sample;
 pub mod schedule;
 
 pub use layer::{Activation, Layer, LinearLayer};
-pub use loss::{
-    bce_with_logits, gaussian_kl, mse_loss, softmax_cross_entropy, softmax_rows,
-};
+pub use loss::{bce_with_logits, gaussian_kl, mse_loss, softmax_cross_entropy, softmax_rows};
 pub use matrix::Matrix;
 pub use mlp::{Mlp, MlpConfig};
 pub use optim::{Adam, AdamConfig, Optimizer, Sgd};

@@ -150,7 +150,10 @@ impl Matrix {
 
     /// Slice a contiguous range of columns.
     pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.cols, "column slice out of range");
+        assert!(
+            start <= end && end <= self.cols,
+            "column slice out of range"
+        );
         let mut out = Matrix::zeros(self.rows, end - start);
         for r in 0..self.rows {
             out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);

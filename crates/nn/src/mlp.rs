@@ -109,7 +109,12 @@ impl Mlp {
     /// Apply one optimisation step using the gradients accumulated by the
     /// last backward pass. `param_group` namespaces the optimizer state so
     /// several networks can share one optimizer without clobbering moments.
-    pub fn apply_gradients<O: Optimizer>(&mut self, optimizer: &mut O, param_group: usize, lr: f64) {
+    pub fn apply_gradients<O: Optimizer>(
+        &mut self,
+        optimizer: &mut O,
+        param_group: usize,
+        lr: f64,
+    ) {
         for (i, layer) in self.layers.iter_mut().enumerate() {
             let wkey = param_group * 1000 + i * 2;
             let bkey = wkey + 1;

@@ -52,7 +52,11 @@ impl Optimizer for Sgd {
             .velocity
             .entry(key)
             .or_insert_with(|| vec![0.0; params.len()]);
-        assert_eq!(velocity.len(), params.len(), "stale optimizer state for key");
+        assert_eq!(
+            velocity.len(),
+            params.len(),
+            "stale optimizer state for key"
+        );
         for ((p, g), v) in params.iter_mut().zip(grads).zip(velocity.iter_mut()) {
             *v = self.momentum * *v + g;
             *p -= lr * *v;

@@ -56,7 +56,8 @@ impl LrSchedule for CosineDecay {
         if self.warmup_steps > 0 && step < self.warmup_steps {
             return self.base_lr * (step as f64 + 1.0) / self.warmup_steps as f64;
         }
-        let effective = (step - self.warmup_steps).min(self.total_steps - self.warmup_steps.min(self.total_steps));
+        let effective = (step - self.warmup_steps)
+            .min(self.total_steps - self.warmup_steps.min(self.total_steps));
         let horizon = (self.total_steps.saturating_sub(self.warmup_steps)).max(1);
         let progress = (effective as f64 / horizon as f64).clamp(0.0, 1.0);
         let cosine = 0.5 * (1.0 + (std::f64::consts::PI * progress).cos());

@@ -44,27 +44,28 @@ impl FilterFunnel {
             dropped: 0,
         });
 
-        let mut step = |name: &str, current: &mut Vec<JobRecord>, pred: &dyn Fn(&JobRecord) -> bool| {
-            let before = current.len();
-            current.retain(|r| pred(r));
-            stages.push(FunnelStage {
-                name: name.to_string(),
-                remaining: current.len(),
-                dropped: before - current.len(),
-            });
-        };
+        let mut step =
+            |name: &str, current: &mut Vec<JobRecord>, pred: &dyn Fn(&JobRecord) -> bool| {
+                let before = current.len();
+                current.retain(|r| pred(r));
+                stages.push(FunnelStage {
+                    name: name.to_string(),
+                    remaining: current.len(),
+                    dropped: before - current.len(),
+                });
+            };
 
-        step(
-            "user-analysis jobs only",
-            &mut current,
-            &|r| r.source == JobSource::UserAnalysis,
-        );
+        step("user-analysis jobs only", &mut current, &|r| {
+            r.source == JobSource::UserAnalysis
+        });
         step("DAOD input datasets only", &mut current, &|r| {
             r.is_daod_input()
         });
-        step("terminal status with valid accounting", &mut current, &|r| {
-            r.cpu_time_s > 0.0 && r.n_input_files > 0 && r.input_file_bytes > 0.0
-        });
+        step(
+            "terminal status with valid accounting",
+            &mut current,
+            &|r| r.cpu_time_s > 0.0 && r.n_input_files > 0 && r.input_file_bytes > 0.0,
+        );
 
         Self {
             stages,
@@ -108,7 +109,10 @@ mod tests {
     fn surviving_records_are_user_daod_terminal() {
         let gross = WorkloadGenerator::new(GeneratorConfig::small()).generate();
         let funnel = FilterFunnel::apply(&gross);
-        assert!(funnel.surviving() > gross.len() / 4, "funnel too aggressive");
+        assert!(
+            funnel.surviving() > gross.len() / 4,
+            "funnel too aggressive"
+        );
         for r in &funnel.records {
             assert_eq!(r.source, JobSource::UserAnalysis);
             assert!(r.is_daod_input());

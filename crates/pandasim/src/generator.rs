@@ -127,7 +127,9 @@ impl WorkloadGenerator {
             let frac = rng.gen_range(0.05f64..1.0).powf(0.7);
             let n_input_files = ((dataset.n_files as f64 * frac).round() as u32).max(1);
             let mean_file_bytes = dataset.total_bytes / dataset.n_files as f64;
-            let size_noise = LogNormal::new(0.0f64, 0.25).expect("valid").sample(&mut rng);
+            let size_noise = LogNormal::new(0.0f64, 0.25)
+                .expect("valid")
+                .sample(&mut rng);
             let input_file_bytes = mean_file_bytes * n_input_files as f64 * size_noise;
 
             // Site choice: data projects lean towards Tier-0/1 (first 6
@@ -149,7 +151,9 @@ impl WorkloadGenerator {
                 _ => 1.4,
             };
             let gb = input_file_bytes / 1e9;
-            let cpu_noise = LogNormal::new(0.0f64, 0.45).expect("valid").sample(&mut rng);
+            let cpu_noise = LogNormal::new(0.0f64, 0.45)
+                .expect("valid")
+                .sample(&mut rng);
             // Production payloads are heavier per byte than user analysis.
             let source_cost = if is_user { 1.0 } else { 2.5 };
             let cpu_time_s = (user.median_cpu_per_file_s * n_input_files as f64 * 0.5
@@ -260,7 +264,10 @@ mod tests {
         let records = WorkloadGenerator::new(GeneratorConfig::small()).generate();
         let logw: Vec<f64> = records.iter().map(|r| r.workload().ln()).collect();
         let logb: Vec<f64> = records.iter().map(|r| r.input_file_bytes.ln()).collect();
-        let lognf: Vec<f64> = records.iter().map(|r| (r.n_input_files as f64).ln()).collect();
+        let lognf: Vec<f64> = records
+            .iter()
+            .map(|r| (r.n_input_files as f64).ln())
+            .collect();
         assert!(pearson(&logw, &logb) > 0.25, "corr(w, bytes) too weak");
         assert!(pearson(&logw, &lognf) > 0.15, "corr(w, nfiles) too weak");
     }

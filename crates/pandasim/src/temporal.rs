@@ -74,7 +74,9 @@ impl TemporalProfile {
         // Peak analysis activity around 15:00 UTC (European afternoon,
         // US morning).
         let diurnal = 1.0
-            - self.diurnal_depth * 0.5 * (1.0 + ((hour_of_day - 15.0) / 24.0 * std::f64::consts::TAU).cos() * -1.0);
+            - self.diurnal_depth
+                * 0.5
+                * (1.0 + -((hour_of_day - 15.0) / 24.0 * std::f64::consts::TAU).cos());
         let day_of_week = (t_days.floor() as i64).rem_euclid(7);
         let weekly = if day_of_week >= 5 {
             1.0 - self.weekend_depth

@@ -140,7 +140,7 @@ impl OneHotEncoder {
         if self.cardinality == 0 {
             return Err(TabularError::NotFitted("OneHotEncoder"));
         }
-        if rows.len() % self.cardinality != 0 {
+        if !rows.len().is_multiple_of(self.cardinality) {
             return Err(TabularError::LengthMismatch {
                 context: "OneHotEncoder::decode",
                 expected: self.cardinality,

@@ -72,7 +72,10 @@ impl fmt::Display for TabularError {
             ),
             TabularError::NotFitted(what) => write!(f, "{what} used before fit"),
             TabularError::Parse { row, column, value } => {
-                write!(f, "failed to parse `{value}` in column `{column}` at row {row}")
+                write!(
+                    f,
+                    "failed to parse `{value}` in column `{column}` at row {row}"
+                )
             }
             TabularError::Empty(what) => write!(f, "{what} is empty"),
         }

@@ -103,14 +103,20 @@ pub fn read_csv<R: Read>(reader: R, schema: &Schema) -> Result<Table, TabularErr
         }
         let cells = split_line(&line);
         for (i, spec) in schema.features().iter().enumerate() {
-            let cell = cells.get(col_positions[i]).map(String::as_str).unwrap_or("");
+            let cell = cells
+                .get(col_positions[i])
+                .map(String::as_str)
+                .unwrap_or("");
             match spec.kind {
                 FeatureKind::Numerical => {
-                    let v = cell.trim().parse::<f64>().map_err(|_| TabularError::Parse {
-                        row: row_idx + 2,
-                        column: spec.name.clone(),
-                        value: cell.to_string(),
-                    })?;
+                    let v = cell
+                        .trim()
+                        .parse::<f64>()
+                        .map_err(|_| TabularError::Parse {
+                            row: row_idx + 2,
+                            column: spec.name.clone(),
+                            value: cell.to_string(),
+                        })?;
                     numeric_data[i].push(v);
                 }
                 FeatureKind::Categorical => string_data[i].push(cell.to_string()),
@@ -157,7 +163,10 @@ mod tests {
         ]);
         let back = read_csv(buf.as_slice(), &schema).unwrap();
         assert_eq!(back.n_rows(), 3);
-        assert_eq!(back.numerical("workload").unwrap(), t.numerical("workload").unwrap());
+        assert_eq!(
+            back.numerical("workload").unwrap(),
+            t.numerical("workload").unwrap()
+        );
         assert_eq!(back.label("site", 1).unwrap(), "CERN, Tier0");
     }
 

@@ -111,7 +111,10 @@ mod tests {
             },
         )
         .unwrap();
-        assert_eq!(train.numerical("x").unwrap(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(
+            train.numerical("x").unwrap(),
+            &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        );
         assert_eq!(test.numerical("x").unwrap(), &[7.0, 8.0, 9.0]);
     }
 

@@ -107,11 +107,7 @@ pub fn value_counts(column: &Column) -> Result<Vec<(String, u64)>, TabularError>
                     counts[c as usize] += 1;
                 }
             }
-            let mut out: Vec<(String, u64)> = vocab
-                .iter()
-                .cloned()
-                .zip(counts)
-                .collect();
+            let mut out: Vec<(String, u64)> = vocab.iter().cloned().zip(counts).collect();
             out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             Ok(out)
         }

@@ -181,7 +181,7 @@ impl Table {
         column: Column,
     ) -> Result<(), TabularError> {
         let name = name.into();
-        if self.names.iter().any(|n| *n == name) {
+        if self.names.contains(&name) {
             return Err(TabularError::UnknownColumn(format!(
                 "duplicate column `{name}`"
             )));
@@ -309,8 +309,14 @@ impl Table {
                     Column::Numerical(v)
                 }
                 (
-                    Column::Categorical { codes: ca, vocab: va },
-                    Column::Categorical { codes: cb, vocab: vb },
+                    Column::Categorical {
+                        codes: ca,
+                        vocab: va,
+                    },
+                    Column::Categorical {
+                        codes: cb,
+                        vocab: vb,
+                    },
                 ) => {
                     // Re-map the other table's codes into this table's
                     // vocabulary, extending it for unseen labels.

@@ -38,7 +38,7 @@ pub fn inverse_normal_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -100,8 +100,7 @@ fn erfc_scalar(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
             .exp();
     if x >= 0.0 {
         ans
@@ -158,7 +157,11 @@ impl QuantileTransformer {
         let hi = refs.partition_point(|&r| r <= x);
         let lo = hi - 1;
         let span = refs[hi] - refs[lo];
-        let frac = if span > 0.0 { (x - refs[lo]) / span } else { 0.0 };
+        let frac = if span > 0.0 {
+            (x - refs[lo]) / span
+        } else {
+            0.0
+        };
         let rank = lo as f64 + frac;
         (rank / (n - 1) as f64).clamp(self.eps, 1.0 - self.eps)
     }
@@ -388,7 +391,9 @@ mod tests {
 
     #[test]
     fn quantile_transform_is_roughly_standard_normal() {
-        let values: Vec<f64> = (0..2000).map(|i| (i as f64 * 0.37).sin() * 50.0 + i as f64).collect();
+        let values: Vec<f64> = (0..2000)
+            .map(|i| (i as f64 * 0.37).sin() * 50.0 + i as f64)
+            .collect();
         let mut qt = QuantileTransformer::new();
         let z = qt.fit_transform(&values).unwrap();
         let mean = z.iter().sum::<f64>() / z.len() as f64;

@@ -12,29 +12,30 @@
 //! ```
 
 use panda_surrogate::htcsim::{BrokerPolicy, GridSimulator, SimConfig, SimJob};
-use panda_surrogate::pandasim::{
-    records_to_table, FilterFunnel, GeneratorConfig, WorkloadGenerator,
+use panda_surrogate::surrogate::{
+    fit_and_sample, prepare_data, ExperimentOptions, ModelKind, TrainingBudget,
 };
-use panda_surrogate::surrogate::{fit_and_sample, ModelKind, TrainingBudget};
 
 fn main() {
-    let generator = WorkloadGenerator::new(GeneratorConfig {
+    let options = ExperimentOptions {
         gross_records: 12_000,
-        ..GeneratorConfig::default()
-    });
-    let funnel = FilterFunnel::apply(&generator.generate());
-    let train = records_to_table(&funnel.records);
+        seed: 11,
+        ..ExperimentOptions::default()
+    };
+    let data = prepare_data(&options);
+    let train = &data.train;
+    let generator = &data.generator;
 
     let synthetic = fit_and_sample(
         ModelKind::TabDdpm,
-        &train,
+        train,
         train.n_rows(),
         TrainingBudget::Smoke,
         11,
     )
     .expect("TabDDPM fits and samples");
 
-    let real_jobs = SimJob::from_table(&train);
+    let real_jobs = SimJob::from_table(train);
     let synthetic_jobs = SimJob::from_table(&synthetic);
     println!(
         "driving the grid simulator with {} real and {} synthetic jobs\n",

@@ -6,37 +6,35 @@
 //! ```
 
 use panda_surrogate::metrics::{evaluate_surrogate, EvaluationConfig, SurrogateReport};
-use panda_surrogate::pandasim::{
-    records_to_table, FilterFunnel, GeneratorConfig, WorkloadGenerator,
-};
-use panda_surrogate::surrogate::{fit_and_sample, ModelKind, TrainingBudget};
-use panda_surrogate::tabular::{train_test_split, SplitOptions};
+use panda_surrogate::surrogate::{fit_all, prepare_data, ExperimentOptions, TrainingBudget};
 
 fn main() {
-    let generator = WorkloadGenerator::new(GeneratorConfig {
+    let options = ExperimentOptions {
         gross_records: 10_000,
-        ..GeneratorConfig::default()
-    });
-    let funnel = FilterFunnel::apply(&generator.generate());
-    let table = records_to_table(&funnel.records);
-    let (train, test) = train_test_split(&table, SplitOptions::default()).expect("non-empty table");
+        budget: TrainingBudget::Smoke,
+        seed: 7,
+        ..ExperimentOptions::default()
+    };
+    let data = prepare_data(&options);
 
     println!(
         "training rows: {}, test rows: {}\n",
-        train.n_rows(),
-        test.n_rows()
+        data.train.n_rows(),
+        data.test.n_rows()
     );
     println!("{}", SurrogateReport::table_header());
 
+    // The four fits run concurrently; a model that diverges shows up as a
+    // warning instead of killing the comparison.
+    let fits = fit_all(&data.train, options.budget, options.seed);
+    fits.report_failures();
     let mut reports = Vec::new();
-    for kind in ModelKind::ALL {
-        let synthetic = fit_and_sample(kind, &train, train.n_rows(), TrainingBudget::Smoke, 7)
-            .unwrap_or_else(|e| panic!("{} failed: {e}", kind.name()));
+    for (name, synthetic) in fits.successes() {
         let report = evaluate_surrogate(
-            kind.name(),
-            &train,
-            &test,
-            &synthetic,
+            name,
+            &data.train,
+            &data.test,
+            synthetic,
             &EvaluationConfig::fast(),
         );
         println!("{}", report.table_row());

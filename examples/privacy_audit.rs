@@ -10,23 +10,20 @@
 //! cargo run --release --example privacy_audit
 //! ```
 
-use panda_surrogate::metrics::{
-    distance_to_closest_record, mean_wasserstein, DcrConfig,
-};
-use panda_surrogate::pandasim::{
-    records_to_table, FilterFunnel, GeneratorConfig, WorkloadGenerator,
-};
+use panda_surrogate::metrics::{distance_to_closest_record, mean_wasserstein, DcrConfig};
 use panda_surrogate::surrogate::{
-    SmoteConfig, SmoteSampler, TabDdpm, TabDdpmConfig, TabularGenerator,
+    prepare_data, ExperimentOptions, SmoteConfig, SmoteSampler, TabDdpm, TabDdpmConfig,
+    TabularGenerator,
 };
 
 fn main() {
-    let generator = WorkloadGenerator::new(GeneratorConfig {
+    let options = ExperimentOptions {
         gross_records: 8_000,
-        ..GeneratorConfig::default()
-    });
-    let funnel = FilterFunnel::apply(&generator.generate());
-    let train = records_to_table(&funnel.records);
+        ..ExperimentOptions::default()
+    };
+    let data = prepare_data(&options);
+    // Audit over the full modelling table (both splits), like the paper.
+    let train = data.table;
     let n_synthetic = 2_000.min(train.n_rows());
     let dcr_config = DcrConfig::default();
 
@@ -47,7 +44,12 @@ fn main() {
         let synthetic = smote.sample(n_synthetic, 3).expect("SMOTE samples");
         let dcr = distance_to_closest_record(&train, &synthetic, dcr_config);
         let wd = mean_wasserstein(&train, &synthetic);
-        println!("{:<24} {:>10.4} {:>12.4}", format!("SMOTE (k = {k})"), dcr, wd);
+        println!(
+            "{:<24} {:>10.4} {:>12.4}",
+            format!("SMOTE (k = {k})"),
+            dcr,
+            wd
+        );
     }
 
     // TabDDPM: a learned model that samples from the distribution rather than

@@ -7,33 +7,32 @@
 //! ```
 
 use panda_surrogate::metrics::{evaluate_surrogate, EvaluationConfig};
-use panda_surrogate::pandasim::{
-    records_to_table, FilterFunnel, GeneratorConfig, WorkloadGenerator,
+use panda_surrogate::surrogate::{
+    fit_and_sample, prepare_data, ExperimentOptions, ModelKind, TrainingBudget,
 };
-use panda_surrogate::surrogate::{fit_and_sample, ModelKind, TrainingBudget};
-use panda_surrogate::tabular::{train_test_split, SplitOptions};
 
 fn main() {
     // 1. Simulate a PanDA-like job stream (the stand-in for the real,
-    //    proprietary ATLAS records) and run the paper's filtering funnel.
-    let generator = WorkloadGenerator::new(GeneratorConfig {
+    //    proprietary ATLAS records), run the paper's filtering funnel and
+    //    split the nine-feature modelling table 80/20 — all through the
+    //    shared experiment runtime in `surrogate::experiment`.
+    let options = ExperimentOptions {
         gross_records: 8_000,
-        ..GeneratorConfig::default()
-    });
-    let gross = generator.generate();
-    let funnel = FilterFunnel::apply(&gross);
+        ..ExperimentOptions::default()
+    };
+    let data = prepare_data(&options);
     println!("filtering funnel:");
-    for line in funnel.render() {
+    for line in data.funnel.render() {
         println!("  {line}");
     }
 
-    // 2. Build the nine-feature modelling table and split it 80/20.
-    let table = records_to_table(&funnel.records);
-    let (train, test) = train_test_split(&table, SplitOptions::default()).expect("non-empty table");
+    // 2. The prepared dataset carries the train/test split of the
+    //    modelling table.
+    let (train, test) = (&data.train, &data.test);
     println!(
         "\nmodelling table: {} rows x {} features ({} train / {} test)",
-        table.n_rows(),
-        table.n_cols(),
+        train.n_rows() + test.n_rows(),
+        train.n_cols(),
         train.n_rows(),
         test.n_rows()
     );
@@ -43,7 +42,7 @@ fn main() {
     //    higher-quality samples at the cost of training time.
     let synthetic = fit_and_sample(
         ModelKind::TabDdpm,
-        &train,
+        train,
         train.n_rows(),
         TrainingBudget::Smoke,
         42,
@@ -66,11 +65,14 @@ fn main() {
     // 4. Score the synthetic data with the paper's Table-I metrics.
     let report = evaluate_surrogate(
         "TabDDPM",
-        &train,
-        &test,
+        train,
+        test,
         &synthetic,
         &EvaluationConfig::fast(),
     );
-    println!("\n{}", panda_surrogate::metrics::SurrogateReport::table_header());
+    println!(
+        "\n{}",
+        panda_surrogate::metrics::SurrogateReport::table_header()
+    );
     println!("{}", report.table_row());
 }

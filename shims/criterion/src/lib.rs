@@ -1,0 +1,183 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Exposes the macro/struct surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`) and measures with a
+//! plain wall-clock loop: one warm-up call, then up to `sample_size`
+//! iterations or ~1 second, whichever comes first, reporting the mean. No
+//! statistics, plots or baselines — the goal is that `cargo bench` builds,
+//! runs and prints comparable numbers without crates.io access.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter into a label.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a sample-size budget.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Cap the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time a closure that needs no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher);
+        bencher.report(&self.name, &id.label);
+        self
+    }
+
+    /// Time a closure parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher, input);
+        bencher.report(&self.name, &id.label);
+        self
+    }
+
+    /// End the group (upstream flushes reports here; the shim prints eagerly).
+    pub fn finish(self) {}
+}
+
+/// Collects iteration timings for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Run the routine once warm, then repeatedly under the group's budget.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up, untimed
+        let budget = Duration::from_secs(1);
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(routine());
+            self.iterations += 1;
+            if start.elapsed() > budget {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    fn report(&self, group: &str, label: &str) {
+        if self.iterations == 0 {
+            println!("{group}/{label}: no timed iterations");
+            return;
+        }
+        let mean = self.elapsed / self.iterations as u32;
+        println!(
+            "{group}/{label}: {mean:?} mean over {} iterations",
+            self.iterations
+        );
+    }
+}
+
+/// Declare a group function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench entry point from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_test");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        // one warm-up + up to three timed iterations
+        assert!((2..=4).contains(&calls), "calls = {calls}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! the small API subset it actually uses as a local shim: a seedable
+//! xoshiro256++ generator behind [`rngs::StdRng`], the [`Rng`] /
+//! [`SeedableRng`] traits, uniform ranges via [`Rng::gen_range`], weighted
+//! sampling via [`distributions::WeightedIndex`] and Fisher–Yates shuffling
+//! via [`seq::SliceRandom`].
+//!
+//! Determinism contract: for a fixed seed, every method produces the same
+//! stream on every platform and in every build. Several crates (and the
+//! parallel experiment runtime in `surrogate::experiment`) rely on this to
+//! make parallel and sequential runs byte-identical.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+/// Minimal core-RNG interface: everything is derived from `next_u64`.
+pub trait RngCore {
+    /// Next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly distributed random bits (upper half of a u64 draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A generator that can be constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build the generator from a single `u64` seed (via SplitMix64 state
+    /// expansion, like upstream `rand`).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample uniformly from a half-open or inclusive range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Uniform `f64` in `[0, 1)` built from the top 53 bits of a `u64` draw.
+/// Public so the `rand_distr` shim can reuse the exact same stream mapping.
+pub fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types with a uniform sampler over half-open / inclusive bounds. The
+/// single blanket [`SampleRange`] impl below funnels through this trait so
+/// integer-literal ranges unify with the type the call site needs (mirrors
+/// upstream rand's `SampleUniform` structure).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[low, high)`.
+    fn sample_half_open<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Uniform sample from `[low, high]`.
+    fn sample_inclusive<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore>(low: $t, high: $t, rng: &mut R) -> $t {
+                assert!(low < high, "cannot sample empty range");
+                let span = (high as i128).wrapping_sub(low as i128) as u64;
+                low.wrapping_add((rng.next_u64() % span) as $t)
+            }
+
+            fn sample_inclusive<R: RngCore>(low: $t, high: $t, rng: &mut R) -> $t {
+                assert!(low <= high, "cannot sample empty range");
+                let span = (high as i128).wrapping_sub(low as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return low.wrapping_add(rng.next_u64() as $t);
+                }
+                low.wrapping_add((rng.next_u64() % span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(usize, u64, u32, u16, u8, i64, i32, i16, i8, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore>(low: $t, high: $t, rng: &mut R) -> $t {
+                assert!(low < high, "cannot sample empty range");
+                low + (high - low) * unit_f64(rng) as $t
+            }
+
+            fn sample_inclusive<R: RngCore>(low: $t, high: $t, rng: &mut R) -> $t {
+                assert!(low <= high, "cannot sample empty range");
+                low + (high - low) * unit_f64(rng) as $t
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f64, f32);
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let f: f64 = rng.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let inc: usize = rng.gen_range(0..=4);
+            assert!(inc <= 4);
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn unit_f64_is_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let u = unit_f64(&mut rng);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Concrete generators. Only `StdRng` is provided: a xoshiro256++ generator
+//! seeded through SplitMix64, which is small, fast and deterministic across
+//! platforms (the only properties this workspace needs).
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 state expansion, as recommended by the xoshiro authors
+        // (and used by upstream rand for seed_from_u64).
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let state = [next(), next(), next(), next()];
+        StdRng { state }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        self.state = [s0, s1, s2, s3.rotate_left(45)];
+        result
+    }
+}

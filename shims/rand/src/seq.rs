@@ -1,0 +1,40 @@
+//! Sequence helpers: in-place Fisher–Yates shuffling.
+
+use crate::{Rng, RngCore};
+
+/// Randomisation methods on slices.
+pub trait SliceRandom {
+    /// Shuffle the slice in place.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_deterministic() {
+        let mut a: Vec<usize> = (0..100).collect();
+        let mut b: Vec<usize> = (0..100).collect();
+        a.shuffle(&mut StdRng::seed_from_u64(3));
+        b.shuffle(&mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        let mut c: Vec<usize> = (0..100).collect();
+        c.shuffle(&mut StdRng::seed_from_u64(4));
+        assert_ne!(a, c);
+    }
+}

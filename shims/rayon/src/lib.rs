@@ -1,0 +1,227 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the data-parallel API subset the workspace uses — `par_iter`,
+//! `into_par_iter`, `par_chunks_mut`, with `map` / `enumerate` / `for_each` /
+//! `collect` / `sum` — executed with **real parallelism** on scoped OS
+//! threads (`std::thread::scope`), one contiguous chunk per hardware thread.
+//!
+//! Unlike rayon proper there is no work-stealing pool: every parallel call
+//! spawns short-lived scoped threads. That is a good trade for this
+//! workspace, whose parallel regions are coarse (model fits, kNN rows,
+//! matmul rows). Result order always matches input order, so substituting
+//! this shim for rayon is behaviour-preserving.
+
+use std::num::NonZeroUsize;
+
+/// Everything call sites need, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+fn thread_count(work_items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(work_items)
+        .max(1)
+}
+
+/// Map `f` over `items` on scoped threads, preserving input order.
+fn par_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = thread_count(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk_size));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+/// An eager "parallel iterator": the items are materialised up front and the
+/// terminal operation fans them out across threads.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair every item with its index, like `Iterator::enumerate`.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Lazily attach a map stage, applied in parallel by the terminal op.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` over every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        par_map(self.items, &|item| f(item));
+    }
+}
+
+/// A mapped parallel iterator awaiting its terminal operation.
+pub struct ParMap<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Apply the map in parallel and collect in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        par_map(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Apply the map in parallel and sum the results.
+    pub fn sum<R>(self) -> R
+    where
+        R: Send + std::iter::Sum<R>,
+        F: Fn(T) -> R + Sync,
+    {
+        par_map(self.items, &self.f).into_iter().sum()
+    }
+
+    /// Run the mapped closure for its side effects.
+    pub fn for_each(self)
+    where
+        F: Fn(T) + Sync,
+    {
+        par_map(self.items, &|item| (self.f)(item));
+    }
+}
+
+/// Conversion into a parallel iterator by value (`0..n`, `Vec<T>`, arrays).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Materialise into an eager parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// `par_iter` over shared slices (and anything that derefs to a slice).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T` in order.
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut` over exclusive slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks, in order.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, (0..1000).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_sum_matches_sequential() {
+        let values: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let total: f64 = values.par_iter().map(|&v| v * 0.5).sum();
+        assert_eq!(total, values.iter().map(|&v| v * 0.5).sum::<f64>());
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_chunk_once() {
+        let mut data = vec![0u64; 103];
+        data.par_chunks_mut(10)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.iter_mut().for_each(|v| *v = i as u64 + 1));
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[102], 11);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        (0..64).into_par_iter().for_each(|_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        let distinct = seen.lock().unwrap().len();
+        let expected = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert!(
+            distinct >= expected.min(2),
+            "saw {distinct} threads, expected at least {}",
+            expected.min(2)
+        );
+    }
+}

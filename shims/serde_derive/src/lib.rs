@@ -1,0 +1,336 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are not
+//! available; instead this crate parses the derive input token stream by
+//! hand. It supports exactly the shapes this workspace uses:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]`),
+//! * tuple and unit structs,
+//! * enums with unit, tuple and struct variants,
+//!
+//! without generic parameters. `Serialize` lowers a value into the shim's
+//! `serde::Value` tree (JSON semantics: unit variants become strings,
+//! data-carrying variants become single-key objects). `Deserialize` only
+//! marks the type — nothing in the workspace reads serialized data back yet.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` by generating a `to_value` implementation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "fields.push(({:?}.to_string(), serde::Serialize::to_value(&self.{})));\n",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!(
+                "let mut fields: Vec<(String, serde::Value)> = Vec::new();\n{pushes}serde::Value::Object(fields)"
+            )
+        }
+        Shape::TupleStruct(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| variant_arm(&item.name, v))
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {} {{\n    fn to_value(&self) -> serde::Value {{\n{body}\n    }}\n}}",
+        item.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derive the marker trait `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+fn variant_arm(enum_name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.shape {
+        VariantShape::Unit => {
+            format!("{enum_name}::{v} => serde::Value::String({v:?}.to_string()),\n")
+        }
+        VariantShape::Tuple(arity) => {
+            let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+            let payload = if *arity == 1 {
+                "serde::Serialize::to_value(f0)".to_string()
+            } else {
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "{enum_name}::{v}({}) => serde::Value::Object(vec![({v:?}.to_string(), {payload})]),\n",
+                binds.join(", ")
+            )
+        }
+        VariantShape::Struct(fields) => {
+            let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+            let pushes: String = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "inner.push(({:?}.to_string(), serde::Serialize::to_value({})));\n",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{v} {{ {} }} => {{\nlet mut inner: Vec<(String, serde::Value)> = Vec::new();\n{pushes}serde::Value::Object(vec![({v:?}.to_string(), serde::Value::Object(inner))])\n}},\n",
+                binds.join(", ")
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// True for an attribute group (the bracketed part) spelling `serde(skip)`.
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Consume leading attributes, reporting whether any was `#[serde(skip)]`.
+fn skip_attributes(tokens: &[TokenTree], mut pos: usize) -> (usize, bool) {
+    let mut skip = false;
+    while pos + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[pos] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[pos + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        skip |= attr_is_serde_skip(g);
+        pos += 2;
+    }
+    (pos, skip)
+}
+
+/// Consume a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn skip_visibility(tokens: &[TokenTree], mut pos: usize) -> usize {
+    if matches!(&tokens.get(pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        pos += 1;
+        if matches!(
+            tokens.get(pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            pos += 1;
+        }
+    }
+    pos
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (pos, _) = skip_attributes(&tokens, 0);
+    let pos = skip_visibility(&tokens, pos);
+
+    let keyword = match &tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match &tokens.get(pos + 1) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other:?}"),
+    };
+    let rest = &tokens[pos + 2..];
+    if matches!(rest.first(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic type `{name}`");
+    }
+
+    let shape = match keyword.as_str() {
+        "struct" => match rest.first() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_items(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde shim derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match rest.first() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+/// Parse `name: Type, …` field lists, tracking `#[serde(skip)]`.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let (next, skip) = skip_attributes(&tokens, pos);
+        let next = skip_visibility(&tokens, next);
+        let name = match &tokens.get(next) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected field name, found {other:?}"),
+        };
+        fields.push(Field { name, skip });
+        // Skip past the `:` and the type, up to the next top-level comma.
+        // Commas inside angle brackets (`BTreeMap<String, f64>`) or groups
+        // don't count; groups arrive as single atomic tokens.
+        let mut angle_depth = 0usize;
+        pos = next + 1;
+        while pos < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[pos] {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => {
+                        pos += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct / tuple variant.
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0usize;
+    let mut trailing_comma = false;
+    for token in &tokens {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    count - usize::from(trailing_comma)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let (next, _) = skip_attributes(&tokens, pos);
+        let name = match &tokens.get(next) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected variant name, found {other:?}"),
+        };
+        let mut shape = VariantShape::Unit;
+        let mut cursor = next + 1;
+        match tokens.get(cursor) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                shape = VariantShape::Tuple(count_top_level_items(g.stream()));
+                cursor += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                shape = VariantShape::Struct(parse_named_fields(g.stream()));
+                cursor += 1;
+            }
+            _ => {}
+        }
+        // Skip an explicit discriminant (`= expr`) and the separating comma.
+        while cursor < tokens.len() {
+            if matches!(&tokens[cursor], TokenTree::Punct(p) if p.as_char() == ',') {
+                cursor += 1;
+                break;
+            }
+            cursor += 1;
+        }
+        variants.push(Variant { name, shape });
+        pos = cursor;
+    }
+    variants
+}

@@ -1,0 +1,156 @@
+//! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json):
+//! renders the local serde shim's [`Value`] tree as JSON text. Only the
+//! writer half exists — the workspace writes experiment artifacts but never
+//! reads them back.
+
+pub use serde::Value;
+
+/// Error type for JSON rendering. Rendering a [`Value`] tree cannot
+/// currently fail, but the `Result` return keeps call sites source-compatible
+/// with upstream `serde_json`.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize a value to compact JSON.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize a value to two-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn write_value(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => write_seq(
+            items.iter(),
+            indent,
+            depth,
+            out,
+            ('[', ']'),
+            |item, d, o| write_value(item, indent, d, o),
+        ),
+        Value::Object(entries) => write_seq(
+            entries.iter(),
+            indent,
+            depth,
+            out,
+            ('{', '}'),
+            |(key, item), d, o| {
+                write_string(key, o);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(item, indent, d, o);
+            },
+        ),
+    }
+}
+
+fn write_seq<T>(
+    items: impl ExactSizeIterator<Item = T>,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    (open, close): (char, char),
+    mut write_item: impl FnMut(T, usize, &mut String),
+) {
+    out.push(open);
+    let n = items.len();
+    for (i, item) in items.enumerate() {
+        newline(indent, depth + 1, out);
+        write_item(item, depth + 1, out);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if n > 0 {
+        newline(indent, depth, out);
+    }
+    out.push(close);
+}
+
+fn newline(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no NaN/Infinity; upstream serde_json also refuses them.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn compact_rendering() {
+        let mut map: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        map.insert("a".to_string(), vec![1.0, 2.5]);
+        assert_eq!(to_string(&map).unwrap(), r#"{"a":[1,2.5]}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let mut map: BTreeMap<String, f64> = BTreeMap::new();
+        map.insert("x".to_string(), 1.0);
+        let text = to_string_pretty(&map).unwrap();
+        assert_eq!(text, "{\n  \"x\": 1\n}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = "line\none \"two\"\\".to_string();
+        assert_eq!(to_string(&s).unwrap(), r#""line\none \"two\"\\""#);
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+}

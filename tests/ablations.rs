@@ -6,22 +6,20 @@
 //! reaches further, diffusion quality improving with more timesteps).
 
 use panda_surrogate::metrics::{distance_to_closest_record, mean_wasserstein, DcrConfig};
-use panda_surrogate::pandasim::{
-    records_to_table, FilterFunnel, GeneratorConfig, WorkloadGenerator,
-};
 use panda_surrogate::surrogate::{
-    SmoteConfig, SmoteSampler, TabDdpm, TabDdpmConfig, TableCodec, TabularGenerator,
+    prepare_data, ExperimentOptions, SmoteConfig, SmoteSampler, TabDdpm, TabDdpmConfig, TableCodec,
+    TabularGenerator,
 };
 use panda_surrogate::tabular::Table;
 
 fn training_table(gross: usize, seed: u64) -> Table {
-    let generator = WorkloadGenerator::new(GeneratorConfig {
+    // The full (unsplit) modelling table from the shared preparation path.
+    let data = prepare_data(&ExperimentOptions {
         gross_records: gross,
         seed,
-        ..GeneratorConfig::default()
+        ..ExperimentOptions::default()
     });
-    let funnel = FilterFunnel::apply(&generator.generate());
-    records_to_table(&funnel.records)
+    data.table
 }
 
 #[test]
@@ -117,7 +115,12 @@ fn dcr_space_choice_numeric_only_vs_mixed() {
     };
     let mixed = distance_to_closest_record(&train, &synthetic, dcr_config);
 
-    let numeric_columns = ["creationtime", "ninputdatafiles", "inputfilebytes", "workload"];
+    let numeric_columns = [
+        "creationtime",
+        "ninputdatafiles",
+        "inputfilebytes",
+        "workload",
+    ];
     let train_numeric = train.select(&numeric_columns).unwrap();
     let synthetic_numeric = synthetic.select(&numeric_columns).unwrap();
     let numeric_only = distance_to_closest_record(&train_numeric, &synthetic_numeric, dcr_config);

@@ -2,19 +2,19 @@
 //! surrogate-generated workloads (experiment E6).
 
 use panda_surrogate::htcsim::{BrokerPolicy, GridSimulator, SimConfig, SimJob};
-use panda_surrogate::pandasim::{
-    records_to_table, FilterFunnel, GeneratorConfig, WorkloadGenerator,
+use panda_surrogate::surrogate::{
+    fit_and_sample, prepare_data, ExperimentOptions, ModelKind, TrainingBudget,
 };
-use panda_surrogate::surrogate::{fit_and_sample, ModelKind, TrainingBudget};
 
-fn setup() -> (panda_surrogate::pandasim::WorkloadGenerator, panda_surrogate::tabular::Table) {
-    let generator = WorkloadGenerator::new(GeneratorConfig {
+fn setup() -> (
+    panda_surrogate::pandasim::WorkloadGenerator,
+    panda_surrogate::tabular::Table,
+) {
+    let data = prepare_data(&ExperimentOptions {
         gross_records: 5_000,
-        ..GeneratorConfig::default()
+        ..ExperimentOptions::default()
     });
-    let funnel = FilterFunnel::apply(&generator.generate());
-    let table = records_to_table(&funnel.records);
-    (generator, table)
+    (data.generator, data.table)
 }
 
 #[test]

@@ -3,21 +3,19 @@
 //! evaluation, mirroring the structure of the paper's experiment pipeline.
 
 use panda_surrogate::metrics::{evaluate_surrogate, EvaluationConfig};
-use panda_surrogate::pandasim::{
-    records_to_table, FilterFunnel, GeneratorConfig, WorkloadGenerator, PAPER_FEATURES,
+use panda_surrogate::pandasim::PAPER_FEATURES;
+use panda_surrogate::surrogate::{
+    fit_and_sample, prepare_data, ExperimentOptions, ModelKind, TrainingBudget,
 };
-use panda_surrogate::surrogate::{fit_and_sample, ModelKind, TrainingBudget};
-use panda_surrogate::tabular::{train_test_split, FeatureKind, SplitOptions, Table};
+use panda_surrogate::tabular::{FeatureKind, Table};
 
 fn prepared(gross: usize, seed: u64) -> (Table, Table) {
-    let generator = WorkloadGenerator::new(GeneratorConfig {
+    let data = prepare_data(&ExperimentOptions {
         gross_records: gross,
         seed,
-        ..GeneratorConfig::default()
+        ..ExperimentOptions::default()
     });
-    let funnel = FilterFunnel::apply(&generator.generate());
-    let table = records_to_table(&funnel.records);
-    train_test_split(&table, SplitOptions::default()).expect("non-empty table")
+    (data.train, data.test)
 }
 
 #[test]
@@ -50,7 +48,13 @@ fn every_model_produces_schema_compatible_synthetic_data() {
         assert_eq!(synthetic.n_rows(), 500, "{}", kind.name());
         assert_eq!(synthetic.names(), train.names(), "{}", kind.name());
         // Every categorical label must come from the training vocabulary.
-        for column in ["jobstatus", "computingsite", "project", "prodstep", "datatype"] {
+        for column in [
+            "jobstatus",
+            "computingsite",
+            "project",
+            "prodstep",
+            "datatype",
+        ] {
             let train_vocab = train.vocab(column).unwrap();
             for r in 0..synthetic.n_rows() {
                 let label = synthetic.label(column, r).unwrap();
@@ -67,13 +71,7 @@ fn every_model_produces_schema_compatible_synthetic_data() {
 #[test]
 fn copying_the_training_data_is_detected_as_a_privacy_failure() {
     let (train, test) = prepared(3_000, 3);
-    let report = evaluate_surrogate(
-        "copy",
-        &train,
-        &test,
-        &train,
-        &EvaluationConfig::fast(),
-    );
+    let report = evaluate_surrogate("copy", &train, &test, &train, &EvaluationConfig::fast());
     // Perfect fidelity on every distributional metric…
     assert!(report.wd < 1e-9);
     assert!(report.jsd < 1e-9);
@@ -88,8 +86,14 @@ fn smote_is_more_faithful_but_less_private_than_a_marginal_shuffle() {
     let (train, test) = prepared(4_000, 4);
 
     // SMOTE synthetic data.
-    let smote = fit_and_sample(ModelKind::Smote, &train, train.n_rows(), TrainingBudget::Smoke, 5)
-        .expect("SMOTE fits");
+    let smote = fit_and_sample(
+        ModelKind::Smote,
+        &train,
+        train.n_rows(),
+        TrainingBudget::Smoke,
+        5,
+    )
+    .expect("SMOTE fits");
 
     // A "marginal-only" baseline: independently shuffle every column, which
     // preserves per-feature distributions but destroys all correlations.
@@ -103,7 +107,7 @@ fn smote_is_more_faithful_but_less_private_than_a_marginal_shuffle() {
             let mut perm: Vec<usize> = (0..n).collect();
             perm.shuffle(&mut rng);
             let permuted_column = train.select(&[name.as_str()]).unwrap().take(&perm);
-            *result.column_mut(&name).unwrap() = permuted_column.columns()[0].clone();
+            *result.column_mut(name).unwrap() = permuted_column.columns()[0].clone();
         }
         result
     };
@@ -136,7 +140,9 @@ fn generated_stream_is_reproducible_across_the_whole_pipeline() {
     let (train_a, _) = prepared(2_500, 7);
     let (train_b, _) = prepared(2_500, 7);
     assert_eq!(train_a, train_b);
-    let synth_a = fit_and_sample(ModelKind::Smote, &train_a, 100, TrainingBudget::Smoke, 1).unwrap();
-    let synth_b = fit_and_sample(ModelKind::Smote, &train_b, 100, TrainingBudget::Smoke, 1).unwrap();
+    let synth_a =
+        fit_and_sample(ModelKind::Smote, &train_a, 100, TrainingBudget::Smoke, 1).unwrap();
+    let synth_b =
+        fit_and_sample(ModelKind::Smote, &train_b, 100, TrainingBudget::Smoke, 1).unwrap();
     assert_eq!(synth_a, synth_b);
 }

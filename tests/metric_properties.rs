@@ -1,95 +1,135 @@
-//! Property-based tests (proptest) over the metric kernels and the
-//! preprocessing substrate — the invariants the evaluation relies on.
+//! Property-based tests over the metric kernels and the preprocessing
+//! substrate — the invariants the evaluation relies on.
+//!
+//! The original suite used `proptest`, which is unavailable in the offline
+//! build environment, so the same properties are checked over 64 seeded
+//! pseudo-random cases per test (deterministic — failures are reproducible
+//! by construction).
 
-use panda_surrogate::metrics::{
-    jensen_shannon_divergence, pearson, theils_u, wasserstein_1d,
-};
+use panda_surrogate::metrics::{jensen_shannon_divergence, pearson, theils_u, wasserstein_1d};
 use panda_surrogate::tabular::{
     histogram, Column, NumericTransform, QuantileTransformer, StandardScaler, Table,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 
-fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1e6f64..1e6, 2..max_len)
+const CASES: u64 = 64;
+
+/// Run `check` once per case with a per-case deterministic generator.
+fn for_each_case(test_seed: u64, mut check: impl FnMut(&mut StdRng)) {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(test_seed.wrapping_mul(1_000_003) + case);
+        check(&mut rng);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn finite_vec(rng: &mut StdRng, max_len: usize) -> Vec<f64> {
+    let len = rng.gen_range(2..max_len);
+    (0..len).map(|_| rng.gen_range(-1e6..1e6)).collect()
+}
 
-    #[test]
-    fn wasserstein_is_nonnegative_and_symmetric(a in finite_vec(50), b in finite_vec(50)) {
+#[test]
+fn wasserstein_is_nonnegative_and_symmetric() {
+    for_each_case(1, |rng| {
+        let a = finite_vec(rng, 50);
+        let b = finite_vec(rng, 50);
         let d_ab = wasserstein_1d(&a, &b);
         let d_ba = wasserstein_1d(&b, &a);
-        prop_assert!(d_ab >= 0.0);
-        prop_assert!((d_ab - d_ba).abs() < 1e-9 * (1.0 + d_ab.abs()));
-    }
+        assert!(d_ab >= 0.0);
+        assert!((d_ab - d_ba).abs() < 1e-9 * (1.0 + d_ab.abs()));
+    });
+}
 
-    #[test]
-    fn wasserstein_identity_of_indiscernibles(a in finite_vec(50)) {
-        prop_assert!(wasserstein_1d(&a, &a) < 1e-9);
-    }
+#[test]
+fn wasserstein_identity_of_indiscernibles() {
+    for_each_case(2, |rng| {
+        let a = finite_vec(rng, 50);
+        assert!(wasserstein_1d(&a, &a) < 1e-9);
+    });
+}
 
-    #[test]
-    fn wasserstein_translation_equals_shift(a in finite_vec(40), shift in 0.1f64..1e3) {
+#[test]
+fn wasserstein_translation_equals_shift() {
+    for_each_case(3, |rng| {
+        let a = finite_vec(rng, 40);
+        let shift = rng.gen_range(0.1..1e3);
         let b: Vec<f64> = a.iter().map(|v| v + shift).collect();
         let d = wasserstein_1d(&a, &b);
-        prop_assert!((d - shift).abs() < 1e-6 * (1.0 + shift));
-    }
+        assert!((d - shift).abs() < 1e-6 * (1.0 + shift));
+    });
+}
 
-    #[test]
-    fn pearson_is_bounded_and_scale_invariant(a in finite_vec(40), scale in 0.1f64..100.0) {
+#[test]
+fn pearson_is_bounded_and_scale_invariant() {
+    for_each_case(4, |rng| {
+        let a = finite_vec(rng, 40);
+        let scale = rng.gen_range(0.1..100.0);
         let b: Vec<f64> = a.iter().map(|v| v * scale).collect();
         let r = pearson(&a, &b);
-        prop_assert!(r <= 1.0 + 1e-12 && r >= -1.0 - 1e-12);
+        assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&r));
         // Perfectly linearly related (unless a is constant).
         let distinct = a.iter().any(|&v| (v - a[0]).abs() > 1e-9);
         if distinct {
-            prop_assert!((r - 1.0).abs() < 1e-6);
+            assert!((r - 1.0).abs() < 1e-6);
         }
-    }
+    });
+}
 
-    #[test]
-    fn jsd_is_symmetric_and_bounded(
-        p_counts in prop::collection::vec(1u32..100, 2..6),
-        q_counts in prop::collection::vec(1u32..100, 2..6),
-    ) {
-        let to_dist = |counts: &[u32], prefix: &str| -> BTreeMap<String, f64> {
+#[test]
+fn jsd_is_symmetric_and_bounded() {
+    for_each_case(5, |rng| {
+        let counts = |rng: &mut StdRng| -> Vec<u32> {
+            let len = rng.gen_range(2..6);
+            (0..len).map(|_| rng.gen_range(1u32..100)).collect()
+        };
+        let p_counts = counts(rng);
+        let q_counts = counts(rng);
+        let to_dist = |counts: &[u32]| -> BTreeMap<String, f64> {
             let total: f64 = counts.iter().map(|&c| c as f64).sum();
             counts
                 .iter()
                 .enumerate()
-                .map(|(i, &c)| (format!("{prefix}{i}"), c as f64 / total))
+                .map(|(i, &c)| (format!("label{i}"), c as f64 / total))
                 .collect()
         };
         // Shared label space.
-        let p = to_dist(&p_counts, "label");
-        let q = to_dist(&q_counts, "label");
+        let p = to_dist(&p_counts);
+        let q = to_dist(&q_counts);
         let pq = jensen_shannon_divergence(&p, &q);
         let qp = jensen_shannon_divergence(&q, &p);
-        prop_assert!((pq - qp).abs() < 1e-12);
-        prop_assert!(pq >= 0.0);
-        prop_assert!(pq <= 2f64.ln() + 1e-12);
-    }
+        assert!((pq - qp).abs() < 1e-12);
+        assert!(pq >= 0.0);
+        assert!(pq <= 2f64.ln() + 1e-12);
+    });
+}
 
-    #[test]
-    fn theils_u_is_bounded(codes_x in prop::collection::vec(0u32..5, 10..60), shift in 0u32..3) {
+#[test]
+fn theils_u_is_bounded() {
+    for_each_case(6, |rng| {
+        let len = rng.gen_range(10..60);
+        let codes_x: Vec<u32> = (0..len).map(|_| rng.gen_range(0u32..5)).collect();
+        let shift = rng.gen_range(0u32..3);
         let codes_y: Vec<u32> = codes_x.iter().map(|c| (c + shift) % 5).collect();
         let u = theils_u(&codes_x, &codes_y);
-        prop_assert!((0.0..=1.0).contains(&u));
+        assert!((0.0..=1.0).contains(&u));
         // y is a bijection of x, so it fully determines x.
-        prop_assert!(u > 1.0 - 1e-9);
-    }
+        assert!(u > 1.0 - 1e-9);
+    });
+}
 
-    #[test]
-    fn quantile_transform_preserves_order_and_roundtrips(values in prop::collection::vec(-1e5f64..1e5, 5..60)) {
+#[test]
+fn quantile_transform_preserves_order_and_roundtrips() {
+    for_each_case(7, |rng| {
+        let len = rng.gen_range(5..60);
+        let values: Vec<f64> = (0..len).map(|_| rng.gen_range(-1e5..1e5)).collect();
         let mut qt = QuantileTransformer::new();
         let z = qt.fit_transform(&values).unwrap();
         // Order preservation.
         for i in 0..values.len() {
             for j in 0..values.len() {
                 if values[i] < values[j] {
-                    prop_assert!(z[i] <= z[j] + 1e-12);
+                    assert!(z[i] <= z[j] + 1e-12);
                 }
             }
         }
@@ -99,43 +139,57 @@ proptest! {
         let span = (max - min).max(1e-9);
         let back = qt.inverse_transform(&z).unwrap();
         for (orig, rec) in values.iter().zip(&back) {
-            prop_assert!((orig - rec).abs() <= 0.02 * span + 1e-9);
+            assert!((orig - rec).abs() <= 0.02 * span + 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn standard_scaler_roundtrips(values in prop::collection::vec(-1e6f64..1e6, 2..50)) {
+#[test]
+fn standard_scaler_roundtrips() {
+    for_each_case(8, |rng| {
+        let values = finite_vec(rng, 50);
         let mut scaler = StandardScaler::new();
         let z = scaler.fit_transform(&values).unwrap();
         let back = scaler.inverse_transform(&z).unwrap();
         for (orig, rec) in values.iter().zip(&back) {
-            prop_assert!((orig - rec).abs() <= 1e-6 * (1.0 + orig.abs()));
+            assert!((orig - rec).abs() <= 1e-6 * (1.0 + orig.abs()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn histogram_mass_is_conserved(values in prop::collection::vec(-1e3f64..1e3, 1..200), bins in 1usize..32) {
+#[test]
+fn histogram_mass_is_conserved() {
+    for_each_case(9, |rng| {
+        let len = rng.gen_range(1..200);
+        let values: Vec<f64> = (0..len).map(|_| rng.gen_range(-1e3..1e3)).collect();
+        let bins = rng.gen_range(1usize..32);
         let h = histogram(&values, bins).unwrap();
-        prop_assert_eq!(h.counts.iter().sum::<u64>(), values.len() as u64);
+        assert_eq!(h.counts.iter().sum::<u64>(), values.len() as u64);
         let pmf_sum: f64 = h.pmf().iter().sum();
-        prop_assert!((pmf_sum - 1.0).abs() < 1e-9);
-    }
+        assert!((pmf_sum - 1.0).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn table_take_preserves_row_content(
-        values in prop::collection::vec(-1e3f64..1e3, 3..40),
-        pick in prop::collection::vec(0usize..3, 1..10),
-    ) {
+#[test]
+fn table_take_preserves_row_content() {
+    for_each_case(10, |rng| {
+        let len = rng.gen_range(3..40);
+        let values: Vec<f64> = (0..len).map(|_| rng.gen_range(-1e3..1e3)).collect();
         let labels: Vec<String> = (0..values.len()).map(|i| format!("cat{}", i % 3)).collect();
         let mut table = Table::new();
-        table.push_column("x", Column::Numerical(values.clone())).unwrap();
-        table.push_column("c", Column::from_labels(&labels)).unwrap();
-        let indices: Vec<usize> = pick.iter().map(|&p| p % values.len()).collect();
+        table
+            .push_column("x", Column::Numerical(values.clone()))
+            .unwrap();
+        table
+            .push_column("c", Column::from_labels(&labels))
+            .unwrap();
+        let picks = rng.gen_range(1usize..10);
+        let indices: Vec<usize> = (0..picks).map(|_| rng.gen_range(0..values.len())).collect();
         let sub = table.take(&indices);
-        prop_assert_eq!(sub.n_rows(), indices.len());
+        assert_eq!(sub.n_rows(), indices.len());
         for (row, &src) in indices.iter().enumerate() {
-            prop_assert_eq!(sub.numerical("x").unwrap()[row], values[src]);
-            prop_assert_eq!(sub.label("c", row).unwrap(), labels[src].as_str());
+            assert_eq!(sub.numerical("x").unwrap()[row], values[src]);
+            assert_eq!(sub.label("c", row).unwrap(), labels[src].as_str());
         }
-    }
+    });
 }
