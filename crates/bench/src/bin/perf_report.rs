@@ -1,0 +1,630 @@
+//! Track the `nn` training hot path against the frozen pre-PR kernels and
+//! emit `BENCH_nn.json` so the performance trajectory is recorded across PRs.
+//!
+//! Two kinds of measurements:
+//!
+//! * **Kernel benches** — the blocked/fused kernels (`matmul`,
+//!   `matmul_at_b`, `matmul_a_bt`, `matmul_bias`, blocked `transpose`, layer
+//!   forward/backward) against [`nn::matrix::reference`], the seed-state
+//!   scalar kernels preserved verbatim for exactly this purpose.
+//! * **Epoch bench** — one TabDDPM fast-config training epoch through the
+//!   current `TabDdpm::fit` hot path (fused forward, transpose-free
+//!   backward, buffer reuse, no gradient copies) against a faithful
+//!   re-implementation of the pre-PR epoch loop: reference kernels,
+//!   transpose-materializing backward, per-step batch/bias/gradient
+//!   allocations and `to_vec` gradient copies.
+//!
+//! After writing the report the binary reads it back through
+//! `serde_json::from_str` and validates the schema, so CI's smoke invocation
+//! proves both halves (writer and parser) work.
+//!
+//! Usage: `perf_report [--quick] [--out PATH]` (default `BENCH_nn.json`).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use nn::matrix::reference;
+use nn::{
+    standard_normal_matrix, Activation, CosineDecay, Layer, LinearLayer, LrSchedule, Matrix, Mlp,
+    MlpConfig,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use serde_json::ValueExt;
+use surrogate::{TabDdpm, TabDdpmConfig, TableCodec, TabularGenerator};
+use tabular::{Column, Table};
+
+#[derive(Serialize)]
+struct KernelBench {
+    name: String,
+    new_ns: f64,
+    baseline_ns: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct EpochBench {
+    rows: usize,
+    epochs_timed: usize,
+    new_epoch_ms: f64,
+    baseline_epoch_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    schema_version: u32,
+    generated_by: String,
+    quick: bool,
+    threads: usize,
+    kernels: Vec<KernelBench>,
+    tabddpm_epoch: EpochBench,
+}
+
+/// Best-of-`reps` wall time of `inner` consecutive runs of `f`, in
+/// nanoseconds per run. One untimed warm-up precedes the samples.
+fn time_ns(reps: usize, inner: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..inner {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() * 1e9 / inner as f64);
+    }
+    best
+}
+
+fn kernel_entry(name: &str, new_ns: f64, baseline_ns: f64) -> KernelBench {
+    KernelBench {
+        name: name.to_string(),
+        new_ns,
+        baseline_ns,
+        speedup: baseline_ns / new_ns.max(1e-9),
+    }
+}
+
+fn kernel_benches(quick: bool) -> Vec<KernelBench> {
+    let (reps, inner) = if quick { (3, 2) } else { (7, 8) };
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut entries = Vec::new();
+
+    for &(m, k, n) in &[(64usize, 64usize, 64usize), (128, 128, 128), (97, 61, 113)] {
+        let a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        let new_ns = time_ns(reps, inner, || {
+            std::hint::black_box(a.matmul(&b));
+        });
+        let base_ns = time_ns(reps, inner, || {
+            std::hint::black_box(reference::matmul(&a, &b));
+        });
+        entries.push(kernel_entry(
+            &format!("matmul_{m}x{k}x{n}"),
+            new_ns,
+            base_ns,
+        ));
+    }
+
+    let a = Matrix::randn(512, 384, 1.0, &mut rng);
+    let new_ns = time_ns(reps, inner, || {
+        std::hint::black_box(a.transpose());
+    });
+    let base_ns = time_ns(reps, inner, || {
+        std::hint::black_box(reference::transpose(&a));
+    });
+    entries.push(kernel_entry("transpose_512x384", new_ns, base_ns));
+
+    let input = Matrix::randn(256, 128, 1.0, &mut rng);
+    let grad = Matrix::randn(256, 64, 1.0, &mut rng);
+    let weights = Matrix::randn(128, 64, 1.0, &mut rng);
+    let new_ns = time_ns(reps, inner, || {
+        std::hint::black_box(input.matmul_at_b(&grad));
+    });
+    let base_ns = time_ns(reps, inner, || {
+        std::hint::black_box(reference::matmul(&reference::transpose(&input), &grad));
+    });
+    entries.push(kernel_entry("at_b_256x128_x_256x64", new_ns, base_ns));
+
+    let new_ns = time_ns(reps, inner, || {
+        std::hint::black_box(grad.matmul_a_bt(&weights));
+    });
+    let base_ns = time_ns(reps, inner, || {
+        std::hint::black_box(reference::matmul(&grad, &reference::transpose(&weights)));
+    });
+    entries.push(kernel_entry("a_bt_256x64_x_128x64", new_ns, base_ns));
+
+    let bias: Vec<f64> = (0..64).map(|i| i as f64 * 0.01).collect();
+    let new_ns = time_ns(reps, inner, || {
+        std::hint::black_box(input.matmul_bias(&weights, &bias));
+    });
+    let base_ns = time_ns(reps, inner, || {
+        std::hint::black_box(reference::matmul(&input, &weights).add_row_vector(&bias));
+    });
+    entries.push(kernel_entry("fused_affine_256x128x64", new_ns, base_ns));
+
+    let mut layer = LinearLayer::new(128, 64, Activation::Relu, &mut rng);
+    let mut baseline_layer = BaselineLayer::from_layer(&layer);
+    let x = Matrix::randn(256, 128, 1.0, &mut rng);
+    let out = layer.forward(&x);
+    let new_ns = time_ns(reps, inner, || {
+        let y = layer.forward(&x);
+        std::hint::black_box(layer.backward(&out));
+        std::hint::black_box(y);
+    });
+    let base_ns = time_ns(reps, inner, || {
+        let y = baseline_layer.forward(&x);
+        std::hint::black_box(baseline_layer.backward(&out));
+        std::hint::black_box(y);
+    });
+    entries.push(kernel_entry("layer_fwd_bwd_256x128x64", new_ns, base_ns));
+
+    entries
+}
+
+// ---------------------------------------------------------------------------
+// Faithful re-implementation of the pre-PR hot path: reference kernels,
+// transpose-materializing backward, per-step clones, the seed-state Adam
+// update loop (indexed, with per-element weight-decay branch) and the
+// two-allocation MSE. These are frozen so future optimisation of the live
+// `nn` crate cannot silently drag the baseline along with it.
+// ---------------------------------------------------------------------------
+
+/// The seed-state Adam (indexed inner loop, gradient slices copied by the
+/// caller exactly as the pre-PR `Mlp::apply_gradients` did).
+struct BaselineAdam {
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    state: HashMap<usize, (Vec<f64>, Vec<f64>, u64)>,
+}
+
+impl BaselineAdam {
+    fn new() -> Self {
+        Self {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            state: HashMap::new(),
+        }
+    }
+
+    fn update(&mut self, key: usize, params: &mut [f64], grads: &[f64], lr: f64) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        let (m, v, t) = self
+            .state
+            .entry(key)
+            .or_insert_with(|| (vec![0.0; params.len()], vec![0.0; params.len()], 0));
+        *t += 1;
+        let tf = *t as f64;
+        let bias1 = 1.0 - self.beta1.powf(tf);
+        let bias2 = 1.0 - self.beta2.powf(tf);
+        for i in 0..params.len() {
+            let g = grads[i];
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = m[i] / bias1;
+            let v_hat = v[i] / bias2;
+            params[i] -= lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+/// The seed-state MSE: separate difference, reduction and gradient passes
+/// with two allocations.
+fn baseline_mse(prediction: &Matrix, target: &Matrix) -> (f64, Matrix) {
+    let n = prediction.len() as f64;
+    let diff = prediction.sub(target);
+    let loss = diff.data().iter().map(|d| d * d).sum::<f64>() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+struct BaselineLayer {
+    weights: Matrix,
+    bias: Vec<f64>,
+    activation: Activation,
+    grad_weights: Matrix,
+    grad_bias: Vec<f64>,
+    cache_input: Option<Matrix>,
+    cache_pre: Option<Matrix>,
+}
+
+impl BaselineLayer {
+    /// Clone a (new-style) layer's parameters so both paths do identical math.
+    fn from_layer(layer: &LinearLayer) -> Self {
+        Self {
+            weights: layer.weights.clone(),
+            bias: layer.bias.clone(),
+            activation: layer.activation,
+            grad_weights: Matrix::zeros(layer.in_dim(), layer.out_dim()),
+            grad_bias: vec![0.0; layer.out_dim()],
+            cache_input: None,
+            cache_pre: None,
+        }
+    }
+
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let act = self.activation;
+        let pre = reference::matmul(input, &self.weights).add_row_vector(&self.bias);
+        let out = pre.map(|v| act.forward(v));
+        self.cache_input = Some(input.clone());
+        self.cache_pre = Some(pre);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self.cache_input.as_ref().expect("forward first");
+        let pre = self.cache_pre.as_ref().expect("forward first");
+        let act = self.activation;
+        let grad_pre = grad_output.zip(pre, |g, p| g * act.derivative(p));
+        self.grad_weights = reference::matmul(&reference::transpose(input), &grad_pre);
+        self.grad_bias = grad_pre.sum_rows();
+        reference::matmul(&grad_pre, &reference::transpose(&self.weights))
+    }
+}
+
+struct BaselineMlp {
+    layers: Vec<BaselineLayer>,
+}
+
+impl BaselineMlp {
+    fn from_mlp(mlp: &Mlp) -> Self {
+        Self {
+            layers: mlp.layers().iter().map(BaselineLayer::from_layer).collect(),
+        }
+    }
+
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut grad = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        grad
+    }
+
+    fn grad_norm(&self) -> f64 {
+        let mut sq = 0.0;
+        for layer in &self.layers {
+            sq += layer.grad_weights.data().iter().map(|g| g * g).sum::<f64>();
+            sq += layer.grad_bias.iter().map(|g| g * g).sum::<f64>();
+        }
+        sq.sqrt()
+    }
+
+    fn clip_gradients(&mut self, max_norm: f64) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for layer in &mut self.layers {
+                layer.grad_weights = layer.grad_weights.scale(scale);
+                for g in &mut layer.grad_bias {
+                    *g *= scale;
+                }
+            }
+        }
+    }
+
+    fn apply_gradients(&mut self, optimizer: &mut BaselineAdam, param_group: usize, lr: f64) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let wkey = param_group * 1000 + i * 2;
+            let bkey = wkey + 1;
+            let grads = layer.grad_weights.data().to_vec();
+            optimizer.update(wkey, layer.weights.data_mut(), &grads, lr);
+            let bias_grads = layer.grad_bias.clone();
+            optimizer.update(bkey, &mut layer.bias, &bias_grads, lr);
+        }
+    }
+}
+
+/// The training table the epoch bench fits: a PanDA-like mix of numerical
+/// and categorical columns.
+fn epoch_table(n: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sites = ["BNL", "CERN", "SLAC", "IN2P3", "KIT", "TRIUMF"];
+    let queues = ["analysis", "production", "test", "merge"];
+    let mut cpu = Vec::with_capacity(n);
+    let mut ram = Vec::with_capacity(n);
+    let mut walltime = Vec::with_capacity(n);
+    let mut disk = Vec::with_capacity(n);
+    let mut site = Vec::with_capacity(n);
+    let mut queue = Vec::with_capacity(n);
+    for _ in 0..n {
+        cpu.push(rng.gen_range(1.0..64.0));
+        ram.push(rng.gen_range(0.5..16.0));
+        walltime.push(rng.gen_range(60.0..86_400.0));
+        disk.push(rng.gen_range(0.1..500.0));
+        site.push(sites[rng.gen_range(0..sites.len())]);
+        queue.push(queues[rng.gen_range(0..queues.len())]);
+    }
+    let mut t = Table::new();
+    t.push_column("cpu", Column::Numerical(cpu)).unwrap();
+    t.push_column("ram", Column::Numerical(ram)).unwrap();
+    t.push_column("walltime", Column::Numerical(walltime))
+        .unwrap();
+    t.push_column("disk", Column::Numerical(disk)).unwrap();
+    t.push_column("site", Column::from_labels(&site)).unwrap();
+    t.push_column("queue", Column::from_labels(&queue)).unwrap();
+    t
+}
+
+/// One pre-PR-style TabDDPM training epoch: the exact inner loop the seed
+/// shipped (fresh batch/noise/noisy allocations every step, clone-heavy
+/// MLP), driven by the same schedule, batch size and RNG pattern as
+/// `TabDdpm::fit`.
+#[allow(clippy::too_many_arguments)]
+fn baseline_epoch(
+    denoiser: &mut BaselineMlp,
+    adam: &mut BaselineAdam,
+    data: &Matrix,
+    alpha_bar: &[f64],
+    timesteps: usize,
+    batch: usize,
+    schedule: &CosineDecay,
+    step: &mut usize,
+    rng: &mut StdRng,
+) -> f64 {
+    let n = data.rows();
+    let width = data.cols();
+    let steps_per_epoch = n.div_ceil(batch);
+    let mut epoch_loss = 0.0;
+    for _ in 0..steps_per_epoch {
+        let lr = schedule.lr_at(*step);
+        *step += 1;
+
+        let idx: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..n)).collect();
+        let x0 = data.take_rows(&idx);
+
+        let ts: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..timesteps)).collect();
+        let t_frac: Vec<f64> = ts
+            .iter()
+            .map(|&t| (t + 1) as f64 / timesteps as f64)
+            .collect();
+        let noise = standard_normal_matrix(batch, width, rng);
+
+        let mut x_noisy = Matrix::zeros(batch, width);
+        for (r, &t) in ts.iter().enumerate() {
+            let ab = alpha_bar[t];
+            let (sa, sb) = (ab.sqrt(), (1.0 - ab).sqrt());
+            for c in 0..width {
+                x_noisy.set(r, c, sa * x0.get(r, c) + sb * noise.get(r, c));
+            }
+        }
+
+        let mut t_cols = Matrix::zeros(batch, 2);
+        for (r, &t) in t_frac.iter().enumerate() {
+            t_cols.set(r, 0, t);
+            t_cols.set(r, 1, (t * std::f64::consts::PI).sin());
+        }
+        let input = x_noisy.hconcat(&t_cols);
+
+        let predicted = denoiser.forward(&input);
+        let (loss, grad) = baseline_mse(&predicted, &noise);
+        epoch_loss += loss;
+        denoiser.backward(&grad);
+        denoiser.clip_gradients(5.0);
+        denoiser.apply_gradients(adam, 0, lr);
+    }
+    epoch_loss / steps_per_epoch as f64
+}
+
+/// Cosine ᾱ schedule matching `TabDdpm` (re-derived here because the model
+/// keeps it private; validated against `TabDdpm::alpha_bar()` below).
+fn cosine_alpha_bar(timesteps: usize) -> Vec<f64> {
+    let s = 0.008;
+    let f = |t: f64| {
+        ((t / timesteps as f64 + s) / (1.0 + s) * std::f64::consts::FRAC_PI_2)
+            .cos()
+            .powi(2)
+    };
+    let f0 = f(0.0);
+    (1..=timesteps)
+        .map(|t| (f(t as f64) / f0).clamp(1e-5, 0.9999))
+        .collect()
+}
+
+fn epoch_bench(quick: bool) -> EpochBench {
+    let rows = if quick { 512 } else { 2048 };
+    let (e1, e2, reps) = if quick { (1, 3, 1) } else { (2, 10, 2) };
+    let epochs = e2 - e1;
+    let cfg = TabDdpmConfig {
+        epochs: e2,
+        ..TabDdpmConfig::fast()
+    };
+    let train = epoch_table(rows, 99);
+
+    // --- Current hot path: the real model through `TabDdpm::fit`. Timing
+    // two fits with different epoch counts and differencing cancels the
+    // fixed per-fit costs (codec fit/encode, weight init), leaving pure
+    // per-epoch training time.
+    let fit_secs = |epochs: usize, reps: usize| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let mut model = TabDdpm::new(TabDdpmConfig {
+                epochs,
+                ..cfg.clone()
+            });
+            let start = Instant::now();
+            model.fit(&train).expect("TabDDPM fit");
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    fit_secs(1, 1); // warm-up (pool spin-up, page faults)
+                    // A noisy host can invert the two measurements (the short fit timing
+                    // slower than the long one); retry with more repetitions, and if the
+                    // inversion persists fall back to whole-fit-per-epoch time — an upper
+                    // bound that includes the codec overhead — rather than record a
+                    // nonsense differenced value in the tracked artifact.
+    let mut new_epoch_ms = f64::NAN;
+    for attempt in 0..3 {
+        let r = reps + attempt;
+        let t1 = fit_secs(e1, r);
+        let t2 = fit_secs(e2, r);
+        if t2 > t1 {
+            new_epoch_ms = ((t2 - t1) * 1e3) / (e2 - e1) as f64;
+            break;
+        }
+        eprintln!("perf_report: noisy epoch timing (t1 {t1:.4}s >= t2 {t2:.4}s), retrying");
+    }
+    if !new_epoch_ms.is_finite() {
+        eprintln!("perf_report: differencing failed; using whole-fit upper bound");
+        new_epoch_ms = fit_secs(e2, reps) * 1e3 / e2 as f64;
+    }
+    // Unfitted model: `alpha_bar` is derived in the constructor.
+    let model = TabDdpm::new(cfg.clone());
+
+    // --- Pre-PR hot path: same math, seed-state kernels and allocations. ---
+    let codec = TableCodec::fit(&train).expect("codec fit");
+    let data = codec.encode(&train).expect("codec encode");
+    let width = codec.encoded_width();
+    let alpha_bar = cosine_alpha_bar(cfg.timesteps);
+    assert_eq!(
+        alpha_bar.as_slice(),
+        model.alpha_bar(),
+        "baseline schedule drifted from the model's"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let template = Mlp::new(
+        &MlpConfig::relu(width + 2, cfg.hidden.clone(), width),
+        &mut rng,
+    );
+    let mut denoiser = BaselineMlp::from_mlp(&template);
+    let mut adam = BaselineAdam::new();
+    let n = data.rows();
+    let batch = cfg.batch_size.min(n).max(1);
+    let steps_per_epoch = n.div_ceil(batch);
+    let schedule = CosineDecay {
+        base_lr: cfg.learning_rate,
+        min_lr: cfg.learning_rate * 0.01,
+        total_steps: cfg.epochs * steps_per_epoch,
+        warmup_steps: 0,
+    };
+    let mut step = 0usize;
+    let start = Instant::now();
+    let mut last_loss = f64::NAN;
+    for _ in 0..epochs {
+        last_loss = baseline_epoch(
+            &mut denoiser,
+            &mut adam,
+            &data,
+            &alpha_bar,
+            cfg.timesteps,
+            batch,
+            &schedule,
+            &mut step,
+            &mut rng,
+        );
+    }
+    let baseline_epoch_ms = start.elapsed().as_secs_f64() * 1e3 / epochs as f64;
+    assert!(
+        last_loss.is_finite(),
+        "baseline training diverged; comparison would be meaningless"
+    );
+
+    EpochBench {
+        rows,
+        epochs_timed: epochs,
+        new_epoch_ms,
+        baseline_epoch_ms,
+        speedup: baseline_epoch_ms / new_epoch_ms.max(1e-9),
+    }
+}
+
+/// Re-read the emitted report and validate the schema, proving the JSON both
+/// renders and parses (the CI smoke test relies on this).
+fn validate(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let kernels = doc
+        .get("kernels")
+        .and_then(|k| k.as_array())
+        .ok_or("missing 'kernels' array")?;
+    if kernels.is_empty() {
+        return Err("'kernels' array is empty".to_string());
+    }
+    for entry in kernels {
+        for field in ["new_ns", "baseline_ns", "speedup"] {
+            let v = entry
+                .get(field)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("kernel entry missing numeric '{field}'"))?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("kernel field '{field}' is not a positive number"));
+            }
+        }
+    }
+    let speedup = doc
+        .get("tabddpm_epoch")
+        .and_then(|e| e.get("speedup"))
+        .and_then(|v| v.as_f64())
+        .ok_or("missing tabddpm_epoch.speedup")?;
+    if !speedup.is_finite() || speedup <= 0.0 {
+        return Err("tabddpm_epoch.speedup is not a positive number".to_string());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_nn.json".to_string());
+
+    eprintln!(
+        "perf_report: timing kernels ({} mode)...",
+        if quick { "quick" } else { "full" }
+    );
+    let kernels = kernel_benches(quick);
+    for k in &kernels {
+        eprintln!(
+            "  {:<28} new {:>12.0} ns   baseline {:>12.0} ns   speedup {:.2}x",
+            k.name, k.new_ns, k.baseline_ns, k.speedup
+        );
+    }
+
+    eprintln!("perf_report: timing TabDDPM fast-config epoch...");
+    let epoch = epoch_bench(quick);
+    eprintln!(
+        "  tabddpm_epoch ({} rows)       new {:>9.1} ms   baseline {:>9.1} ms   speedup {:.2}x",
+        epoch.rows, epoch.new_epoch_ms, epoch.baseline_epoch_ms, epoch.speedup
+    );
+    if epoch.speedup < 2.0 {
+        eprintln!(
+            "warning: epoch speedup {:.2}x is below the 2x target for this host/run",
+            epoch.speedup
+        );
+    }
+
+    let report = Report {
+        schema_version: 1,
+        generated_by: "bench::perf_report".to_string(),
+        quick,
+        threads: rayon::current_num_threads(),
+        kernels,
+        tabddpm_epoch: epoch,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("render report");
+    std::fs::write(&out_path, json + "\n").expect("write report");
+
+    match validate(&out_path) {
+        Ok(()) => eprintln!("perf_report: wrote and validated {out_path}"),
+        Err(e) => {
+            eprintln!("perf_report: emitted {out_path} failed validation: {e}");
+            std::process::exit(1);
+        }
+    }
+}

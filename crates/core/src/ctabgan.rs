@@ -9,8 +9,8 @@
 //! so the discriminator always sees valid simplex blocks.
 
 use nn::{
-    bce_with_logits, standard_normal_matrix, Adam, AdamConfig, CosineDecay, LrSchedule, Matrix,
-    Mlp, MlpConfig,
+    bce_with_logits, standard_normal_into, standard_normal_matrix, Adam, AdamConfig, CosineDecay,
+    LrSchedule, Matrix, Mlp, MlpConfig,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -205,6 +205,12 @@ impl TabularGenerator for CtabGan {
         let mut step = 0usize;
         self.loss_history.clear();
 
+        // Per-batch scratch reused across every discriminator step, so the
+        // hot loop performs no batch-assembly allocations.
+        let mut real_idx = Vec::with_capacity(batch);
+        let mut real = Matrix::zeros(batch, width);
+        let mut z = Matrix::zeros(batch, cfg.latent_dim);
+
         for _epoch in 0..cfg.epochs {
             let mut d_loss_sum = 0.0;
             let mut g_loss_sum = 0.0;
@@ -214,11 +220,12 @@ impl TabularGenerator for CtabGan {
 
                 // ---- Discriminator update(s) ----
                 for _ in 0..cfg.discriminator_steps {
-                    let real_idx: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..n)).collect();
-                    let real = data.take_rows(&real_idx);
+                    real_idx.clear();
+                    real_idx.extend((0..batch).map(|_| rng.gen_range(0..n)));
+                    data.take_rows_into(&real_idx, &mut real);
                     let cond = self.sample_condition(&codec, batch, &mut rng);
 
-                    let z = standard_normal_matrix(batch, cfg.latent_dim, &mut rng);
+                    standard_normal_into(batch, cfg.latent_dim, &mut rng, &mut z);
                     let g_in = z.hconcat(&cond);
                     let fake_raw = generator.infer(&g_in);
                     let fake = mixed_activation(codec.spans(), &fake_raw);
@@ -245,7 +252,7 @@ impl TabularGenerator for CtabGan {
 
                 // ---- Generator update ----
                 let cond = self.sample_condition(&codec, batch, &mut rng);
-                let z = standard_normal_matrix(batch, cfg.latent_dim, &mut rng);
+                standard_normal_into(batch, cfg.latent_dim, &mut rng, &mut z);
                 let g_in = z.hconcat(&cond);
                 let fake_raw = generator.forward(&g_in);
                 let fake = mixed_activation(codec.spans(), &fake_raw);

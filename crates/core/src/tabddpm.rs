@@ -15,8 +15,8 @@
 //! non-trivial distance from training records).
 
 use nn::{
-    mse_loss, standard_normal_matrix, Adam, AdamConfig, CosineDecay, LrSchedule, Matrix, Mlp,
-    MlpConfig,
+    mse_loss, standard_normal_into, standard_normal_matrix, Adam, AdamConfig, CosineDecay,
+    LrSchedule, Matrix, Mlp, MlpConfig,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -138,14 +138,23 @@ impl TabDdpm {
         &self.alpha_bar
     }
 
+    /// Write the two timestep-embedding features (normalised t and a
+    /// sinusoidal phase) into `dst`. The single definition shared by the
+    /// fused training loop and [`TabDdpm::denoiser_input`], so training and
+    /// sampling can never feed the denoiser different embeddings.
+    #[inline]
+    fn write_time_embedding(t_frac: f64, dst: &mut [f64]) {
+        dst[0] = t_frac;
+        dst[1] = (t_frac * std::f64::consts::PI).sin();
+    }
+
     /// Build the denoiser input: the noisy row concatenated with two timestep
-    /// embedding features (normalised t and a sinusoidal phase).
+    /// embedding features.
     fn denoiser_input(x_noisy: &Matrix, t_frac: &[f64]) -> Matrix {
         let rows = x_noisy.rows();
         let mut t_cols = Matrix::zeros(rows, 2);
         for (r, &t) in t_frac.iter().enumerate().take(rows) {
-            t_cols.set(r, 0, t);
-            t_cols.set(r, 1, (t * std::f64::consts::PI).sin());
+            Self::write_time_embedding(t, t_cols.row_mut(r));
         }
         x_noisy.hconcat(&t_cols)
     }
@@ -184,34 +193,45 @@ impl TabularGenerator for TabDdpm {
         let mut step = 0usize;
         self.loss_history.clear();
 
+        // Per-batch scratch reused across every step of every epoch, so the
+        // hot loop performs no batch-assembly allocations: indices, clean
+        // rows, noise, and the denoiser input (noisy rows + the two timestep
+        // embedding columns, assembled in one fused pass).
+        let mut idx = Vec::with_capacity(batch);
+        let mut ts = Vec::with_capacity(batch);
+        let mut x0 = Matrix::zeros(batch, width);
+        let mut noise = Matrix::zeros(batch, width);
+        let mut input = Matrix::zeros(batch, width + 2);
+
         for _epoch in 0..cfg.epochs {
             let mut epoch_loss = 0.0;
             for _ in 0..steps_per_epoch {
                 let lr = schedule.lr_at(step);
                 step += 1;
 
-                let idx: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..n)).collect();
-                let x0 = data.take_rows(&idx);
+                idx.clear();
+                idx.extend((0..batch).map(|_| rng.gen_range(0..n)));
+                data.take_rows_into(&idx, &mut x0);
 
                 // Per-row timestep and noise.
-                let ts: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..timesteps)).collect();
-                let t_frac: Vec<f64> = ts
-                    .iter()
-                    .map(|&t| (t + 1) as f64 / timesteps as f64)
-                    .collect();
-                let noise = standard_normal_matrix(batch, width, &mut rng);
+                ts.clear();
+                ts.extend((0..batch).map(|_| rng.gen_range(0..timesteps)));
+                standard_normal_into(batch, width, &mut rng, &mut noise);
 
-                // x_t = sqrt(ᾱ_t) x0 + sqrt(1 - ᾱ_t) ε
-                let mut x_noisy = Matrix::zeros(batch, width);
+                // x_t = sqrt(ᾱ_t) x0 + sqrt(1 - ᾱ_t) ε, written straight
+                // into the denoiser input next to the timestep embedding.
                 for (r, &t) in ts.iter().enumerate() {
                     let ab = self.alpha_bar[t];
                     let (sa, sb) = (ab.sqrt(), (1.0 - ab).sqrt());
-                    for c in 0..width {
-                        x_noisy.set(r, c, sa * x0.get(r, c) + sb * noise.get(r, c));
+                    let t_frac = (t + 1) as f64 / timesteps as f64;
+                    let in_row = input.row_mut(r);
+                    for ((o, &x), &z) in in_row[..width].iter_mut().zip(x0.row(r)).zip(noise.row(r))
+                    {
+                        *o = sa * x + sb * z;
                     }
+                    Self::write_time_embedding(t_frac, &mut in_row[width..]);
                 }
 
-                let input = Self::denoiser_input(&x_noisy, &t_frac);
                 let predicted = denoiser.forward(&input);
                 let (loss, grad) = mse_loss(&predicted, &noise);
                 epoch_loss += loss;

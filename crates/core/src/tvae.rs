@@ -7,7 +7,8 @@
 //! draws latents from the prior and decodes them.
 
 use nn::{
-    gaussian_kl, standard_normal_matrix, Adam, AdamConfig, CosineDecay, LrSchedule, Mlp, MlpConfig,
+    gaussian_kl, standard_normal_into, standard_normal_matrix, Adam, AdamConfig, CosineDecay,
+    LrSchedule, Matrix, Mlp, MlpConfig,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -131,11 +132,17 @@ impl TabularGenerator for Tvae {
         let mut step = 0usize;
         self.loss_history.clear();
 
+        // Batch and noise buffers reused across steps (the final chunk of an
+        // epoch may be short; the `_into` variants reshape without
+        // reallocating).
+        let mut x = Matrix::zeros(batch, width);
+        let mut eps = Matrix::zeros(batch, cfg.latent_dim);
+
         for _epoch in 0..cfg.epochs {
             indices.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
             for chunk in indices.chunks(batch) {
-                let x = data.take_rows(chunk);
+                data.take_rows_into(chunk, &mut x);
                 let lr = schedule.lr_at(step);
                 step += 1;
 
@@ -146,8 +153,8 @@ impl TabularGenerator for Tvae {
                     .slice_cols(cfg.latent_dim, 2 * cfg.latent_dim)
                     .map(|v| v.clamp(-8.0, 8.0));
 
-                // Reparameterise.
-                let eps = standard_normal_matrix(x.rows(), cfg.latent_dim, &mut rng);
+                // Reparameterise (noise buffer reused across steps).
+                standard_normal_into(x.rows(), cfg.latent_dim, &mut rng, &mut eps);
                 let std = logvar.map(|v| (0.5 * v).exp());
                 let z = mu.add(&eps.mul(&std));
 

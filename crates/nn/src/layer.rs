@@ -98,6 +98,9 @@ pub struct LinearLayer {
     cache_input: Option<Matrix>,
     #[serde(skip)]
     cache_pre_activation: Option<Matrix>,
+    /// Scratch for `Wᵀ` in the backward pass, reused across steps.
+    #[serde(skip)]
+    scratch_weights_t: Matrix,
 }
 
 impl LinearLayer {
@@ -113,6 +116,7 @@ impl LinearLayer {
             grad_bias: vec![0.0; out_dim],
             cache_input: None,
             cache_pre_activation: None,
+            scratch_weights_t: Matrix::default(),
         }
     }
 
@@ -126,22 +130,29 @@ impl LinearLayer {
         self.weights.cols()
     }
 
-    /// Forward pass without storing caches (inference only).
+    /// Forward pass without storing caches (inference only): the affine map
+    /// and the activation are fused — bias-seeded matmul, activation applied
+    /// in place — so a single matrix is allocated per layer.
     pub fn infer(&self, input: &Matrix) -> Matrix {
         let act = self.activation;
-        input
-            .matmul(&self.weights)
-            .add_row_vector(&self.bias)
-            .map(|v| act.forward(v))
+        let mut out = input.matmul_bias(&self.weights, &self.bias);
+        out.map_assign(|v| act.forward(v));
+        out
     }
 }
 
 impl Layer for LinearLayer {
     fn forward(&mut self, input: &Matrix) -> Matrix {
-        let pre = input.matmul(&self.weights).add_row_vector(&self.bias);
+        // Fused affine: `x·W + b` in one bias-seeded pass, written into the
+        // cached pre-activation buffer so repeated steps reuse its allocation.
+        let mut pre = self.cache_pre_activation.take().unwrap_or_default();
+        input.matmul_bias_into(&self.weights, &self.bias, &mut pre);
         let act = self.activation;
         let out = pre.map(|v| act.forward(v));
-        self.cache_input = Some(input.clone());
+        match &mut self.cache_input {
+            Some(cache) => cache.copy_from(input),
+            None => self.cache_input = Some(input.clone()),
+        }
         self.cache_pre_activation = Some(pre);
         out
     }
@@ -158,9 +169,13 @@ impl Layer for LinearLayer {
         let act = self.activation;
         // dL/d(pre) = dL/d(out) * act'(pre)
         let grad_pre = grad_output.zip(pre, |g, p| g * act.derivative(p));
-        self.grad_weights = input.transpose().matmul(&grad_pre);
-        self.grad_bias = grad_pre.sum_rows();
-        grad_pre.matmul(&self.weights.transpose())
+        // dL/dW = inputᵀ · dL/d(pre), computed without materializing the
+        // transpose and accumulated into the persistent gradient buffers.
+        input.matmul_at_b_into(&grad_pre, &mut self.grad_weights);
+        grad_pre.sum_rows_into(&mut self.grad_bias);
+        // dL/d(input) = dL/d(pre) · Wᵀ; the blocked transpose lands in a
+        // persistent scratch so only the result is allocated.
+        grad_pre.matmul_a_bt_scratch(&self.weights, &mut self.scratch_weights_t)
     }
 
     fn n_params(&self) -> usize {
@@ -201,8 +216,42 @@ mod tests {
         assert_eq!(layer.n_params(), 15);
     }
 
-    /// Numerical gradient check: perturb each weight and compare the finite
-    /// difference of a scalar loss with the analytic gradient.
+    #[test]
+    fn fused_forward_matches_unfused_composition() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for act in [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::LeakyRelu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+        ] {
+            let mut layer = LinearLayer::new(6, 4, act, &mut rng);
+            for b in layer.bias.iter_mut() {
+                *b = 0.1;
+            }
+            let x = Matrix::randn(5, 6, 1.0, &mut rng);
+            let unfused = x
+                .matmul(&layer.weights)
+                .add_row_vector(&layer.bias)
+                .map(|v| act.forward(v));
+            for (a, b) in layer.infer(&x).data().iter().zip(unfused.data()) {
+                assert!(
+                    (a - b).abs() <= 1e-12 * (1.0 + b.abs()),
+                    "{act:?}: fused {a} vs unfused {b}"
+                );
+            }
+            // The cached-training path must agree with inference exactly.
+            assert_eq!(layer.forward(&x), layer.infer(&x));
+            // And reuse of the cache buffers on a second batch must be clean.
+            let x2 = Matrix::randn(3, 6, 1.0, &mut rng);
+            assert_eq!(layer.forward(&x2), layer.infer(&x2));
+        }
+    }
+
+    /// Numerical gradient check through the fused forward: perturb each
+    /// weight and compare the finite difference of a scalar loss with the
+    /// analytic gradient.
     #[test]
     fn backward_matches_numerical_gradient() {
         let mut rng = StdRng::seed_from_u64(1);

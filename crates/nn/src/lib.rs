@@ -33,5 +33,5 @@ pub use loss::{bce_with_logits, gaussian_kl, mse_loss, softmax_cross_entropy, so
 pub use matrix::Matrix;
 pub use mlp::{Mlp, MlpConfig};
 pub use optim::{Adam, AdamConfig, Optimizer, Sgd};
-pub use sample::{gumbel_softmax, standard_normal_matrix};
+pub use sample::{gumbel_softmax, standard_normal_into, standard_normal_matrix};
 pub use schedule::{ConstantLr, CosineDecay, LrSchedule};

@@ -3,14 +3,22 @@
 use crate::matrix::Matrix;
 
 /// Mean squared error over all elements.
+///
+/// Single fused pass: the difference matrix doubles as the gradient buffer
+/// (scaled in place), so one allocation and one traversal serve both the
+/// loss reduction and the gradient.
 pub fn mse_loss(prediction: &Matrix, target: &Matrix) -> (f64, Matrix) {
     assert_eq!(prediction.rows(), target.rows(), "mse shape mismatch");
     assert_eq!(prediction.cols(), target.cols(), "mse shape mismatch");
     let n = prediction.len() as f64;
-    let diff = prediction.sub(target);
-    let loss = diff.data().iter().map(|d| d * d).sum::<f64>() / n;
-    let grad = diff.scale(2.0 / n);
-    (loss, grad)
+    let mut grad = prediction.sub(target);
+    let scale = 2.0 / n;
+    let mut loss = 0.0;
+    for g in grad.data_mut() {
+        loss += *g * *g;
+        *g *= scale;
+    }
+    (loss / n, grad)
 }
 
 /// Numerically stable binary cross-entropy on raw logits, averaged over all

@@ -81,8 +81,12 @@ impl Mlp {
 
     /// Forward pass storing caches for a subsequent [`Mlp::backward`].
     pub fn forward(&mut self, input: &Matrix) -> Matrix {
-        let mut x = input.clone();
-        for layer in &mut self.layers {
+        let mut layers = self.layers.iter_mut();
+        let Some(first) = layers.next() else {
+            return input.clone();
+        };
+        let mut x = first.forward(input);
+        for layer in layers {
             x = layer.forward(&x);
         }
         x
@@ -90,8 +94,12 @@ impl Mlp {
 
     /// Inference-only forward pass (no caches stored).
     pub fn infer(&self, input: &Matrix) -> Matrix {
-        let mut x = input.clone();
-        for layer in &self.layers {
+        let mut layers = self.layers.iter();
+        let Some(first) = layers.next() else {
+            return input.clone();
+        };
+        let mut x = first.infer(input);
+        for layer in layers {
             x = layer.infer(&x);
         }
         x
@@ -99,8 +107,12 @@ impl Mlp {
 
     /// Backward pass from dL/d(output); returns dL/d(input).
     pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let mut grad = grad_output.clone();
-        for layer in self.layers.iter_mut().rev() {
+        let mut layers = self.layers.iter_mut().rev();
+        let Some(last) = layers.next() else {
+            return grad_output.clone();
+        };
+        let mut grad = last.backward(grad_output);
+        for layer in layers {
             grad = layer.backward(&grad);
         }
         grad
@@ -118,10 +130,15 @@ impl Mlp {
         for (i, layer) in self.layers.iter_mut().enumerate() {
             let wkey = param_group * 1000 + i * 2;
             let bkey = wkey + 1;
-            let grads = layer.grad_weights.data().to_vec();
-            optimizer.update(wkey, layer.weights.data_mut(), &grads, lr);
-            let bias_grads = layer.grad_bias.clone();
-            optimizer.update(bkey, &mut layer.bias, &bias_grads, lr);
+            // Parameters and gradients live in disjoint fields, so the
+            // optimizer can read the gradient slices directly — no copies.
+            optimizer.update(
+                wkey,
+                layer.weights.data_mut(),
+                layer.grad_weights.data(),
+                lr,
+            );
+            optimizer.update(bkey, &mut layer.bias, &layer.grad_bias, lr);
         }
     }
 
@@ -142,7 +159,7 @@ impl Mlp {
         if norm > max_norm && norm > 0.0 {
             let scale = max_norm / norm;
             for layer in &mut self.layers {
-                layer.grad_weights = layer.grad_weights.scale(scale);
+                layer.grad_weights.scale_assign(scale);
                 for g in &mut layer.grad_bias {
                     *g *= scale;
                 }

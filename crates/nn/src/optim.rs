@@ -141,16 +141,22 @@ impl Optimizer for Adam {
         let t = state.t as f64;
         let bias1 = 1.0 - cfg.beta1.powf(t);
         let bias2 = 1.0 - cfg.beta2.powf(t);
-        for i in 0..params.len() {
-            let g = grads[i];
-            state.m[i] = cfg.beta1 * state.m[i] + (1.0 - cfg.beta1) * g;
-            state.v[i] = cfg.beta2 * state.v[i] + (1.0 - cfg.beta2) * g * g;
-            let m_hat = state.m[i] / bias1;
-            let v_hat = state.v[i] / bias2;
+        let decay = lr * cfg.weight_decay;
+        // Fused single pass over zipped slices: no per-element bounds checks
+        // and the weight-decay branch hoisted to a precomputed factor.
+        for ((p, &g), (m, v)) in params
+            .iter_mut()
+            .zip(grads.iter())
+            .zip(state.m.iter_mut().zip(state.v.iter_mut()))
+        {
+            *m = cfg.beta1 * *m + (1.0 - cfg.beta1) * g;
+            *v = cfg.beta2 * *v + (1.0 - cfg.beta2) * g * g;
+            let m_hat = *m / bias1;
+            let v_hat = *v / bias2;
             if cfg.weight_decay > 0.0 {
-                params[i] -= lr * cfg.weight_decay * params[i];
+                *p -= decay * *p;
             }
-            params[i] -= lr * m_hat / (v_hat.sqrt() + cfg.eps);
+            *p -= lr * m_hat / (v_hat.sqrt() + cfg.eps);
         }
     }
 

@@ -3,62 +3,268 @@
 //! The build environment has no access to crates.io, so this shim provides
 //! the data-parallel API subset the workspace uses — `par_iter`,
 //! `into_par_iter`, `par_chunks_mut`, with `map` / `enumerate` / `for_each` /
-//! `collect` / `sum` — executed with **real parallelism** on scoped OS
-//! threads (`std::thread::scope`), one contiguous chunk per hardware thread.
+//! `collect` / `sum` — executed on a **persistent work-stealing pool**
+//! (see [`pool`]) instead of rayon's full scheduler.
 //!
-//! Unlike rayon proper there is no work-stealing pool: every parallel call
-//! spawns short-lived scoped threads. That is a good trade for this
-//! workspace, whose parallel regions are coarse (model fits, kNN rows,
-//! matmul rows). Result order always matches input order, so substituting
-//! this shim for rayon is behaviour-preserving.
-
-use std::num::NonZeroUsize;
+//! The pool is lazily initialized on the first parallel call and keeps
+//! `available_parallelism() - 1` worker threads alive for the life of the
+//! process; the calling thread always participates as the final executor.
+//! Every parallel call splits its items into contiguous chunks, pushes them
+//! onto a shared chunk deque, and idle workers steal chunks until the job
+//! drains. Compared to the previous `std::thread::scope` fork/join design,
+//! the thousands of small matmuls per training epoch no longer pay a
+//! thread-spawn/join round trip per call.
+//!
+//! Result order always matches input order and each output slot is produced
+//! by exactly one chunk with a fixed, size-derived boundary, so results are
+//! byte-identical to the sequential path regardless of which thread runs
+//! which chunk. Substituting this shim for rayon is behaviour-preserving.
 
 /// Everything call sites need, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
-fn thread_count(work_items: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(work_items)
-        .max(1)
+/// Persistent work-stealing thread pool shared by every parallel call.
+mod pool {
+    use std::any::Any;
+    use std::collections::VecDeque;
+    use std::num::NonZeroUsize;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Condvar, Mutex, Once, OnceLock};
+
+    /// A unit of work: one contiguous chunk of a parallel call. The `'static`
+    /// bound is erased from caller-borrowing closures in [`run_borrowed`],
+    /// which is sound because [`run`] blocks until every task has finished.
+    pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
+
+    /// One parallel call in flight: its undistributed chunks plus completion
+    /// tracking. Workers steal chunks from the front; the submitting thread
+    /// drains the same deque until it is empty, then waits for stragglers.
+    struct Job {
+        queue: Mutex<VecDeque<Task>>,
+        status: Mutex<JobStatus>,
+        done: Condvar,
+    }
+
+    struct JobStatus {
+        /// Tasks not yet finished (distributed or not).
+        remaining: usize,
+        /// First panic payload observed, re-raised on the submitting thread.
+        panic: Option<Box<dyn Any + Send>>,
+    }
+
+    /// Jobs that still have chunks to hand out.
+    struct PoolState {
+        jobs: VecDeque<Arc<Job>>,
+    }
+
+    pub(crate) struct Pool {
+        state: Mutex<PoolState>,
+        work_available: Condvar,
+        workers: usize,
+        started: Once,
+    }
+
+    static POOL: OnceLock<Pool> = OnceLock::new();
+
+    /// The global pool, spawning its workers on first use.
+    pub(crate) fn global() -> &'static Pool {
+        let pool = POOL.get_or_init(|| Pool {
+            state: Mutex::new(PoolState {
+                jobs: VecDeque::new(),
+            }),
+            work_available: Condvar::new(),
+            workers: std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+                .saturating_sub(1),
+            started: Once::new(),
+        });
+        pool.started.call_once(|| {
+            for _ in 0..pool.workers {
+                // Detached daemon threads: they park on the condvar whenever
+                // no job has chunks left and die with the process.
+                std::thread::spawn(move || worker_loop(POOL.get().expect("pool initialized")));
+            }
+        });
+        pool
+    }
+
+    /// Number of executors a parallel call can count on (workers + caller).
+    pub(crate) fn executors() -> usize {
+        global().workers + 1
+    }
+
+    fn worker_loop(pool: &'static Pool) {
+        loop {
+            let stolen = {
+                let mut state = pool.state.lock().expect("pool state lock");
+                loop {
+                    let mut found = None;
+                    while let Some(job) = state.jobs.front() {
+                        let mut queue = job.queue.lock().expect("job queue lock");
+                        if let Some(task) = queue.pop_front() {
+                            let job = Arc::clone(job);
+                            let empty = queue.is_empty();
+                            drop(queue);
+                            if empty {
+                                // Nothing left to distribute; retire the job
+                                // from the steal list (stragglers keep running).
+                                state.jobs.pop_front();
+                            }
+                            found = Some((job, task));
+                            break;
+                        }
+                        drop(queue);
+                        state.jobs.pop_front();
+                    }
+                    match found {
+                        Some(pair) => break pair,
+                        None => {
+                            state = pool.work_available.wait(state).expect("pool condvar wait");
+                        }
+                    }
+                }
+            };
+            let (job, task) = stolen;
+            finish_task(&job, task);
+        }
+    }
+
+    /// Run one task and record its completion (and any panic) on the job.
+    fn finish_task(job: &Job, task: Task) {
+        let result = catch_unwind(AssertUnwindSafe(task));
+        let mut status = job.status.lock().expect("job status lock");
+        status.remaining -= 1;
+        if let Err(payload) = result {
+            status.panic.get_or_insert(payload);
+        }
+        if status.remaining == 0 {
+            job.done.notify_all();
+        }
+    }
+
+    /// Execute `'static` tasks to completion on the pool. The calling thread
+    /// participates, so this also makes nested parallelism deadlock-free: a
+    /// worker that submits a sub-job drains that sub-job itself even when
+    /// every other worker is busy.
+    pub(crate) fn run(tasks: Vec<Task>) {
+        let pool = global();
+        if pool.workers == 0 || tasks.len() <= 1 {
+            for task in tasks {
+                task();
+            }
+            return;
+        }
+        let n_tasks = tasks.len();
+        let job = Arc::new(Job {
+            queue: Mutex::new(tasks.into()),
+            status: Mutex::new(JobStatus {
+                remaining: n_tasks,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        });
+        {
+            let mut state = pool.state.lock().expect("pool state lock");
+            state.jobs.push_back(Arc::clone(&job));
+        }
+        pool.work_available.notify_all();
+
+        // Caller participates until its own chunk deque drains.
+        loop {
+            let task = job.queue.lock().expect("job queue lock").pop_front();
+            match task {
+                Some(task) => finish_task(&job, task),
+                None => break,
+            }
+        }
+        // Workers may not have reached the job before the caller drained it.
+        {
+            let mut state = pool.state.lock().expect("pool state lock");
+            state.jobs.retain(|other| !Arc::ptr_eq(other, &job));
+        }
+        let mut status = job.status.lock().expect("job status lock");
+        while status.remaining > 0 {
+            status = job.done.wait(status).expect("job done wait");
+        }
+        if let Some(payload) = status.panic.take() {
+            drop(status);
+            resume_unwind(payload);
+        }
+    }
+
+    /// Execute tasks that borrow from the caller's stack.
+    ///
+    /// # Safety
+    ///
+    /// Sound because [`run`] does not return until every task has executed
+    /// (or panicked), so no borrow outlives this call; tasks are `FnOnce`
+    /// and cannot be retained by the pool.
+    pub(crate) fn run_borrowed(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
+        // SAFETY: see above — the borrowed lifetime is strictly contained in
+        // this call, which blocks until all tasks are consumed.
+        let tasks: Vec<Task> = unsafe { std::mem::transmute(tasks) };
+        run(tasks);
+    }
 }
 
-/// Map `f` over `items` on scoped threads, preserving input order.
+/// Pointer wrapper so disjoint result slots can be written from pool threads.
+struct SendPtr<T>(*mut T);
+// SAFETY: each task writes through a distinct, pre-allocated slot; the caller
+// blocks until all tasks finish before reading.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+fn chunk_count(work_items: usize) -> usize {
+    // A few chunks per executor lets idle threads steal from slow ones while
+    // keeping per-chunk overhead (one box + two deque ops) negligible.
+    (pool::executors() * 4).min(work_items).max(1)
+}
+
+/// Map `f` over `items` on the pool, preserving input order.
 fn par_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let threads = thread_count(items.len());
-    if threads <= 1 {
+    let n = items.len();
+    let chunks = chunk_count(n);
+    if chunks <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let chunk_size = items.len().div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let chunk_size = n.div_ceil(chunks);
+    let mut pending: Vec<Vec<T>> = Vec::with_capacity(chunks);
     let mut items = items;
     while !items.is_empty() {
         let rest = items.split_off(items.len().min(chunk_size));
-        chunks.push(std::mem::replace(&mut items, rest));
+        pending.push(std::mem::replace(&mut items, rest));
     }
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("parallel worker panicked"))
-            .collect()
-    })
+    let mut results: Vec<Option<Vec<R>>> = (0..pending.len()).map(|_| None).collect();
+    let out = SendPtr(results.as_mut_ptr());
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = pending
+        .into_iter()
+        .enumerate()
+        .map(|(slot, chunk)| {
+            let out = &out;
+            Box::new(move || {
+                let mapped: Vec<R> = chunk.into_iter().map(f).collect();
+                // SAFETY: `slot` indexes a live, distinct element of `results`.
+                unsafe { *out.0.add(slot) = Some(mapped) };
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool::run_borrowed(tasks);
+    results
+        .into_iter()
+        .flat_map(|slot| slot.expect("pool task completed"))
+        .collect()
 }
 
 /// An eager "parallel iterator": the items are materialised up front and the
-/// terminal operation fans them out across threads.
+/// terminal operation fans them out across the pool.
 pub struct ParIter<T: Send> {
     items: Vec<T>,
 }
@@ -179,6 +385,15 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     }
 }
 
+/// Number of executors available to a parallel call — the pool's persistent
+/// workers plus the calling thread, so always at least `1`. A return of `1`
+/// means there are no workers and every parallel call runs inline on the
+/// caller. Exposed for tests and diagnostics, mirroring upstream rayon's
+/// function of the same name.
+pub fn current_num_threads() -> usize {
+    pool::executors()
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -223,5 +438,42 @@ mod tests {
             "saw {distinct} threads, expected at least {}",
             expected.min(2)
         );
+    }
+
+    #[test]
+    fn pool_survives_repeated_calls() {
+        // The persistent pool must stay healthy across many small jobs (the
+        // training hot path issues thousands per epoch).
+        for round in 0..200 {
+            let out: Vec<usize> = (0..32).into_par_iter().map(|i| i + round).collect();
+            assert_eq!(out, (0..32).map(|i| i + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn nested_parallelism_completes() {
+        // A parallel call issued from inside a pool task must not deadlock:
+        // the submitting thread drains its own sub-job.
+        let totals: Vec<usize> = (0..8)
+            .into_par_iter()
+            .map(|i| (0..64).into_par_iter().map(|j| i * j).sum::<usize>())
+            .collect();
+        let expected: Vec<usize> = (0..8).map(|i| (0..64).map(|j| i * j).sum()).collect();
+        assert_eq!(totals, expected);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            (0..128).into_par_iter().for_each(|i| {
+                if i == 77 {
+                    panic!("boom from task");
+                }
+            });
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
+        // The pool must still work afterwards.
+        let sum: usize = (0..100).into_par_iter().map(|i| i).sum();
+        assert_eq!(sum, 4950);
     }
 }
