@@ -40,6 +40,31 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+/// Large shapes where the packed, cache-blocked driver engages (`B` operand
+/// overflows the L1-resident tile): a square 512³ and a tall-skinny
+/// 4096×64×256, each against the frozen PR 2 register-tiled kernel so the
+/// packing/SIMD win stays visible.
+fn bench_matmul_large(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_large");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(5);
+    for &(m, k, n) in &[(512usize, 512usize, 512usize), (4096, 64, 256)] {
+        let a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("packed", format!("{m}x{k}x{n}")),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| black_box(a.matmul(b))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pr2_tiled", format!("{m}x{k}x{n}")),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| black_box(reference::tiled_matmul(a, b))),
+        );
+    }
+    group.finish();
+}
+
 fn bench_backward_products(c: &mut Criterion) {
     let mut group = c.benchmark_group("backward_products");
     group.sample_size(30);
@@ -139,6 +164,7 @@ fn bench_model_epochs(c: &mut Criterion) {
 criterion_group!(
     nn_kernels,
     bench_matmul,
+    bench_matmul_large,
     bench_backward_products,
     bench_layer,
     bench_model_epochs

@@ -1,43 +1,63 @@
-//! Track the `nn` training hot path against the frozen pre-PR kernels and
-//! emit `BENCH_nn.json` so the performance trajectory is recorded across PRs.
+//! Track the `nn` training hot path against frozen baselines and emit
+//! `BENCH_nn.json` so the performance trajectory is recorded across PRs.
 //!
-//! Two kinds of measurements:
+//! Three kinds of measurements:
 //!
-//! * **Kernel benches** — the blocked/fused kernels (`matmul`,
+//! * **Kernel benches** — the SIMD-dispatched kernels (`matmul`,
 //!   `matmul_at_b`, `matmul_a_bt`, `matmul_bias`, blocked `transpose`, layer
 //!   forward/backward) against [`nn::matrix::reference`], the seed-state
-//!   scalar kernels preserved verbatim for exactly this purpose.
-//! * **Epoch bench** — one TabDDPM fast-config training epoch through the
-//!   current `TabDdpm::fit` hot path (fused forward, transpose-free
-//!   backward, buffer reuse, no gradient copies) against a faithful
-//!   re-implementation of the pre-PR epoch loop: reference kernels,
-//!   transpose-materializing backward, per-step batch/bias/gradient
-//!   allocations and `to_vec` gradient copies.
+//!   scalar kernels preserved verbatim for exactly this purpose
+//!   (`baseline_kind: "seed_reference"`).
+//! * **Large-shape kernel benches** — the packed, cache-blocked driver on
+//!   shapes whose `B` operand overflows L1 (512³ and a tall-skinny
+//!   4096×64×256) against [`reference::tiled_matmul`], the PR 2
+//!   register-tiled kernel frozen verbatim, so the packing/SIMD win of this
+//!   round is measured against its immediate predecessor
+//!   (`baseline_kind: "pr2_tiled"`).
+//! * **Epoch benches** — one training epoch of each of the paper's three
+//!   neural models through the current `fit` hot paths:
+//!   * TabDDPM vs a faithful re-implementation of the pre-PR 2 epoch loop
+//!     (reference kernels, transpose-materializing backward, per-step
+//!     allocations, `to_vec` gradient copies);
+//!   * TVAE vs the same seed-style loop (reference kernels, allocating
+//!     reparameterisation step);
+//!   * CTABGAN+ vs the **unfused discriminator double-step** — two
+//!     half-batch forward/backward passes and two Adam updates per
+//!     discriminator step, on today's kernels — so its `speedup` isolates
+//!     the fused-concatenated-batch change.
 //!
 //! After writing the report the binary reads it back through
 //! `serde_json::from_str` and validates the schema, so CI's smoke invocation
-//! proves both halves (writer and parser) work.
+//! proves both halves (writer and parser) work. With `--check`, any kernel
+//! whose measured speedup over its frozen baseline drops below 1.0 fails
+//! the run (the CI regression guard).
 //!
-//! Usage: `perf_report [--quick] [--out PATH]` (default `BENCH_nn.json`).
+//! Usage: `perf_report [--quick] [--check] [--out PATH]`
+//! (default `BENCH_nn.json`).
 
 use std::collections::HashMap;
 use std::time::Instant;
 
 use nn::matrix::reference;
 use nn::{
-    standard_normal_matrix, Activation, CosineDecay, Layer, LinearLayer, LrSchedule, Matrix, Mlp,
-    MlpConfig,
+    bce_with_logits, gaussian_kl, standard_normal_matrix, Activation, Adam, AdamConfig,
+    CosineDecay, Layer, LinearLayer, LrSchedule, Matrix, Mlp, MlpConfig,
 };
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use serde_json::ValueExt;
-use surrogate::{TabDdpm, TabDdpmConfig, TableCodec, TabularGenerator};
-use tabular::{Column, Table};
+use surrogate::mixed::{mixed_activation, mixed_activation_backward, mixed_reconstruction_loss};
+use surrogate::{
+    CtabGan, CtabGanConfig, TabDdpm, TabDdpmConfig, TableCodec, TabularGenerator, Tvae, TvaeConfig,
+};
+use tabular::{Column, FeatureKind, Table};
 
 #[derive(Serialize)]
 struct KernelBench {
     name: String,
+    baseline_kind: String,
     new_ns: f64,
     baseline_ns: f64,
     speedup: f64,
@@ -45,6 +65,7 @@ struct KernelBench {
 
 #[derive(Serialize)]
 struct EpochBench {
+    baseline_kind: String,
     rows: usize,
     epochs_timed: usize,
     new_epoch_ms: f64,
@@ -58,8 +79,11 @@ struct Report {
     generated_by: String,
     quick: bool,
     threads: usize,
+    simd_tier: String,
     kernels: Vec<KernelBench>,
     tabddpm_epoch: EpochBench,
+    ctabgan_epoch: EpochBench,
+    tvae_epoch: EpochBench,
 }
 
 /// Best-of-`reps` wall time of `inner` consecutive runs of `f`, in
@@ -77,9 +101,10 @@ fn time_ns(reps: usize, inner: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
-fn kernel_entry(name: &str, new_ns: f64, baseline_ns: f64) -> KernelBench {
+fn kernel_entry(name: &str, baseline_kind: &str, new_ns: f64, baseline_ns: f64) -> KernelBench {
     KernelBench {
         name: name.to_string(),
+        baseline_kind: baseline_kind.to_string(),
         new_ns,
         baseline_ns,
         speedup: baseline_ns / new_ns.max(1e-9),
@@ -87,7 +112,14 @@ fn kernel_entry(name: &str, new_ns: f64, baseline_ns: f64) -> KernelBench {
 }
 
 fn kernel_benches(quick: bool) -> Vec<KernelBench> {
-    let (reps, inner) = if quick { (3, 2) } else { (7, 8) };
+    // Quick mode still takes enough samples for the --check regression
+    // gate (hard 1.0x threshold, per the tracked acceptance criteria) to
+    // sit clear of shared-runner timing noise: best-of-5 over 4-run
+    // batches. The slimmest margin is the blocked transpose (unchanged
+    // since PR 2), which has measured as low as ~1.17x across full runs —
+    // if that entry ever flakes below 1.0 on a noisy runner, widen its
+    // sampling here rather than loosening the gate.
+    let (reps, inner) = if quick { (5, 4) } else { (7, 8) };
     let mut rng = StdRng::seed_from_u64(42);
     let mut entries = Vec::new();
 
@@ -102,6 +134,28 @@ fn kernel_benches(quick: bool) -> Vec<KernelBench> {
         });
         entries.push(kernel_entry(
             &format!("matmul_{m}x{k}x{n}"),
+            "seed_reference",
+            new_ns,
+            base_ns,
+        ));
+    }
+
+    // Large shapes where the packed, cache-blocked driver engages. Fewer
+    // inner iterations: a single 512³ product runs for tens of milliseconds
+    // on the frozen baseline.
+    let (lreps, linner) = if quick { (3, 1) } else { (5, 2) };
+    for &(m, k, n) in &[(512usize, 512usize, 512usize), (4096, 64, 256)] {
+        let a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        let new_ns = time_ns(lreps, linner, || {
+            std::hint::black_box(a.matmul(&b));
+        });
+        let base_ns = time_ns(lreps, linner, || {
+            std::hint::black_box(reference::tiled_matmul(&a, &b));
+        });
+        entries.push(kernel_entry(
+            &format!("matmul_packed_{m}x{k}x{n}"),
+            "pr2_tiled",
             new_ns,
             base_ns,
         ));
@@ -114,7 +168,12 @@ fn kernel_benches(quick: bool) -> Vec<KernelBench> {
     let base_ns = time_ns(reps, inner, || {
         std::hint::black_box(reference::transpose(&a));
     });
-    entries.push(kernel_entry("transpose_512x384", new_ns, base_ns));
+    entries.push(kernel_entry(
+        "transpose_512x384",
+        "seed_reference",
+        new_ns,
+        base_ns,
+    ));
 
     let input = Matrix::randn(256, 128, 1.0, &mut rng);
     let grad = Matrix::randn(256, 64, 1.0, &mut rng);
@@ -125,7 +184,12 @@ fn kernel_benches(quick: bool) -> Vec<KernelBench> {
     let base_ns = time_ns(reps, inner, || {
         std::hint::black_box(reference::matmul(&reference::transpose(&input), &grad));
     });
-    entries.push(kernel_entry("at_b_256x128_x_256x64", new_ns, base_ns));
+    entries.push(kernel_entry(
+        "at_b_256x128_x_256x64",
+        "seed_reference",
+        new_ns,
+        base_ns,
+    ));
 
     let new_ns = time_ns(reps, inner, || {
         std::hint::black_box(grad.matmul_a_bt(&weights));
@@ -133,7 +197,12 @@ fn kernel_benches(quick: bool) -> Vec<KernelBench> {
     let base_ns = time_ns(reps, inner, || {
         std::hint::black_box(reference::matmul(&grad, &reference::transpose(&weights)));
     });
-    entries.push(kernel_entry("a_bt_256x64_x_128x64", new_ns, base_ns));
+    entries.push(kernel_entry(
+        "a_bt_256x64_x_128x64",
+        "seed_reference",
+        new_ns,
+        base_ns,
+    ));
 
     let bias: Vec<f64> = (0..64).map(|i| i as f64 * 0.01).collect();
     let new_ns = time_ns(reps, inner, || {
@@ -142,7 +211,12 @@ fn kernel_benches(quick: bool) -> Vec<KernelBench> {
     let base_ns = time_ns(reps, inner, || {
         std::hint::black_box(reference::matmul(&input, &weights).add_row_vector(&bias));
     });
-    entries.push(kernel_entry("fused_affine_256x128x64", new_ns, base_ns));
+    entries.push(kernel_entry(
+        "fused_affine_256x128x64",
+        "seed_reference",
+        new_ns,
+        base_ns,
+    ));
 
     let mut layer = LinearLayer::new(128, 64, Activation::Relu, &mut rng);
     let mut baseline_layer = BaselineLayer::from_layer(&layer);
@@ -158,17 +232,22 @@ fn kernel_benches(quick: bool) -> Vec<KernelBench> {
         std::hint::black_box(baseline_layer.backward(&out));
         std::hint::black_box(y);
     });
-    entries.push(kernel_entry("layer_fwd_bwd_256x128x64", new_ns, base_ns));
+    entries.push(kernel_entry(
+        "layer_fwd_bwd_256x128x64",
+        "seed_reference",
+        new_ns,
+        base_ns,
+    ));
 
     entries
 }
 
 // ---------------------------------------------------------------------------
-// Faithful re-implementation of the pre-PR hot path: reference kernels,
+// Faithful re-implementation of the pre-PR 2 hot path: reference kernels,
 // transpose-materializing backward, per-step clones, the seed-state Adam
-// update loop (indexed, with per-element weight-decay branch) and the
-// two-allocation MSE. These are frozen so future optimisation of the live
-// `nn` crate cannot silently drag the baseline along with it.
+// update loop and the two-allocation MSE. These are frozen so future
+// optimisation of the live `nn` crate cannot silently drag the baseline
+// along with it.
 // ---------------------------------------------------------------------------
 
 /// The seed-state Adam (indexed inner loop, gradient slices copied by the
@@ -326,7 +405,7 @@ impl BaselineMlp {
     }
 }
 
-/// The training table the epoch bench fits: a PanDA-like mix of numerical
+/// The training table the epoch benches fit: a PanDA-like mix of numerical
 /// and categorical columns.
 fn epoch_table(n: usize, seed: u64) -> Table {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -357,12 +436,43 @@ fn epoch_table(n: usize, seed: u64) -> Table {
     t
 }
 
+/// Per-epoch milliseconds of the current hot path, measured by differencing
+/// two full fits with different epoch counts (cancelling fixed per-fit
+/// costs: codec fit/encode, weight init). `timed_fit(epochs, reps)` returns
+/// best-of-`reps` whole-fit seconds. A noisy host can invert the two
+/// measurements; retry with more repetitions, then fall back to the
+/// whole-fit upper bound rather than record a nonsense differenced value.
+fn differenced_epoch_ms(
+    label: &str,
+    reps: usize,
+    e1: usize,
+    e2: usize,
+    mut timed_fit: impl FnMut(usize, usize) -> f64,
+) -> f64 {
+    timed_fit(1, 1); // warm-up (pool spin-up, page faults)
+    for attempt in 0..3 {
+        let r = reps + attempt;
+        let t1 = timed_fit(e1, r);
+        let t2 = timed_fit(e2, r);
+        if t2 > t1 {
+            return ((t2 - t1) * 1e3) / (e2 - e1) as f64;
+        }
+        eprintln!("perf_report: noisy {label} epoch timing (t1 {t1:.4}s >= t2 {t2:.4}s), retrying");
+    }
+    eprintln!("perf_report: {label} differencing failed; using whole-fit upper bound");
+    timed_fit(e2, reps) * 1e3 / e2 as f64
+}
+
+// ---------------------------------------------------------------------------
+// TabDDPM epoch bench (vs the seed-kernel baseline loop).
+// ---------------------------------------------------------------------------
+
 /// One pre-PR-style TabDDPM training epoch: the exact inner loop the seed
 /// shipped (fresh batch/noise/noisy allocations every step, clone-heavy
 /// MLP), driven by the same schedule, batch size and RNG pattern as
 /// `TabDdpm::fit`.
 #[allow(clippy::too_many_arguments)]
-fn baseline_epoch(
+fn baseline_tabddpm_epoch(
     denoiser: &mut BaselineMlp,
     adam: &mut BaselineAdam,
     data: &Matrix,
@@ -432,7 +542,7 @@ fn cosine_alpha_bar(timesteps: usize) -> Vec<f64> {
         .collect()
 }
 
-fn epoch_bench(quick: bool) -> EpochBench {
+fn tabddpm_epoch_bench(quick: bool) -> EpochBench {
     let rows = if quick { 512 } else { 2048 };
     let (e1, e2, reps) = if quick { (1, 3, 1) } else { (2, 10, 2) };
     let epochs = e2 - e1;
@@ -442,11 +552,7 @@ fn epoch_bench(quick: bool) -> EpochBench {
     };
     let train = epoch_table(rows, 99);
 
-    // --- Current hot path: the real model through `TabDdpm::fit`. Timing
-    // two fits with different epoch counts and differencing cancels the
-    // fixed per-fit costs (codec fit/encode, weight init), leaving pure
-    // per-epoch training time.
-    let fit_secs = |epochs: usize, reps: usize| -> f64 {
+    let new_epoch_ms = differenced_epoch_ms("tabddpm", reps, e1, e2, |epochs, reps| {
         let mut best = f64::INFINITY;
         for _ in 0..reps.max(1) {
             let mut model = TabDdpm::new(TabDdpmConfig {
@@ -458,28 +564,7 @@ fn epoch_bench(quick: bool) -> EpochBench {
             best = best.min(start.elapsed().as_secs_f64());
         }
         best
-    };
-    fit_secs(1, 1); // warm-up (pool spin-up, page faults)
-                    // A noisy host can invert the two measurements (the short fit timing
-                    // slower than the long one); retry with more repetitions, and if the
-                    // inversion persists fall back to whole-fit-per-epoch time — an upper
-                    // bound that includes the codec overhead — rather than record a
-                    // nonsense differenced value in the tracked artifact.
-    let mut new_epoch_ms = f64::NAN;
-    for attempt in 0..3 {
-        let r = reps + attempt;
-        let t1 = fit_secs(e1, r);
-        let t2 = fit_secs(e2, r);
-        if t2 > t1 {
-            new_epoch_ms = ((t2 - t1) * 1e3) / (e2 - e1) as f64;
-            break;
-        }
-        eprintln!("perf_report: noisy epoch timing (t1 {t1:.4}s >= t2 {t2:.4}s), retrying");
-    }
-    if !new_epoch_ms.is_finite() {
-        eprintln!("perf_report: differencing failed; using whole-fit upper bound");
-        new_epoch_ms = fit_secs(e2, reps) * 1e3 / e2 as f64;
-    }
+    });
     // Unfitted model: `alpha_bar` is derived in the constructor.
     let model = TabDdpm::new(cfg.clone());
 
@@ -513,7 +598,7 @@ fn epoch_bench(quick: bool) -> EpochBench {
     let start = Instant::now();
     let mut last_loss = f64::NAN;
     for _ in 0..epochs {
-        last_loss = baseline_epoch(
+        last_loss = baseline_tabddpm_epoch(
             &mut denoiser,
             &mut adam,
             &data,
@@ -532,6 +617,7 @@ fn epoch_bench(quick: bool) -> EpochBench {
     );
 
     EpochBench {
+        baseline_kind: "seed_epoch_loop".to_string(),
         rows,
         epochs_timed: epochs,
         new_epoch_ms,
@@ -539,6 +625,384 @@ fn epoch_bench(quick: bool) -> EpochBench {
         speedup: baseline_epoch_ms / new_epoch_ms.max(1e-9),
     }
 }
+
+// ---------------------------------------------------------------------------
+// CTABGAN+ epoch bench (vs the unfused discriminator double-step).
+// ---------------------------------------------------------------------------
+
+/// The conditioning column `CtabGan::fit` picks (largest-cardinality
+/// categorical span) and its training marginal, replicated here for the
+/// baseline loop.
+fn choose_condition(codec: &TableCodec, data: &Matrix) -> Option<(usize, Vec<f64>)> {
+    codec
+        .spans()
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.kind == FeatureKind::Categorical)
+        .max_by_key(|(_, s)| s.width)
+        .map(|(idx, span)| {
+            let mut marginal = vec![0.0; span.width];
+            for r in 0..data.rows() {
+                let block = &data.row(r)[span.start..span.start + span.width];
+                if let Some(code) = block.iter().position(|&v| v > 0.5) {
+                    marginal[code] += 1.0;
+                }
+            }
+            let total: f64 = marginal.iter().sum::<f64>().max(1.0);
+            for m in &mut marginal {
+                *m /= total;
+            }
+            (idx, marginal)
+        })
+}
+
+/// Conditional one-hot batch from the training marginal (the baseline's
+/// allocating variant, matching the pre-fusion loop).
+fn sample_condition(
+    condition: &Option<(usize, Vec<f64>)>,
+    codec: &TableCodec,
+    rows: usize,
+    rng: &mut StdRng,
+) -> Matrix {
+    let Some((span_idx, marginal)) = condition else {
+        return Matrix::zeros(rows, 0);
+    };
+    let width = codec.spans()[*span_idx].width;
+    let mut out = Matrix::zeros(rows, width);
+    for r in 0..rows {
+        let mut u: f64 = rng.gen_range(0.0..1.0);
+        let mut chosen = width - 1;
+        for (i, &p) in marginal.iter().enumerate() {
+            if u < p {
+                chosen = i;
+                break;
+            }
+            u -= p;
+        }
+        out.set(r, chosen, 1.0);
+    }
+    out
+}
+
+/// One pre-fusion CTABGAN+ training epoch: per discriminator step, two
+/// half-batch forward/backward passes and two Adam updates (real then
+/// fake), with per-step `hconcat` batch assembly — exactly the loop shipped
+/// before the fused double-step, but on today's kernels, so the measured
+/// ratio isolates the fusion itself.
+#[allow(clippy::too_many_arguments)]
+fn baseline_ctabgan_epoch(
+    generator: &mut Mlp,
+    discriminator: &mut Mlp,
+    adam: &mut Adam,
+    data: &Matrix,
+    codec: &TableCodec,
+    condition: &Option<(usize, Vec<f64>)>,
+    cfg: &CtabGanConfig,
+    schedule: &CosineDecay,
+    step: &mut usize,
+    rng: &mut StdRng,
+) -> f64 {
+    let n = data.rows();
+    let width = codec.encoded_width();
+    let batch = cfg.batch_size.min(n).max(1);
+    let steps_per_epoch = n.div_ceil(batch);
+    let mut d_loss_sum = 0.0;
+    let mut g_loss_sum = 0.0;
+    for _ in 0..steps_per_epoch {
+        let lr = schedule.lr_at(*step);
+        *step += 1;
+
+        for _ in 0..cfg.discriminator_steps {
+            let idx: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..n)).collect();
+            let real = data.take_rows(&idx);
+            let cond = sample_condition(condition, codec, batch, rng);
+
+            let z = standard_normal_matrix(batch, cfg.latent_dim, rng);
+            let g_in = z.hconcat(&cond);
+            let fake_raw = generator.infer(&g_in);
+            let fake = mixed_activation(codec.spans(), &fake_raw);
+
+            let d_real_in = real.hconcat(&cond);
+            let d_fake_in = fake.hconcat(&cond);
+
+            let real_logits = discriminator.forward(&d_real_in);
+            let (loss_real, grad_real) =
+                bce_with_logits(&real_logits, &Matrix::filled(batch, 1, 1.0));
+            discriminator.backward(&grad_real);
+            discriminator.clip_gradients(5.0);
+            discriminator.apply_gradients(adam, 10, lr);
+
+            let fake_logits = discriminator.forward(&d_fake_in);
+            let (loss_fake, grad_fake) =
+                bce_with_logits(&fake_logits, &Matrix::filled(batch, 1, 0.0));
+            discriminator.backward(&grad_fake);
+            discriminator.clip_gradients(5.0);
+            discriminator.apply_gradients(adam, 10, lr);
+
+            d_loss_sum += loss_real + loss_fake;
+        }
+
+        let cond = sample_condition(condition, codec, batch, rng);
+        let z = standard_normal_matrix(batch, cfg.latent_dim, rng);
+        let g_in = z.hconcat(&cond);
+        let fake_raw = generator.forward(&g_in);
+        let fake = mixed_activation(codec.spans(), &fake_raw);
+        let d_in = fake.hconcat(&cond);
+
+        let logits = discriminator.forward(&d_in);
+        let (g_loss, grad_logits) = bce_with_logits(&logits, &Matrix::filled(batch, 1, 1.0));
+        g_loss_sum += g_loss;
+
+        let grad_d_in = discriminator.backward(&grad_logits);
+        let grad_fake = grad_d_in.slice_cols(0, width);
+        let grad_fake_raw = mixed_activation_backward(codec.spans(), &fake, &grad_fake);
+        generator.backward(&grad_fake_raw);
+        generator.clip_gradients(5.0);
+        generator.apply_gradients(adam, 20, lr);
+    }
+    (g_loss_sum + d_loss_sum) / steps_per_epoch as f64
+}
+
+fn ctabgan_epoch_bench(quick: bool) -> EpochBench {
+    let rows = if quick { 512 } else { 2048 };
+    let (e1, e2, reps) = if quick { (1, 3, 1) } else { (2, 10, 2) };
+    let epochs = e2 - e1;
+    let cfg = CtabGanConfig {
+        epochs: e2,
+        ..CtabGanConfig::fast()
+    };
+    let train = epoch_table(rows, 99);
+
+    let new_epoch_ms = differenced_epoch_ms("ctabgan", reps, e1, e2, |epochs, reps| {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let mut model = CtabGan::new(CtabGanConfig {
+                epochs,
+                ..cfg.clone()
+            });
+            let start = Instant::now();
+            model.fit(&train).expect("CTABGAN fit");
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    });
+
+    // --- Unfused baseline: identical model setup, pre-fusion update loop. ---
+    let codec = TableCodec::fit(&train).expect("codec fit");
+    let data = codec.encode(&train).expect("codec encode");
+    let width = codec.encoded_width();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let condition = if cfg.conditional {
+        choose_condition(&codec, &data)
+    } else {
+        None
+    };
+    let cond_width = condition
+        .as_ref()
+        .map_or(0, |(idx, _)| codec.spans()[*idx].width);
+    let mut generator = Mlp::new(
+        &MlpConfig::relu(
+            cfg.latent_dim + cond_width,
+            cfg.generator_hidden.clone(),
+            width,
+        ),
+        &mut rng,
+    );
+    let mut discriminator = Mlp::new(
+        &MlpConfig::relu(width + cond_width, cfg.discriminator_hidden.clone(), 1),
+        &mut rng,
+    );
+    let mut adam = Adam::new(AdamConfig::default());
+    let n = data.rows();
+    let batch = cfg.batch_size.min(n).max(1);
+    let steps_per_epoch = n.div_ceil(batch);
+    let schedule = CosineDecay {
+        base_lr: cfg.learning_rate,
+        min_lr: cfg.learning_rate * 0.01,
+        total_steps: cfg.epochs * steps_per_epoch,
+        warmup_steps: 0,
+    };
+    let mut step = 0usize;
+    let start = Instant::now();
+    let mut last_loss = f64::NAN;
+    for _ in 0..epochs {
+        last_loss = baseline_ctabgan_epoch(
+            &mut generator,
+            &mut discriminator,
+            &mut adam,
+            &data,
+            &codec,
+            &condition,
+            &cfg,
+            &schedule,
+            &mut step,
+            &mut rng,
+        );
+    }
+    let baseline_epoch_ms = start.elapsed().as_secs_f64() * 1e3 / epochs as f64;
+    assert!(
+        last_loss.is_finite(),
+        "baseline CTABGAN training diverged; comparison would be meaningless"
+    );
+
+    EpochBench {
+        baseline_kind: "unfused_discriminator_double_step".to_string(),
+        rows,
+        epochs_timed: epochs,
+        new_epoch_ms,
+        baseline_epoch_ms,
+        speedup: baseline_epoch_ms / new_epoch_ms.max(1e-9),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TVAE epoch bench (vs the seed-kernel baseline loop).
+// ---------------------------------------------------------------------------
+
+/// One pre-PR-style TVAE training epoch: the seed inner loop (fresh batch
+/// and noise allocations every step, clone-heavy reference-kernel MLPs),
+/// driven by the same schedule, batch size and shuffling pattern as
+/// `Tvae::fit`.
+#[allow(clippy::too_many_arguments)]
+fn baseline_tvae_epoch(
+    encoder: &mut BaselineMlp,
+    decoder: &mut BaselineMlp,
+    adam: &mut BaselineAdam,
+    data: &Matrix,
+    codec: &TableCodec,
+    cfg: &TvaeConfig,
+    indices: &mut [usize],
+    schedule: &CosineDecay,
+    step: &mut usize,
+    rng: &mut StdRng,
+) -> f64 {
+    let n = data.rows();
+    let batch = cfg.batch_size.min(n).max(1);
+    let steps_per_epoch = n.div_ceil(batch);
+    indices.shuffle(rng);
+    let mut epoch_loss = 0.0;
+    for chunk in indices.chunks(batch) {
+        let x = data.take_rows(chunk);
+        let lr = schedule.lr_at(*step);
+        *step += 1;
+
+        let enc_out = encoder.forward(&x);
+        let mu = enc_out.slice_cols(0, cfg.latent_dim);
+        let logvar = enc_out
+            .slice_cols(cfg.latent_dim, 2 * cfg.latent_dim)
+            .map(|v| v.clamp(-8.0, 8.0));
+
+        let eps = standard_normal_matrix(x.rows(), cfg.latent_dim, rng);
+        let std = logvar.map(|v| (0.5 * v).exp());
+        let z = mu.add(&eps.mul(&std));
+
+        let recon = decoder.forward(&z);
+        let (recon_loss, grad_recon) = mixed_reconstruction_loss(codec.spans(), &recon, &x);
+        let (kl_loss, grad_kl_mu, grad_kl_logvar) = gaussian_kl(&mu, &logvar);
+        epoch_loss += recon_loss + cfg.kl_weight * kl_loss;
+
+        let grad_z = decoder.backward(&grad_recon);
+        let grad_mu = grad_z.add(&grad_kl_mu.scale(cfg.kl_weight));
+        let grad_logvar_from_z = grad_z.mul(&eps).mul(&std).scale(0.5);
+        let grad_logvar = grad_logvar_from_z.add(&grad_kl_logvar.scale(cfg.kl_weight));
+
+        let grad_enc_out = grad_mu.hconcat(&grad_logvar);
+        encoder.backward(&grad_enc_out);
+
+        encoder.clip_gradients(5.0);
+        decoder.clip_gradients(5.0);
+        encoder.apply_gradients(adam, 0, lr);
+        decoder.apply_gradients(adam, 1, lr);
+    }
+    epoch_loss / steps_per_epoch as f64
+}
+
+fn tvae_epoch_bench(quick: bool) -> EpochBench {
+    let rows = if quick { 512 } else { 2048 };
+    let (e1, e2, reps) = if quick { (1, 3, 1) } else { (2, 10, 2) };
+    let epochs = e2 - e1;
+    let cfg = TvaeConfig {
+        epochs: e2,
+        ..TvaeConfig::fast()
+    };
+    let train = epoch_table(rows, 99);
+
+    let new_epoch_ms = differenced_epoch_ms("tvae", reps, e1, e2, |epochs, reps| {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let mut model = Tvae::new(TvaeConfig {
+                epochs,
+                ..cfg.clone()
+            });
+            let start = Instant::now();
+            model.fit(&train).expect("TVAE fit");
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    });
+
+    // --- Seed-style baseline: reference kernels, allocating loop. ---
+    let codec = TableCodec::fit(&train).expect("codec fit");
+    let data = codec.encode(&train).expect("codec encode");
+    let width = codec.encoded_width();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let enc_template = Mlp::new(
+        &MlpConfig::relu(width, cfg.hidden.clone(), 2 * cfg.latent_dim),
+        &mut rng,
+    );
+    let dec_template = Mlp::new(
+        &MlpConfig::relu(cfg.latent_dim, cfg.hidden.clone(), width),
+        &mut rng,
+    );
+    let mut encoder = BaselineMlp::from_mlp(&enc_template);
+    let mut decoder = BaselineMlp::from_mlp(&dec_template);
+    let mut adam = BaselineAdam::new();
+    let n = data.rows();
+    let batch = cfg.batch_size.min(n).max(1);
+    let steps_per_epoch = n.div_ceil(batch);
+    let schedule = CosineDecay {
+        base_lr: cfg.learning_rate,
+        min_lr: cfg.learning_rate * 0.01,
+        total_steps: cfg.epochs * steps_per_epoch,
+        warmup_steps: 0,
+    };
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut step = 0usize;
+    let start = Instant::now();
+    let mut last_loss = f64::NAN;
+    for _ in 0..epochs {
+        last_loss = baseline_tvae_epoch(
+            &mut encoder,
+            &mut decoder,
+            &mut adam,
+            &data,
+            &codec,
+            &cfg,
+            &mut indices,
+            &schedule,
+            &mut step,
+            &mut rng,
+        );
+    }
+    let baseline_epoch_ms = start.elapsed().as_secs_f64() * 1e3 / epochs as f64;
+    assert!(
+        last_loss.is_finite(),
+        "baseline TVAE training diverged; comparison would be meaningless"
+    );
+
+    EpochBench {
+        baseline_kind: "seed_epoch_loop".to_string(),
+        rows,
+        epochs_timed: epochs,
+        new_epoch_ms,
+        baseline_epoch_ms,
+        speedup: baseline_epoch_ms / new_epoch_ms.max(1e-9),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report emission, validation and the CI regression guard.
+// ---------------------------------------------------------------------------
 
 /// Re-read the emitted report and validate the schema, proving the JSON both
 /// renders and parses (the CI smoke test relies on this).
@@ -553,6 +1017,10 @@ fn validate(path: &str) -> Result<(), String> {
         return Err("'kernels' array is empty".to_string());
     }
     for entry in kernels {
+        entry
+            .get("baseline_kind")
+            .and_then(|v| v.as_str())
+            .ok_or("kernel entry missing 'baseline_kind'")?;
         for field in ["new_ns", "baseline_ns", "speedup"] {
             let v = entry
                 .get(field)
@@ -563,20 +1031,37 @@ fn validate(path: &str) -> Result<(), String> {
             }
         }
     }
-    let speedup = doc
-        .get("tabddpm_epoch")
-        .and_then(|e| e.get("speedup"))
-        .and_then(|v| v.as_f64())
-        .ok_or("missing tabddpm_epoch.speedup")?;
-    if !speedup.is_finite() || speedup <= 0.0 {
-        return Err("tabddpm_epoch.speedup is not a positive number".to_string());
+    for model in ["tabddpm_epoch", "ctabgan_epoch", "tvae_epoch"] {
+        let speedup = doc
+            .get(model)
+            .and_then(|e| e.get("speedup"))
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("missing {model}.speedup"))?;
+        if !speedup.is_finite() || speedup <= 0.0 {
+            return Err(format!("{model}.speedup is not a positive number"));
+        }
     }
+    doc.get("simd_tier")
+        .and_then(|v| v.as_str())
+        .ok_or("missing 'simd_tier'")?;
     Ok(())
+}
+
+/// Regression guard: every kernel must still beat its frozen baseline.
+/// Returns the offending entries (empty = pass). Works off the in-memory
+/// measurements — the file round-trip is already proven by [`validate`].
+fn kernel_regressions(kernels: &[KernelBench]) -> Vec<String> {
+    kernels
+        .iter()
+        .filter(|k| k.speedup < 1.0)
+        .map(|k| format!("{} ({:.3}x)", k.name, k.speedup))
+        .collect()
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -585,37 +1070,56 @@ fn main() {
         .unwrap_or_else(|| "BENCH_nn.json".to_string());
 
     eprintln!(
-        "perf_report: timing kernels ({} mode)...",
-        if quick { "quick" } else { "full" }
+        "perf_report: timing kernels ({} mode, {} tier)...",
+        if quick { "quick" } else { "full" },
+        nn::active_tier().name()
     );
     let kernels = kernel_benches(quick);
     for k in &kernels {
         eprintln!(
-            "  {:<28} new {:>12.0} ns   baseline {:>12.0} ns   speedup {:.2}x",
-            k.name, k.new_ns, k.baseline_ns, k.speedup
+            "  {:<30} new {:>12.0} ns   {:<14} {:>12.0} ns   speedup {:.2}x",
+            k.name, k.new_ns, k.baseline_kind, k.baseline_ns, k.speedup
         );
     }
 
+    let mut epochs = Vec::new();
     eprintln!("perf_report: timing TabDDPM fast-config epoch...");
-    let epoch = epoch_bench(quick);
-    eprintln!(
-        "  tabddpm_epoch ({} rows)       new {:>9.1} ms   baseline {:>9.1} ms   speedup {:.2}x",
-        epoch.rows, epoch.new_epoch_ms, epoch.baseline_epoch_ms, epoch.speedup
-    );
-    if epoch.speedup < 2.0 {
+    let tabddpm_epoch = tabddpm_epoch_bench(quick);
+    epochs.push(("tabddpm_epoch", &tabddpm_epoch, 2.0));
+    eprintln!("perf_report: timing CTABGAN+ fast-config epoch (fused vs unfused)...");
+    let ctabgan_epoch = ctabgan_epoch_bench(quick);
+    epochs.push(("ctabgan_epoch", &ctabgan_epoch, 1.0));
+    eprintln!("perf_report: timing TVAE fast-config epoch...");
+    let tvae_epoch = tvae_epoch_bench(quick);
+    epochs.push(("tvae_epoch", &tvae_epoch, 1.0));
+    for (name, epoch, target) in &epochs {
         eprintln!(
-            "warning: epoch speedup {:.2}x is below the 2x target for this host/run",
-            epoch.speedup
+            "  {:<14} ({} rows)  new {:>9.1} ms   baseline {:>9.1} ms   speedup {:.2}x  [{}]",
+            name,
+            epoch.rows,
+            epoch.new_epoch_ms,
+            epoch.baseline_epoch_ms,
+            epoch.speedup,
+            epoch.baseline_kind
         );
+        if epoch.speedup < *target {
+            eprintln!(
+                "warning: {name} speedup {:.2}x is below the {target}x target for this host/run",
+                epoch.speedup
+            );
+        }
     }
 
     let report = Report {
-        schema_version: 1,
+        schema_version: 2,
         generated_by: "bench::perf_report".to_string(),
         quick,
         threads: rayon::current_num_threads(),
+        simd_tier: nn::active_tier().name().to_string(),
         kernels,
-        tabddpm_epoch: epoch,
+        tabddpm_epoch,
+        ctabgan_epoch,
+        tvae_epoch,
     };
     let json = serde_json::to_string_pretty(&report).expect("render report");
     std::fs::write(&out_path, json + "\n").expect("write report");
@@ -624,6 +1128,19 @@ fn main() {
         Ok(()) => eprintln!("perf_report: wrote and validated {out_path}"),
         Err(e) => {
             eprintln!("perf_report: emitted {out_path} failed validation: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if check {
+        let offending = kernel_regressions(&report.kernels);
+        if offending.is_empty() {
+            eprintln!("perf_report: regression check passed (all kernels >= 1.0x)");
+        } else {
+            eprintln!(
+                "perf_report: REGRESSION — kernels slower than their frozen baseline: {}",
+                offending.join(", ")
+            );
             std::process::exit(1);
         }
     }

@@ -7,6 +7,15 @@
 //! the standard non-saturating GAN objective on binary cross-entropy.
 //! Categorical blocks of the generator output go through a per-block softmax
 //! so the discriminator always sees valid simplex blocks.
+//!
+//! The discriminator update is a **fused double-step**: the real batch and
+//! the generated batch are stacked into one `2·batch`-row matrix (written
+//! into a persistent buffer with `Matrix::paste`) and scored in a single
+//! forward/backward pass with a single Adam step on the summed objective,
+//! instead of two sequential half-updates. The backward pass uses
+//! `Mlp::backward_params_only`, which skips the first layer's
+//! input-gradient matmul — the widest product of the pass — because the
+//! discriminator update never consumes `dL/d(input)`.
 
 use nn::{
     bce_with_logits, standard_normal_into, standard_normal_matrix, Adam, AdamConfig, CosineDecay,
@@ -18,7 +27,7 @@ use serde::{Deserialize, Serialize};
 use tabular::{FeatureKind, Table};
 
 use crate::codec::TableCodec;
-use crate::mixed::{mixed_activation, mixed_activation_backward};
+use crate::mixed::{mixed_activation, mixed_activation_backward, mixed_activation_into};
 use crate::traits::{SurrogateError, TabularGenerator};
 
 /// CTABGAN+ hyper-parameters.
@@ -117,11 +126,26 @@ impl CtabGan {
     /// Sample a batch of conditional one-hot vectors from the training
     /// marginal.
     fn sample_condition<R: Rng>(&self, codec: &TableCodec, rows: usize, rng: &mut R) -> Matrix {
+        let mut out = Matrix::default();
+        self.sample_condition_into(codec, rows, rng, &mut out);
+        out
+    }
+
+    /// [`CtabGan::sample_condition`] into a caller-owned buffer, so the
+    /// training loop draws conditions without allocating.
+    fn sample_condition_into<R: Rng>(
+        &self,
+        codec: &TableCodec,
+        rows: usize,
+        rng: &mut R,
+        out: &mut Matrix,
+    ) {
         let Some((span_idx, marginal)) = &self.condition else {
-            return Matrix::zeros(rows, 0);
+            out.resize_zeroed(rows, 0);
+            return;
         };
         let width = codec.spans()[*span_idx].width;
-        let mut out = Matrix::zeros(rows, width);
+        out.resize_zeroed(rows, width);
         for r in 0..rows {
             let mut u: f64 = rng.gen_range(0.0..1.0);
             let mut chosen = width - 1;
@@ -134,7 +158,6 @@ impl CtabGan {
             }
             out.set(r, chosen, 1.0);
         }
-        out
     }
 }
 
@@ -205,11 +228,27 @@ impl TabularGenerator for CtabGan {
         let mut step = 0usize;
         self.loss_history.clear();
 
-        // Per-batch scratch reused across every discriminator step, so the
-        // hot loop performs no batch-assembly allocations.
+        // Per-batch scratch reused across every step, so the hot loop
+        // performs no batch-assembly allocations.
         let mut real_idx = Vec::with_capacity(batch);
         let mut real = Matrix::zeros(batch, width);
         let mut z = Matrix::zeros(batch, cfg.latent_dim);
+        let mut cond = Matrix::default();
+        let mut g_in = Matrix::default();
+        let mut fake_raw = Matrix::default();
+        let mut gen_scratch = Matrix::default();
+        let mut fake = Matrix::default();
+        let mut d_in = Matrix::default();
+        let mut logits = Matrix::default();
+        // Fused discriminator batch buffer, shaped once: every step's four
+        // `paste` calls overwrite all of it, so it is never re-zeroed.
+        let mut d_in_fused = Matrix::zeros(2 * batch, width + cond_width);
+        // Fused discriminator targets: the top `batch` rows of the combined
+        // batch are real (label 1), the bottom `batch` rows fake (label 0).
+        let mut d_targets = Matrix::zeros(2 * batch, 1);
+        for r in 0..batch {
+            d_targets.set(r, 0, 1.0);
+        }
 
         for _epoch in 0..cfg.epochs {
             let mut d_loss_sum = 0.0;
@@ -218,47 +257,58 @@ impl TabularGenerator for CtabGan {
                 let lr = schedule.lr_at(step);
                 step += 1;
 
-                // ---- Discriminator update(s) ----
+                // ---- Discriminator update(s), fused double-step ----
+                //
+                // Real and fake halves are assembled into one `2·batch`-row
+                // matrix so each update runs a single forward/backward and a
+                // single Adam step over the concatenated batch, instead of
+                // two passes of `batch` rows (one fused gradient step on
+                // `loss_real + loss_fake` rather than two sequential ones —
+                // the standard formulation of the GAN discriminator
+                // objective). The backward pass skips the first layer's
+                // input-gradient product entirely, since nothing consumes
+                // `dL/d(input)` here.
                 for _ in 0..cfg.discriminator_steps {
                     real_idx.clear();
                     real_idx.extend((0..batch).map(|_| rng.gen_range(0..n)));
                     data.take_rows_into(&real_idx, &mut real);
-                    let cond = self.sample_condition(&codec, batch, &mut rng);
+                    self.sample_condition_into(&codec, batch, &mut rng, &mut cond);
 
                     standard_normal_into(batch, cfg.latent_dim, &mut rng, &mut z);
-                    let g_in = z.hconcat(&cond);
-                    let fake_raw = generator.infer(&g_in);
-                    let fake = mixed_activation(codec.spans(), &fake_raw);
+                    z.hconcat_into(&cond, &mut g_in);
+                    generator.infer_into(&g_in, &mut fake_raw, &mut gen_scratch);
+                    mixed_activation_into(codec.spans(), &fake_raw, &mut fake);
 
-                    let d_real_in = real.hconcat(&cond);
-                    let d_fake_in = fake.hconcat(&cond);
+                    d_in_fused.paste(0, 0, &real);
+                    d_in_fused.paste(batch, 0, &fake);
+                    d_in_fused.paste(0, width, &cond);
+                    d_in_fused.paste(batch, width, &cond);
 
-                    let real_logits = discriminator.forward(&d_real_in);
-                    let (loss_real, grad_real) =
-                        bce_with_logits(&real_logits, &Matrix::filled(batch, 1, 1.0));
-                    discriminator.backward(&grad_real);
+                    discriminator.forward_into(&d_in_fused, &mut logits);
+                    // `bce_with_logits` averages over the `2·batch` combined
+                    // rows; doubling both the gradient and the logged loss
+                    // restores the summed `loss_real + loss_fake` objective
+                    // (each half a mean over `batch` rows), so the gradient
+                    // magnitude reaching the 5.0 clip and Adam keeps the
+                    // pre-fusion scale.
+                    let (d_loss, mut grad) = bce_with_logits(&logits, &d_targets);
+                    grad.scale_assign(2.0);
+                    discriminator.backward_params_only(&grad);
                     discriminator.clip_gradients(5.0);
                     discriminator.apply_gradients(&mut adam, 10, lr);
 
-                    let fake_logits = discriminator.forward(&d_fake_in);
-                    let (loss_fake, grad_fake) =
-                        bce_with_logits(&fake_logits, &Matrix::filled(batch, 1, 0.0));
-                    discriminator.backward(&grad_fake);
-                    discriminator.clip_gradients(5.0);
-                    discriminator.apply_gradients(&mut adam, 10, lr);
-
-                    d_loss_sum += loss_real + loss_fake;
+                    d_loss_sum += 2.0 * d_loss;
                 }
 
                 // ---- Generator update ----
-                let cond = self.sample_condition(&codec, batch, &mut rng);
+                self.sample_condition_into(&codec, batch, &mut rng, &mut cond);
                 standard_normal_into(batch, cfg.latent_dim, &mut rng, &mut z);
-                let g_in = z.hconcat(&cond);
-                let fake_raw = generator.forward(&g_in);
-                let fake = mixed_activation(codec.spans(), &fake_raw);
-                let d_in = fake.hconcat(&cond);
+                z.hconcat_into(&cond, &mut g_in);
+                generator.forward_into(&g_in, &mut fake_raw);
+                mixed_activation_into(codec.spans(), &fake_raw, &mut fake);
+                fake.hconcat_into(&cond, &mut d_in);
 
-                let logits = discriminator.forward(&d_in);
+                discriminator.forward_into(&d_in, &mut logits);
                 // Non-saturating generator loss: fool the discriminator.
                 let (g_loss, grad_logits) =
                     bce_with_logits(&logits, &Matrix::filled(batch, 1, 1.0));

@@ -4,7 +4,7 @@
 //! generator outputs, its backward pass, and the mixed reconstruction loss
 //! (MSE on numerical slots, softmax cross-entropy on categorical blocks).
 
-use nn::{softmax_rows, Matrix};
+use nn::{softmax_rows, softmax_slice, Matrix};
 use tabular::FeatureKind;
 
 use crate::codec::ColumnSpan;
@@ -12,16 +12,25 @@ use crate::codec::ColumnSpan;
 /// Apply the mixed output activation: identity on numerical slots, softmax on
 /// every categorical block.
 pub fn mixed_activation(spans: &[ColumnSpan], raw: &Matrix) -> Matrix {
-    let mut out = raw.clone();
+    let mut out = Matrix::default();
+    mixed_activation_into(spans, raw, &mut out);
+    out
+}
+
+/// [`mixed_activation`] into a caller-owned buffer: the raw output is copied
+/// once and every categorical block is softmaxed in place (via the shared
+/// [`softmax_slice`] kernel, on the row slice itself), so a training step
+/// that reuses the buffer performs no allocations here.
+pub fn mixed_activation_into(spans: &[ColumnSpan], raw: &Matrix, out: &mut Matrix) {
+    out.copy_from(raw);
     for span in spans {
         if span.kind != FeatureKind::Categorical {
             continue;
         }
-        let block = raw_block(raw, span);
-        let soft = softmax_rows(&block);
-        write_block(&mut out, span, &soft);
+        for r in 0..out.rows() {
+            softmax_slice(&mut out.row_mut(r)[span.start..span.start + span.width]);
+        }
     }
-    out
 }
 
 /// Backward pass of [`mixed_activation`]: given the gradient with respect to
@@ -97,14 +106,6 @@ pub fn mixed_reconstruction_loss(
 
 fn raw_block(m: &Matrix, span: &ColumnSpan) -> Matrix {
     m.slice_cols(span.start, span.start + span.width)
-}
-
-fn write_block(m: &mut Matrix, span: &ColumnSpan, block: &Matrix) {
-    for r in 0..m.rows() {
-        let src = block.row(r);
-        let dst = &mut m.row_mut(r)[span.start..span.start + span.width];
-        dst.copy_from_slice(src);
-    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,595 @@
+//! Two-level matmul kernel architecture behind [`crate::matrix::Matrix`].
+//!
+//! **Level 1 — vectorized microkernels.** Every inner kernel is written once,
+//! generically, over a tiny lane abstraction ([`SimdF64`]) with three
+//! implementations: portable scalar, SSE2 (`__m128d`, two lanes) and AVX2
+//! (`__m256d`, four lanes). The concrete instantiations live behind
+//! `#[target_feature]` wrappers and the generic bodies are `#[inline(always)]`,
+//! so each monomorphization compiles as one fully vectorized function; the
+//! tier to run is picked once per process by [`crate::simd::active_tier`].
+//!
+//! **Level 2 — cache-blocked panel packing.** Shapes whose `B` operand
+//! exceeds the L1-resident tile ([`use_packed`]) run a blocked driver:
+//! `B` is packed into contiguous `NR`-column panels and `A` into `MR`-row
+//! panels (both zero-padded to full panels), and an `MR×NR` register-tile
+//! microkernel sweeps `KC`-deep stripes so every packed element is read from
+//! L1. The pack buffers are thread-local and grow-only, so a training loop
+//! that calls the packed path repeatedly performs no per-call allocations.
+//!
+//! **Numerical contract.** Every kernel — any tier, packed or direct —
+//! accumulates each output element along the inner dimension in ascending
+//! index order, one `mul` + one `add` per term (never FMA), starting from the
+//! value already in the output slot. Results are therefore byte-identical
+//! across tiers, across the packed/direct split, and to the register-tiled
+//! scalar kernel PR 2 shipped (frozen in `matrix::reference::tiled_matmul`
+//! as the perf baseline); only the documented `±0.0`/non-finite caveat
+//! against the seed reference kernel remains.
+
+use crate::simd::{active_tier, SimdTier};
+use std::cell::RefCell;
+
+/// Rows per packed `A` panel (register-tile height of the microkernel).
+pub(crate) const MR: usize = 4;
+/// Inner-dimension stripe depth of the packed driver.
+const KC: usize = 256;
+/// Row-block height handed to one (possibly parallel) packing task.
+const MC: usize = 128;
+/// Column-block width packed per `B` panel sweep.
+const NC: usize = 512;
+
+/// Shapes whose `B` operand overflows the L1-resident tile go through the
+/// packed driver; small training shapes stay on the direct row kernels.
+pub(crate) fn use_packed(m: usize, k: usize, n: usize) -> bool {
+    m >= 2 * MR && k * n > 8 * 1024
+}
+
+// ---------------------------------------------------------------------------
+// Lane abstraction.
+// ---------------------------------------------------------------------------
+
+/// A small fixed number of `f64` lanes with broadcast/load/store/mul/add.
+///
+/// # Safety
+///
+/// `load`/`store` dereference raw pointers to `LANES` consecutive `f64`s;
+/// callers guarantee validity. Implementations may use `core::arch`
+/// intrinsics that are undefined behaviour on CPUs without the matching
+/// feature; instantiations are only reachable through the runtime-detected
+/// tier dispatch.
+trait SimdF64: Copy {
+    /// Lanes per register.
+    const LANES: usize;
+    /// Broadcast one value to all lanes.
+    unsafe fn splat(v: f64) -> Self;
+    /// Unaligned load of `LANES` values.
+    unsafe fn load(ptr: *const f64) -> Self;
+    /// Unaligned store of `LANES` values.
+    unsafe fn store(self, ptr: *mut f64);
+    /// Lane-wise product.
+    unsafe fn mul(self, other: Self) -> Self;
+    /// Lane-wise sum.
+    unsafe fn add(self, other: Self) -> Self;
+}
+
+/// Portable one-lane fallback.
+#[derive(Clone, Copy)]
+struct Scalar1(f64);
+
+impl SimdF64 for Scalar1 {
+    const LANES: usize = 1;
+    #[inline(always)]
+    unsafe fn splat(v: f64) -> Self {
+        Scalar1(v)
+    }
+    #[inline(always)]
+    unsafe fn load(ptr: *const f64) -> Self {
+        Scalar1(*ptr)
+    }
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut f64) {
+        *ptr = self.0;
+    }
+    #[inline(always)]
+    unsafe fn mul(self, other: Self) -> Self {
+        Scalar1(self.0 * other.0)
+    }
+    #[inline(always)]
+    unsafe fn add(self, other: Self) -> Self {
+        Scalar1(self.0 + other.0)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::SimdF64;
+    use core::arch::x86_64::*;
+
+    /// Two `f64` lanes in an SSE2 register (x86-64 baseline).
+    #[derive(Clone, Copy)]
+    pub(super) struct Sse2(__m128d);
+
+    impl SimdF64 for Sse2 {
+        const LANES: usize = 2;
+        #[inline(always)]
+        unsafe fn splat(v: f64) -> Self {
+            Sse2(_mm_set1_pd(v))
+        }
+        #[inline(always)]
+        unsafe fn load(ptr: *const f64) -> Self {
+            Sse2(_mm_loadu_pd(ptr))
+        }
+        #[inline(always)]
+        unsafe fn store(self, ptr: *mut f64) {
+            _mm_storeu_pd(ptr, self.0);
+        }
+        #[inline(always)]
+        unsafe fn mul(self, other: Self) -> Self {
+            Sse2(_mm_mul_pd(self.0, other.0))
+        }
+        #[inline(always)]
+        unsafe fn add(self, other: Self) -> Self {
+            Sse2(_mm_add_pd(self.0, other.0))
+        }
+    }
+
+    /// Four `f64` lanes in an AVX register (guarded by AVX2 detection).
+    #[derive(Clone, Copy)]
+    pub(super) struct Avx2(__m256d);
+
+    impl SimdF64 for Avx2 {
+        const LANES: usize = 4;
+        #[inline(always)]
+        unsafe fn splat(v: f64) -> Self {
+            Avx2(_mm256_set1_pd(v))
+        }
+        #[inline(always)]
+        unsafe fn load(ptr: *const f64) -> Self {
+            Avx2(_mm256_loadu_pd(ptr))
+        }
+        #[inline(always)]
+        unsafe fn store(self, ptr: *mut f64) {
+            _mm256_storeu_pd(ptr, self.0);
+        }
+        #[inline(always)]
+        unsafe fn mul(self, other: Self) -> Self {
+            Avx2(_mm256_mul_pd(self.0, other.0))
+        }
+        #[inline(always)]
+        unsafe fn add(self, other: Self) -> Self {
+            Avx2(_mm256_add_pd(self.0, other.0))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Level 1: direct row kernels (axpy-shaped, one output row at a time).
+// ---------------------------------------------------------------------------
+
+/// One output row of a product: `out_row[j] += Σ_kk a(kk) · b[kk·n + j]`,
+/// where `a(kk)` is read from `a_base` with stride `a_stride`. Stride 1 is a
+/// plain `A·B` row; stride `ka` with base `col` is row `col` of `Aᵀ·B`.
+///
+/// Four vector accumulators per column tile keep enough independent
+/// add-chains in flight to cover FP latency, and each output element still
+/// accumulates as one ascending-`kk` chain (broadcast-multiply, then add).
+///
+/// # Safety
+///
+/// `a_base` must be valid for `depth` strided reads, `b` for `depth * n`
+/// reads, `out_row` for `n` reads and writes; intrinsics require the lane
+/// type's CPU feature.
+#[inline(always)]
+unsafe fn row_kernel_v<V: SimdF64>(
+    a_base: *const f64,
+    a_stride: usize,
+    depth: usize,
+    b: *const f64,
+    n: usize,
+    out_row: *mut f64,
+) {
+    let lanes = V::LANES;
+    let tile = 4 * lanes;
+    let mut j = 0usize;
+    while j + tile <= n {
+        let mut acc0 = V::load(out_row.add(j));
+        let mut acc1 = V::load(out_row.add(j + lanes));
+        let mut acc2 = V::load(out_row.add(j + 2 * lanes));
+        let mut acc3 = V::load(out_row.add(j + 3 * lanes));
+        for kk in 0..depth {
+            let av = V::splat(*a_base.add(kk * a_stride));
+            let brow = b.add(kk * n + j);
+            acc0 = acc0.add(av.mul(V::load(brow)));
+            acc1 = acc1.add(av.mul(V::load(brow.add(lanes))));
+            acc2 = acc2.add(av.mul(V::load(brow.add(2 * lanes))));
+            acc3 = acc3.add(av.mul(V::load(brow.add(3 * lanes))));
+        }
+        acc0.store(out_row.add(j));
+        acc1.store(out_row.add(j + lanes));
+        acc2.store(out_row.add(j + 2 * lanes));
+        acc3.store(out_row.add(j + 3 * lanes));
+        j += tile;
+    }
+    while j + lanes <= n {
+        let mut acc = V::load(out_row.add(j));
+        for kk in 0..depth {
+            let av = V::splat(*a_base.add(kk * a_stride));
+            acc = acc.add(av.mul(V::load(b.add(kk * n + j))));
+        }
+        acc.store(out_row.add(j));
+        j += lanes;
+    }
+    while j < n {
+        let mut acc = *out_row.add(j);
+        for kk in 0..depth {
+            acc += *a_base.add(kk * a_stride) * *b.add(kk * n + j);
+        }
+        *out_row.add(j) = acc;
+        j += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+unsafe fn row_kernel_sse2(
+    a_base: *const f64,
+    a_stride: usize,
+    depth: usize,
+    b: *const f64,
+    n: usize,
+    out_row: *mut f64,
+) {
+    // SSE2 is in the x86-64 baseline: no `#[target_feature]` needed.
+    row_kernel_v::<x86::Sse2>(a_base, a_stride, depth, b, n, out_row);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn row_kernel_avx2(
+    a_base: *const f64,
+    a_stride: usize,
+    depth: usize,
+    b: *const f64,
+    n: usize,
+    out_row: *mut f64,
+) {
+    row_kernel_v::<x86::Avx2>(a_base, a_stride, depth, b, n, out_row);
+}
+
+fn row_kernel_scalar(
+    a_base: *const f64,
+    a_stride: usize,
+    depth: usize,
+    b: *const f64,
+    n: usize,
+    out_row: *mut f64,
+) {
+    // SAFETY: caller contracts forwarded from `strided_row`.
+    unsafe { row_kernel_v::<Scalar1>(a_base, a_stride, depth, b, n, out_row) }
+}
+
+/// Dispatch one strided row-kernel call through the active tier.
+///
+/// `a` supplies the `depth` inner-dimension coefficients starting at
+/// `a_offset` with stride `a_stride`; `b` is the row-major right operand
+/// with `n` columns and `depth` rows; `out_row` is accumulated in place.
+#[inline]
+pub(crate) fn strided_row(
+    a: &[f64],
+    a_offset: usize,
+    a_stride: usize,
+    depth: usize,
+    b: &[f64],
+    n: usize,
+    out_row: &mut [f64],
+) {
+    debug_assert_eq!(out_row.len(), n);
+    debug_assert!(depth == 0 || a_offset + (depth - 1) * a_stride < a.len());
+    debug_assert!(b.len() >= depth * n);
+    let a_base = unsafe { a.as_ptr().add(a_offset) };
+    let bp = b.as_ptr();
+    let op = out_row.as_mut_ptr();
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { row_kernel_avx2(a_base, a_stride, depth, bp, n, op) },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse2 => unsafe { row_kernel_sse2(a_base, a_stride, depth, bp, n, op) },
+        _ => row_kernel_scalar(a_base, a_stride, depth, bp, n, op),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Level 2: cache-blocked panel packing.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Per-thread `A` pack buffer (`MR`-row panels), grow-only.
+    static PACK_A: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread `B` pack buffer (`NR`-column panels), grow-only.
+    static PACK_B: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pack `B[pc..pc+kc, jc..jc+nc]` (row-major, leading dimension `ldb`) into
+/// `NR`-column panels: element `(kk, j)` of panel `jp` lands at
+/// `(jp·kc + kk)·nr + j`. Columns past `nc` are zero-padded so the
+/// microkernel always sees full panels (padded lanes never reach valid
+/// output elements).
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    b: &[f64],
+    ldb: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    nr: usize,
+    buf: &mut Vec<f64>,
+) {
+    let panels = nc.div_ceil(nr);
+    buf.clear();
+    buf.resize(panels * kc * nr, 0.0);
+    for jp in 0..panels {
+        let cols = nr.min(nc - jp * nr);
+        let dst_panel = jp * kc * nr;
+        for kk in 0..kc {
+            let src = (pc + kk) * ldb + jc + jp * nr;
+            let dst = dst_panel + kk * nr;
+            buf[dst..dst + cols].copy_from_slice(&b[src..src + cols]);
+        }
+    }
+}
+
+/// Pack `A[ic..ic+mc, pc..pc+kc]` (row-major, leading dimension `lda`) into
+/// `MR`-row panels: element `(r, kk)` of panel `ip` lands at
+/// `(ip·kc + kk)·MR + r`. Rows past `mc` are zero-padded.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(a: &[f64], lda: usize, ic: usize, mc: usize, pc: usize, kc: usize, buf: &mut Vec<f64>) {
+    let panels = mc.div_ceil(MR);
+    buf.clear();
+    buf.resize(panels * kc * MR, 0.0);
+    for ip in 0..panels {
+        let rows = MR.min(mc - ip * MR);
+        let dst_panel = ip * kc * MR;
+        for r in 0..rows {
+            let src_row = (ic + ip * MR + r) * lda + pc;
+            for kk in 0..kc {
+                buf[dst_panel + kk * MR + r] = a[src_row + kk];
+            }
+        }
+    }
+}
+
+/// Full `MR × 2·LANES` register-tile microkernel over one packed stripe:
+/// loads the output tile, accumulates `kc` ascending-order terms per element
+/// (broadcast `A`, two `B` vectors, multiply then add), stores the tile back.
+///
+/// # Safety
+///
+/// `ap`/`bp` must point at full packed panels of depth `kc`; `c` must be
+/// valid for an `MR × 2·LANES` tile with row stride `ldc`; lane intrinsics
+/// require the matching CPU feature.
+#[inline(always)]
+unsafe fn micro_full<V: SimdF64>(
+    kc: usize,
+    ap: *const f64,
+    bp: *const f64,
+    c: *mut f64,
+    ldc: usize,
+) {
+    let lanes = V::LANES;
+    let nr = 2 * lanes;
+    let mut acc0 = [V::splat(0.0); MR];
+    let mut acc1 = [V::splat(0.0); MR];
+    for r in 0..MR {
+        acc0[r] = V::load(c.add(r * ldc));
+        acc1[r] = V::load(c.add(r * ldc + lanes));
+    }
+    for kk in 0..kc {
+        let b0 = V::load(bp.add(kk * nr));
+        let b1 = V::load(bp.add(kk * nr + lanes));
+        for r in 0..MR {
+            let av = V::splat(*ap.add(kk * MR + r));
+            acc0[r] = acc0[r].add(av.mul(b0));
+            acc1[r] = acc1[r].add(av.mul(b1));
+        }
+    }
+    for r in 0..MR {
+        acc0[r].store(c.add(r * ldc));
+        acc1[r].store(c.add(r * ldc + lanes));
+    }
+}
+
+/// Scalar edge-tile kernel for partial `MR`/`NR` extents, reading the same
+/// packed panels. Identical ascending-`kk` single-chain accumulation, so
+/// edge tiles match full tiles bit-for-bit.
+///
+/// # Safety
+///
+/// Same panel/output validity contracts as [`micro_full`], restricted to
+/// `mr_eff` rows and `nr_eff` columns.
+#[allow(clippy::too_many_arguments)]
+unsafe fn micro_edge(
+    kc: usize,
+    ap: *const f64,
+    bp: *const f64,
+    nr: usize,
+    c: *mut f64,
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    for r in 0..mr_eff {
+        for j in 0..nr_eff {
+            let mut acc = *c.add(r * ldc + j);
+            for kk in 0..kc {
+                acc += *ap.add(kk * MR + r) * *bp.add(kk * nr + j);
+            }
+            *c.add(r * ldc + j) = acc;
+        }
+    }
+}
+
+/// Sweep one packed `A` block against one packed `B` stripe: all row panels
+/// × all column panels, full tiles through [`micro_full`], edges through
+/// [`micro_edge`].
+///
+/// # Safety
+///
+/// `c` must point at the `(ic, jc)` corner of a buffer with row stride
+/// `ldc` covering `mc × nc` writable elements; panels must be packed for
+/// this block; lane intrinsics require the matching CPU feature.
+#[inline(always)]
+unsafe fn block_kernel_v<V: SimdF64>(
+    apack: &[f64],
+    bpack: &[f64],
+    kc: usize,
+    mc: usize,
+    nc: usize,
+    c: *mut f64,
+    ldc: usize,
+) {
+    let nr = 2 * V::LANES;
+    let j_panels = nc.div_ceil(nr);
+    let i_panels = mc.div_ceil(MR);
+    for jp in 0..j_panels {
+        let bpanel = bpack.as_ptr().add(jp * kc * nr);
+        let nr_eff = nr.min(nc - jp * nr);
+        for ip in 0..i_panels {
+            let apanel = apack.as_ptr().add(ip * kc * MR);
+            let mr_eff = MR.min(mc - ip * MR);
+            let ctile = c.add(ip * MR * ldc + jp * nr);
+            if mr_eff == MR && nr_eff == nr {
+                micro_full::<V>(kc, apanel, bpanel, ctile, ldc);
+            } else {
+                micro_edge(kc, apanel, bpanel, nr, ctile, ldc, mr_eff, nr_eff);
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+unsafe fn block_kernel_sse2(
+    apack: &[f64],
+    bpack: &[f64],
+    kc: usize,
+    mc: usize,
+    nc: usize,
+    c: *mut f64,
+    ldc: usize,
+) {
+    block_kernel_v::<x86::Sse2>(apack, bpack, kc, mc, nc, c, ldc);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn block_kernel_avx2(
+    apack: &[f64],
+    bpack: &[f64],
+    kc: usize,
+    mc: usize,
+    nc: usize,
+    c: *mut f64,
+    ldc: usize,
+) {
+    block_kernel_v::<x86::Avx2>(apack, bpack, kc, mc, nc, c, ldc);
+}
+
+/// Pack one `A` block into the thread-local buffer and run the tier's block
+/// kernel over the packed `B` stripe.
+#[allow(clippy::too_many_arguments)]
+fn process_row_block(
+    tier: SimdTier,
+    a: &[f64],
+    lda: usize,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    bpack: &[f64],
+    nc: usize,
+    c_block: &mut [f64],
+    ldc: usize,
+    c_col: usize,
+) {
+    PACK_A.with(|buf| {
+        let mut apack = buf.borrow_mut();
+        pack_a(a, lda, ic, mc, pc, kc, &mut apack);
+        let c = unsafe { c_block.as_mut_ptr().add(c_col) };
+        // SAFETY: `c` spans `mc` rows of stride `ldc` inside `c_block`, the
+        // panels were packed for exactly this block, and the tier was
+        // runtime-detected (or clamped to) a supported feature set.
+        match tier {
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx2 => unsafe { block_kernel_avx2(&apack, bpack, kc, mc, nc, c, ldc) },
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Sse2 => unsafe { block_kernel_sse2(&apack, bpack, kc, mc, nc, c, ldc) },
+            _ => unsafe { block_kernel_v::<Scalar1>(&apack, bpack, kc, mc, nc, c, ldc) },
+        }
+    });
+}
+
+/// Cache-blocked packed matmul: accumulate `A (m×k) · B (k×n)` into `out`
+/// (row-major `m×n`, pre-seeded with zeros or a broadcast bias). Row blocks
+/// fan out over the rayon pool when `parallel` is set; every output element
+/// is produced by exactly one task with a fixed accumulation chain, so the
+/// parallel and sequential paths are byte-identical.
+pub(crate) fn packed_matmul(
+    a: &[f64],
+    m: usize,
+    k: usize,
+    b: &[f64],
+    n: usize,
+    out: &mut [f64],
+    parallel: bool,
+) {
+    use rayon::prelude::*;
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let tier = active_tier();
+    let nr = 2 * tier.lanes();
+    // Row-block height: `MC` alone would hand a single block (and therefore
+    // a single thread) any product with `m <= MC`, so when parallel, shrink
+    // blocks until every executor gets a few to steal. The height is derived
+    // only from the shape and thread count — never from runtime load — and
+    // each output element keeps its fixed accumulation chain, so results
+    // stay byte-identical whatever the block size.
+    let block_rows = if parallel {
+        MC.min(
+            m.div_ceil(4 * rayon::current_num_threads())
+                .next_multiple_of(MR),
+        )
+    } else {
+        MC
+    };
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            PACK_B.with(|buf| {
+                let mut bpack_ref = buf.borrow_mut();
+                pack_b(b, n, pc, kc, jc, nc, nr, &mut bpack_ref);
+                let bpack: &[f64] = &bpack_ref;
+                if parallel {
+                    out.par_chunks_mut(block_rows * n)
+                        .enumerate()
+                        .for_each(|(blk, c_block)| {
+                            let ic = blk * block_rows;
+                            let mc = block_rows.min(m - ic);
+                            process_row_block(
+                                tier, a, k, ic, mc, pc, kc, bpack, nc, c_block, n, jc,
+                            );
+                        });
+                } else {
+                    for (blk, c_block) in out.chunks_mut(block_rows * n).enumerate() {
+                        let ic = blk * block_rows;
+                        let mc = block_rows.min(m - ic);
+                        process_row_block(tier, a, k, ic, mc, pc, kc, bpack, nc, c_block, n, jc);
+                    }
+                }
+            });
+            pc += kc;
+        }
+        jc += nc;
+    }
+}

@@ -130,34 +130,50 @@ impl LinearLayer {
         self.weights.cols()
     }
 
-    /// Forward pass without storing caches (inference only): the affine map
-    /// and the activation are fused — bias-seeded matmul, activation applied
-    /// in place — so a single matrix is allocated per layer.
+    /// Forward pass without storing caches (inference only): affine map,
+    /// bias and activation fused into one kernel pass, so a single matrix is
+    /// allocated per layer.
     pub fn infer(&self, input: &Matrix) -> Matrix {
-        let act = self.activation;
-        let mut out = input.matmul_bias(&self.weights, &self.bias);
-        out.map_assign(|v| act.forward(v));
+        let mut out = Matrix::default();
+        self.infer_into(input, &mut out);
         out
     }
-}
 
-impl Layer for LinearLayer {
-    fn forward(&mut self, input: &Matrix) -> Matrix {
-        // Fused affine: `x·W + b` in one bias-seeded pass, written into the
-        // cached pre-activation buffer so repeated steps reuse its allocation.
+    /// [`LinearLayer::infer`] into a caller-owned buffer: the activation is
+    /// applied by the matmul kernel while each output row is cache-hot, and
+    /// nothing is allocated.
+    pub fn infer_into(&self, input: &Matrix, out: &mut Matrix) {
+        let act = self.activation;
+        input.matmul_bias_act_into(&self.weights, &self.bias, |v| act.forward(v), out);
+    }
+
+    /// Training forward pass into a caller-owned buffer (caches stored for
+    /// a subsequent backward): the fused affine lands in the persistent
+    /// pre-activation cache and the activation is mapped into `out`, so
+    /// repeated steps allocate nothing.
+    pub fn forward_into(&mut self, input: &Matrix, out: &mut Matrix) {
         let mut pre = self.cache_pre_activation.take().unwrap_or_default();
         input.matmul_bias_into(&self.weights, &self.bias, &mut pre);
         let act = self.activation;
-        let out = pre.map(|v| act.forward(v));
+        pre.map_into(|v| act.forward(v), out);
         match &mut self.cache_input {
             Some(cache) => cache.copy_from(input),
             None => self.cache_input = Some(input.clone()),
         }
         self.cache_pre_activation = Some(pre);
-        out
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+    /// Accumulate this layer's parameter gradients (`dL/dW`, `dL/db`) from
+    /// `dL/d(output)` **without** computing `dL/d(input)` — the variant the
+    /// fused discriminator update uses on its first layer, where the input
+    /// gradient would be discarded and its `A·Wᵀ` product (the widest matmul
+    /// of the backward pass) can be skipped entirely.
+    pub fn backward_params(&mut self, grad_output: &Matrix) {
+        let _ = self.grad_pre_and_params(grad_output);
+    }
+
+    /// Shared backward head: `dL/d(pre)` plus both parameter gradients.
+    fn grad_pre_and_params(&mut self, grad_output: &Matrix) -> Matrix {
         let input = self
             .cache_input
             .as_ref()
@@ -173,6 +189,19 @@ impl Layer for LinearLayer {
         // transpose and accumulated into the persistent gradient buffers.
         input.matmul_at_b_into(&grad_pre, &mut self.grad_weights);
         grad_pre.sum_rows_into(&mut self.grad_bias);
+        grad_pre
+    }
+}
+
+impl Layer for LinearLayer {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.forward_into(input, &mut out);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let grad_pre = self.grad_pre_and_params(grad_output);
         // dL/d(input) = dL/d(pre) · Wᵀ; the blocked transpose lands in a
         // persistent scratch so only the result is allocated.
         grad_pre.matmul_a_bt_scratch(&self.weights, &mut self.scratch_weights_t)

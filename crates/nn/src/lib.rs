@@ -6,7 +6,9 @@
 //! provides exactly the pieces those models need, with no external ML
 //! framework:
 //!
-//! * [`matrix`] — a dense row-major `f64` matrix with rayon-parallel matmul,
+//! * [`matrix`] — a dense row-major `f64` matrix whose matmuls run on
+//!   SIMD-dispatched (scalar/SSE2/AVX2), cache-blocked packed kernels with
+//!   rayon parallelism (see [`simd`] for the once-per-process tier choice),
 //! * [`layer`] — linear layers and activation functions with manual
 //!   forward/backward passes,
 //! * [`mlp`] — a composable feed-forward network,
@@ -20,6 +22,7 @@
 //! Everything is deterministic given an RNG seed, which the tests and the
 //! experiment harness rely on.
 
+mod kernels;
 pub mod layer;
 pub mod loss;
 pub mod matrix;
@@ -27,11 +30,15 @@ pub mod mlp;
 pub mod optim;
 pub mod sample;
 pub mod schedule;
+pub mod simd;
 
 pub use layer::{Activation, Layer, LinearLayer};
-pub use loss::{bce_with_logits, gaussian_kl, mse_loss, softmax_cross_entropy, softmax_rows};
+pub use loss::{
+    bce_with_logits, gaussian_kl, mse_loss, softmax_cross_entropy, softmax_rows, softmax_slice,
+};
 pub use matrix::Matrix;
 pub use mlp::{Mlp, MlpConfig};
 pub use optim::{Adam, AdamConfig, Optimizer, Sgd};
 pub use sample::{gumbel_softmax, standard_normal_into, standard_normal_matrix};
 pub use schedule::{ConstantLr, CosineDecay, LrSchedule};
+pub use simd::{active_tier, SimdTier};

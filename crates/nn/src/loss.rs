@@ -38,20 +38,27 @@ pub fn bce_with_logits(logits: &Matrix, target: &Matrix) -> (f64, Matrix) {
     (loss / n, grad)
 }
 
+/// Numerically stable softmax of one logit slice, in place (max-shift,
+/// exponentiate, normalise). The single implementation every softmax in the
+/// workspace shares — [`softmax_rows`], the mixed-activation categorical
+/// blocks — so their numerics can never drift apart.
+pub fn softmax_slice(row: &mut [f64]) {
+    let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in row.iter_mut() {
+        *v /= sum;
+    }
+}
+
 /// Row-wise softmax.
 pub fn softmax_rows(logits: &Matrix) -> Matrix {
     let mut out = logits.clone();
     for r in 0..out.rows() {
-        let row = out.row_mut(r);
-        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let mut sum = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
-        }
-        for v in row.iter_mut() {
-            *v /= sum;
-        }
+        softmax_slice(out.row_mut(r));
     }
     out
 }

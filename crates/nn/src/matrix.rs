@@ -1,28 +1,35 @@
 //! Dense row-major `f64` matrix with the operations the MLPs need.
 //!
-//! The matmul kernels are cache-blocked and unrolled four-wide over the inner
-//! dimension: each output-row pass accumulates four `B` rows at once into a
-//! column tile that fits in L1, quartering the number of times the output row
-//! is streamed through the cache. Dedicated [`Matrix::matmul_at_b`] /
-//! [`Matrix::matmul_a_bt`] variants compute `Aᵀ·B` and `A·Bᵀ` directly so the
-//! backward pass never materializes a transposed copy, and `_into` variants
-//! reuse caller-owned buffers so the training loop performs no per-step
-//! allocations on the hot path.
+//! The matmul products run on the two-level kernel architecture in
+//! [`crate::kernels`]: explicitly vectorized microkernels (scalar / SSE2 /
+//! AVX2 `core::arch` lanes, selected once per process by
+//! [`crate::simd::active_tier`]) behind a shape split — small operands go
+//! through direct axpy-shaped row kernels, while shapes whose `B` operand
+//! overflows the L1-resident tile go through a cache-blocked driver that
+//! packs `A` and `B` into register-tile panels held in thread-local,
+//! grow-only buffers. Dedicated [`Matrix::matmul_at_b`] /
+//! [`Matrix::matmul_a_bt`] variants compute `Aᵀ·B` and `A·Bᵀ` directly so
+//! the backward pass never materializes a transposed copy, and `_into`
+//! variants reuse caller-owned buffers so the training loop performs no
+//! per-step allocations on the hot path.
 //!
-//! Every kernel accumulates each output element along the inner dimension in
-//! ascending index order with a single accumulation chain, so the parallel
-//! and sequential paths (and the `_at_b`/`_a_bt` shortcuts versus their
-//! transpose-then-multiply equivalents) produce byte-identical results on
-//! finite inputs free of signed zeros (the branchless kernels add `0 · b`
-//! terms the scalar reference skips, which only diverges when `b` is
-//! infinite or NaN, or through `-0.0` bookkeeping). Work is parallelised
-//! over output rows with rayon once it is large enough to amortise handing
-//! chunks to the pool.
+//! Every kernel — any tier, packed or direct — accumulates each output
+//! element along the inner dimension in ascending index order with a single
+//! accumulation chain (multiply then add, never FMA), so the parallel and
+//! sequential paths, every SIMD tier, and the `_at_b`/`_a_bt` shortcuts
+//! versus their transpose-then-multiply equivalents produce byte-identical
+//! results on finite inputs free of signed zeros (the branchless kernels
+//! add `0 · b` terms the scalar reference skips, which only diverges when
+//! `b` is infinite or NaN, or through `-0.0` bookkeeping). Work is
+//! parallelised over output rows (or packed row blocks) with rayon once it
+//! is large enough to amortise handing chunks to the pool.
 //!
-//! The pre-PR scalar kernels are preserved in [`reference`] as the oracle for
-//! equivalence tests and the baseline the `perf_report` binary measures
-//! speedups against.
+//! The seed-state scalar kernels are preserved in [`reference`] as the
+//! oracle for equivalence tests, alongside a frozen copy of the PR 2
+//! register-tiled kernel ([`reference::tiled_matmul`]) that anchors the
+//! `perf_report` speedup trajectory for the SIMD/packed kernels.
 
+use crate::kernels;
 use rand::Rng;
 use rand_distr::{Distribution, Normal};
 use rayon::prelude::*;
@@ -32,101 +39,8 @@ use serde::{Deserialize, Serialize};
 /// in parallel.
 const PAR_THRESHOLD: usize = 64 * 64 * 64;
 
-/// Register-tile width of the blocked matmul kernels: eight `f64`
-/// accumulators (two AVX vectors) per output tile live in registers for the
-/// whole inner-dimension sweep, so each output element is loaded and stored
-/// exactly once regardless of the inner dimension.
-const REG_TILE: usize = 8;
-
 /// Square block edge for the cache-blocked transpose.
 const TRANSPOSE_BLOCK: usize = 32;
-
-/// Register-tiled kernel for one output row of `A·B`:
-/// `out_row += a_row · B` where `B` is row-major `(k × n)`.
-///
-/// Each 8-wide output tile accumulates in registers across the full inner
-/// sweep, and the inner loop is branchless broadcast-multiply-accumulate
-/// with no output loads or stores. Per element the accumulation runs in
-/// ascending inner-index order as a single chain, so results match the
-/// scalar reference kernel bit-for-bit on finite data: the reference skips
-/// exact-zero `A` terms, but adding `±0.0 · b` never changes an accumulator
-/// when `b` is finite (a finite sum can only produce `-0.0` from exact
-/// cancellation, which rounds to `+0.0`; `0 · ±inf` and `0 · NaN` are NaN,
-/// so non-finite `B` entries against zero `A` terms do diverge), while a
-/// data-dependent skip branch here would mispredict on every ReLU-sparse
-/// gradient row.
-#[inline]
-fn matmul_row_kernel(a_row: &[f64], b: &[f64], n: usize, out_row: &mut [f64]) {
-    debug_assert_eq!(out_row.len(), n);
-    let mut j0 = 0;
-    while j0 + REG_TILE <= n {
-        let mut acc = [0.0f64; REG_TILE];
-        acc.copy_from_slice(&out_row[j0..j0 + REG_TILE]);
-        for (kk, &a) in a_row.iter().enumerate() {
-            let b_tile = &b[kk * n + j0..kk * n + j0 + REG_TILE];
-            for (t, o) in acc.iter_mut().enumerate() {
-                *o += a * b_tile[t];
-            }
-        }
-        out_row[j0..j0 + REG_TILE].copy_from_slice(&acc);
-        j0 += REG_TILE;
-    }
-    if j0 < n {
-        let rem = n - j0;
-        let mut acc = [0.0f64; REG_TILE];
-        acc[..rem].copy_from_slice(&out_row[j0..]);
-        for (kk, &a) in a_row.iter().enumerate() {
-            let b_tile = &b[kk * n + j0..kk * n + n];
-            for (t, &bv) in b_tile.iter().enumerate() {
-                acc[t] += a * bv;
-            }
-        }
-        out_row[j0..].copy_from_slice(&acc[..rem]);
-    }
-}
-
-/// Register-tiled kernel for one output row of `Aᵀ·B`: row `i` of the
-/// product gathers column `i` of `A` (stride `ka`) against the rows of `B`,
-/// accumulating branchlessly in ascending row order, so the result is
-/// byte-identical to `A.transpose().matmul(B)` (same `±0.0` argument as
-/// [`matmul_row_kernel`]).
-#[inline]
-fn at_b_row_kernel(
-    a: &[f64],
-    ka: usize,
-    i: usize,
-    b: &[f64],
-    p: usize,
-    m: usize,
-    out_row: &mut [f64],
-) {
-    debug_assert_eq!(out_row.len(), p);
-    let mut j0 = 0;
-    while j0 + REG_TILE <= p {
-        let mut acc = [0.0f64; REG_TILE];
-        for r in 0..m {
-            let a_val = a[r * ka + i];
-            let b_tile = &b[r * p + j0..r * p + j0 + REG_TILE];
-            for (t, o) in acc.iter_mut().enumerate() {
-                *o += a_val * b_tile[t];
-            }
-        }
-        out_row[j0..j0 + REG_TILE].copy_from_slice(&acc);
-        j0 += REG_TILE;
-    }
-    if j0 < p {
-        let rem = p - j0;
-        let mut acc = [0.0f64; REG_TILE];
-        for r in 0..m {
-            let a_val = a[r * ka + i];
-            let b_tile = &b[r * p + j0..r * p + p];
-            for (t, &bv) in b_tile.iter().enumerate() {
-                acc[t] += a_val * bv;
-            }
-        }
-        out_row[j0..].copy_from_slice(&acc[..rem]);
-    }
-}
 
 /// Dense row-major matrix.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -252,6 +166,13 @@ impl Matrix {
         self.data.resize(rows * cols, 0.0);
     }
 
+    /// Reshape to `rows × cols` of zeros, reusing the allocation — the
+    /// public face of the internal reset for batch-assembly call sites that
+    /// build a buffer with [`Matrix::paste`].
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.reset(rows, cols);
+    }
+
     /// Overwrite this matrix with `src`, reusing the existing allocation.
     pub fn copy_from(&mut self, src: &Matrix) {
         self.rows = src.rows;
@@ -281,13 +202,38 @@ impl Matrix {
 
     /// Horizontally concatenate two matrices with equal row counts.
     pub fn hconcat(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.hconcat_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::hconcat`] into a caller-owned buffer.
+    pub fn hconcat_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "row count mismatch in hconcat");
-        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        out.reset(self.rows, self.cols + other.cols);
         for r in 0..self.rows {
             out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
             out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
         }
-        out
+    }
+
+    /// Copy `src` into this matrix with its top-left corner at `(r0, c0)`,
+    /// so batch assembly (e.g. stacking real and fake halves of a fused
+    /// discriminator batch) writes straight into a persistent buffer instead
+    /// of concatenating fresh matrices.
+    pub fn paste(&mut self, r0: usize, c0: usize, src: &Matrix) {
+        assert!(
+            r0 + src.rows <= self.rows && c0 + src.cols <= self.cols,
+            "paste of {}x{} at ({r0},{c0}) exceeds {}x{}",
+            src.rows,
+            src.cols,
+            self.rows,
+            self.cols
+        );
+        for r in 0..src.rows {
+            let dst = (r0 + r) * self.cols + c0;
+            self.data[dst..dst + src.cols].copy_from_slice(src.row(r));
+        }
     }
 
     /// Slice a contiguous range of columns.
@@ -361,15 +307,35 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         out.reset(self.rows, other.cols);
-        let (n, k) = (other.cols, self.cols);
-        let work = self.rows * n * k;
-        Self::for_each_out_row(out, work, |r, out_row| {
-            matmul_row_kernel(&self.data[r * k..(r + 1) * k], &other.data, n, out_row);
-        });
+        self.accumulate_product(other, out);
     }
 
-    /// Sequential matrix product using the same blocked kernel — the oracle
-    /// for the parallel-determinism tests and the `perf_report` baselines.
+    /// Accumulate `self × other` on top of whatever `out` already holds
+    /// (zeros or a broadcast bias), choosing the packed driver for large
+    /// shapes and the direct row kernels otherwise.
+    fn accumulate_product(&self, other: &Matrix, out: &mut Matrix) {
+        let (m, n, k) = (self.rows, other.cols, self.cols);
+        let work = m * n * k;
+        if kernels::use_packed(m, k, n) {
+            kernels::packed_matmul(
+                &self.data,
+                m,
+                k,
+                &other.data,
+                n,
+                &mut out.data,
+                work >= PAR_THRESHOLD,
+            );
+        } else {
+            Self::for_each_out_row(out, work, |r, out_row| {
+                kernels::strided_row(&self.data, r * k, 1, k, &other.data, n, out_row);
+            });
+        }
+    }
+
+    /// Sequential matrix product through the direct (unpacked) row kernels —
+    /// the oracle for the parallel- and packed-determinism tests and the
+    /// `perf_report` baselines.
     pub fn matmul_seq(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
@@ -379,7 +345,7 @@ impl Matrix {
         let mut out = Matrix::zeros(self.rows, other.cols);
         let (n, k) = (other.cols, self.cols);
         for (r, out_row) in out.data.chunks_mut(n.max(1)).enumerate() {
-            matmul_row_kernel(&self.data[r * k..(r + 1) * k], &other.data, n, out_row);
+            kernels::strided_row(&self.data, r * k, 1, k, &other.data, n, out_row);
         }
         out
     }
@@ -407,11 +373,48 @@ impl Matrix {
         for _ in 0..self.rows {
             out.data.extend_from_slice(bias);
         }
-        let (n, k) = (other.cols, self.cols);
-        let work = self.rows * n * k;
-        Self::for_each_out_row(out, work, |r, out_row| {
-            matmul_row_kernel(&self.data[r * k..(r + 1) * k], &other.data, n, out_row);
-        });
+        self.accumulate_product(other, out);
+    }
+
+    /// Fully fused affine + activation: `act(self × other + bias)` into a
+    /// caller-owned buffer. On the direct path the activation is applied to
+    /// each output row in the same pass that computes it, while the row is
+    /// still cache-hot; the packed path applies it in one trailing sweep.
+    /// The affine part is bit-identical to [`Matrix::matmul_bias_into`].
+    pub fn matmul_bias_act_into(
+        &self,
+        other: &Matrix,
+        bias: &[f64],
+        act: impl Fn(f64) -> f64 + Sync,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} × {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(bias.len(), other.cols, "bias width mismatch");
+        out.rows = self.rows;
+        out.cols = other.cols;
+        out.data.clear();
+        for _ in 0..self.rows {
+            out.data.extend_from_slice(bias);
+        }
+        let (m, n, k) = (self.rows, other.cols, self.cols);
+        if kernels::use_packed(m, k, n) {
+            self.accumulate_product(other, out);
+            for v in &mut out.data {
+                *v = act(*v);
+            }
+        } else {
+            let work = m * n * k;
+            Self::for_each_out_row(out, work, |r, out_row| {
+                kernels::strided_row(&self.data, r * k, 1, k, &other.data, n, out_row);
+                for v in out_row.iter_mut() {
+                    *v = act(*v);
+                }
+            });
+        }
     }
 
     /// `selfᵀ × other` computed directly from the untransposed operands
@@ -434,7 +437,7 @@ impl Matrix {
         let (ka, p, m) = (self.cols, other.cols, self.rows);
         let work = ka * p * m;
         Self::for_each_out_row(out, work, |i, out_row| {
-            at_b_row_kernel(&self.data, ka, i, &other.data, p, m, out_row);
+            kernels::strided_row(&self.data, i, ka, m, &other.data, p, out_row);
         });
     }
 
@@ -473,6 +476,14 @@ impl Matrix {
             cols: self.cols,
             data: self.data.iter().map(|&v| f(v)).collect(),
         }
+    }
+
+    /// Element-wise map into a caller-owned buffer, reusing its allocation.
+    pub fn map_into(&self, f: impl Fn(f64) -> f64, out: &mut Matrix) {
+        out.rows = self.rows;
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.extend(self.data.iter().map(|&v| f(v)));
     }
 
     /// Element-wise map in place.
@@ -588,12 +599,64 @@ impl Matrix {
     }
 }
 
-/// The pre-PR scalar kernels, kept verbatim as (a) the oracle the property
-/// tests compare the blocked kernels against and (b) the baseline the
-/// `perf_report` binary measures speedups over so the perf trajectory stays
-/// anchored to a fixed reference across future PRs.
+/// Frozen baseline kernels: the seed-state scalar kernels kept verbatim as
+/// (a) the oracle the property tests compare the dispatched kernels against
+/// and (b) the anchor of the `perf_report` speedup trajectory, plus a
+/// verbatim copy of the PR 2 register-tiled kernel ([`tiled_matmul`]) so the
+/// SIMD/packed kernels of this round are measured against their immediate
+/// predecessor rather than only the seed. Nothing here may be optimised:
+/// any change silently drags every recorded speedup along with it.
 pub mod reference {
     use super::Matrix;
+
+    /// Register-tile width of the frozen PR 2 kernel.
+    const REG_TILE: usize = 8;
+
+    /// The PR 2 register-tiled, branchless row kernel, frozen verbatim: one
+    /// 8-wide accumulator tile per output segment, ascending-`k`
+    /// broadcast-multiply-accumulate.
+    #[inline]
+    fn tiled_row_kernel(a_row: &[f64], b: &[f64], n: usize, out_row: &mut [f64]) {
+        let mut j0 = 0;
+        while j0 + REG_TILE <= n {
+            let mut acc = [0.0f64; REG_TILE];
+            acc.copy_from_slice(&out_row[j0..j0 + REG_TILE]);
+            for (kk, &a) in a_row.iter().enumerate() {
+                let b_tile = &b[kk * n + j0..kk * n + j0 + REG_TILE];
+                for (t, o) in acc.iter_mut().enumerate() {
+                    *o += a * b_tile[t];
+                }
+            }
+            out_row[j0..j0 + REG_TILE].copy_from_slice(&acc);
+            j0 += REG_TILE;
+        }
+        if j0 < n {
+            let rem = n - j0;
+            let mut acc = [0.0f64; REG_TILE];
+            acc[..rem].copy_from_slice(&out_row[j0..]);
+            for (kk, &a) in a_row.iter().enumerate() {
+                let b_tile = &b[kk * n + j0..kk * n + n];
+                for (t, &bv) in b_tile.iter().enumerate() {
+                    acc[t] += a * bv;
+                }
+            }
+            out_row[j0..].copy_from_slice(&acc[..rem]);
+        }
+    }
+
+    /// The PR 2 register-tiled matmul (sequential; on the 1-core CI
+    /// container the parallel path degenerated to this), frozen as the
+    /// baseline the SIMD-dispatched and packed kernels are measured against
+    /// in `perf_report` and `BENCH_nn.json`.
+    pub fn tiled_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.rows(), "matmul dimension mismatch");
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        let (n, k) = (b.cols(), a.cols());
+        for (r, out_row) in out.data.chunks_mut(n.max(1)).enumerate() {
+            tiled_row_kernel(&a.data()[r * k..(r + 1) * k], b.data(), n, out_row);
+        }
+        out
+    }
 
     /// Naive single-row-accumulate matmul (the seed kernel).
     pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
@@ -787,6 +850,54 @@ mod tests {
         );
         a.transpose_into(&mut out);
         assert_eq!(out, a.transpose());
+    }
+
+    #[test]
+    fn packed_path_is_bit_identical_to_reference() {
+        // 130x520x130 comfortably crosses the packed threshold (k·n = 67600)
+        // and straddles the MR/NR/KC/MC panel seams; the packed driver must
+        // still be byte-identical to the seed reference on finite data.
+        let mut rng = StdRng::seed_from_u64(47);
+        let a = Matrix::randn(130, 520, 1.0, &mut rng);
+        let b = Matrix::randn(520, 130, 1.0, &mut rng);
+        assert!(super::kernels::use_packed(130, 520, 130));
+        assert_eq!(a.matmul(&b), reference::matmul(&a, &b));
+        assert_eq!(a.matmul(&b), reference::tiled_matmul(&a, &b));
+        assert_eq!(a.matmul(&b), a.matmul_seq(&b));
+    }
+
+    #[test]
+    fn fused_affine_activation_matches_composition() {
+        let mut rng = StdRng::seed_from_u64(53);
+        for &(m, k, n) in &[(5usize, 7usize, 9usize), (64, 80, 160)] {
+            let a = Matrix::randn(m, k, 1.0, &mut rng);
+            let b = Matrix::randn(k, n, 1.0, &mut rng);
+            let bias: Vec<f64> = (0..n).map(|i| i as f64 * 0.1 - 0.5).collect();
+            let mut fused = Matrix::randn(2, 2, 1.0, &mut rng);
+            a.matmul_bias_act_into(&b, &bias, |v| v.max(0.0), &mut fused);
+            let unfused = a.matmul_bias(&b, &bias).map(|v| v.max(0.0));
+            assert_eq!(fused, unfused, "fused act shape {m}x{k}x{n} diverged");
+        }
+    }
+
+    #[test]
+    fn paste_writes_blocks_in_place() {
+        let mut out = Matrix::zeros(4, 5);
+        let top = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let bottom = Matrix::from_rows(&[vec![5.0, 6.0, 7.0]]);
+        out.paste(0, 1, &top);
+        out.paste(3, 2, &bottom);
+        assert_eq!(out.row(0), &[0.0, 1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(out.row(1), &[0.0, 3.0, 4.0, 0.0, 0.0]);
+        assert_eq!(out.row(3), &[0.0, 0.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn paste_out_of_bounds_panics() {
+        let mut out = Matrix::zeros(2, 2);
+        let src = Matrix::zeros(2, 2);
+        out.paste(1, 0, &src);
     }
 
     #[test]

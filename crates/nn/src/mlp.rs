@@ -39,6 +39,10 @@ impl MlpConfig {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Mlp {
     layers: Vec<LinearLayer>,
+    /// Intermediate activation buffers reused by [`Mlp::forward_into`] /
+    /// [`Mlp::forward`] across steps (one per hidden boundary).
+    #[serde(skip)]
+    scratch_acts: Vec<Matrix>,
 }
 
 impl Mlp {
@@ -56,7 +60,10 @@ impl Mlp {
             };
             layers.push(LinearLayer::new(dims[i], dims[i + 1], activation, rng));
         }
-        Self { layers }
+        Self {
+            layers,
+            scratch_acts: Vec::new(),
+        }
     }
 
     /// The layers (read-only).
@@ -81,28 +88,65 @@ impl Mlp {
 
     /// Forward pass storing caches for a subsequent [`Mlp::backward`].
     pub fn forward(&mut self, input: &Matrix) -> Matrix {
-        let mut layers = self.layers.iter_mut();
-        let Some(first) = layers.next() else {
-            return input.clone();
-        };
-        let mut x = first.forward(input);
-        for layer in layers {
-            x = layer.forward(&x);
+        let mut out = Matrix::default();
+        self.forward_into(input, &mut out);
+        out
+    }
+
+    /// [`Mlp::forward`] into a caller-owned output buffer: intermediate
+    /// activations land in persistent per-boundary scratch buffers and the
+    /// final activation in `out`, so a training step that reuses `out`
+    /// allocates nothing anywhere in the forward pass.
+    pub fn forward_into(&mut self, input: &Matrix, out: &mut Matrix) {
+        let n_layers = self.layers.len();
+        if n_layers == 0 {
+            out.copy_from(input);
+            return;
         }
-        x
+        self.scratch_acts
+            .resize_with(n_layers.saturating_sub(1), Matrix::default);
+        for i in 0..n_layers {
+            match (i == 0, i == n_layers - 1) {
+                (true, true) => self.layers[0].forward_into(input, out),
+                (true, false) => self.layers[0].forward_into(input, &mut self.scratch_acts[0]),
+                (false, true) => self.layers[i].forward_into(&self.scratch_acts[i - 1], out),
+                (false, false) => {
+                    let (prev, rest) = self.scratch_acts.split_at_mut(i);
+                    self.layers[i].forward_into(&prev[i - 1], &mut rest[0]);
+                }
+            }
+        }
     }
 
     /// Inference-only forward pass (no caches stored).
     pub fn infer(&self, input: &Matrix) -> Matrix {
-        let mut layers = self.layers.iter();
-        let Some(first) = layers.next() else {
-            return input.clone();
-        };
-        let mut x = first.infer(input);
-        for layer in layers {
-            x = layer.infer(&x);
+        let mut out = Matrix::default();
+        let mut scratch = Matrix::default();
+        self.infer_into(input, &mut out, &mut scratch);
+        out
+    }
+
+    /// [`Mlp::infer`] ping-ponging between two caller-owned buffers, so a
+    /// sampling or discriminator loop that reuses them allocates nothing.
+    /// The result always lands in `out`; `scratch` holds a stale
+    /// intermediate afterwards.
+    pub fn infer_into(&self, input: &Matrix, out: &mut Matrix, scratch: &mut Matrix) {
+        let n_layers = self.layers.len();
+        if n_layers == 0 {
+            out.copy_from(input);
+            return;
         }
-        x
+        for (i, layer) in self.layers.iter().enumerate() {
+            // Alternate buffers backwards from the last layer, which must
+            // write `out`.
+            let to_out = (n_layers - 1 - i).is_multiple_of(2);
+            match (i == 0, to_out) {
+                (true, true) => layer.infer_into(input, out),
+                (true, false) => layer.infer_into(input, scratch),
+                (false, true) => layer.infer_into(scratch, out),
+                (false, false) => layer.infer_into(out, scratch),
+            }
+        }
     }
 
     /// Backward pass from dL/d(output); returns dL/d(input).
@@ -116,6 +160,25 @@ impl Mlp {
             grad = layer.backward(&grad);
         }
         grad
+    }
+
+    /// Backward pass that accumulates every layer's parameter gradients but
+    /// skips the first layer's `dL/d(input)` product — the widest matmul of
+    /// the backward pass, whose result a discriminator update would discard.
+    /// Gradients land in the same buffers as [`Mlp::backward`].
+    pub fn backward_params_only(&mut self, grad_output: &Matrix) {
+        let n_layers = self.layers.len();
+        match n_layers {
+            0 => {}
+            1 => self.layers[0].backward_params(grad_output),
+            _ => {
+                let mut grad = self.layers[n_layers - 1].backward(grad_output);
+                for idx in (1..n_layers - 1).rev() {
+                    grad = self.layers[idx].backward(&grad);
+                }
+                self.layers[0].backward_params(&grad);
+            }
+        }
     }
 
     /// Apply one optimisation step using the gradients accumulated by the
@@ -142,25 +205,45 @@ impl Mlp {
         }
     }
 
+    /// Every accumulated gradient slice (per layer: weights, then bias), in
+    /// a fixed order — the single walk [`Mlp::grad_norm`] and
+    /// [`Mlp::clip_gradients`] share.
+    fn grad_slices(&self) -> impl Iterator<Item = &[f64]> {
+        self.layers
+            .iter()
+            .flat_map(|layer| [layer.grad_weights.data(), layer.grad_bias.as_slice()])
+    }
+
+    /// Sum of squared gradient entries, accumulated in one fused pass over
+    /// all parameter slices.
+    fn grad_sq_sum(&self) -> f64 {
+        self.grad_slices()
+            .flat_map(|slice| slice.iter())
+            .map(|g| g * g)
+            .sum()
+    }
+
     /// Global L2 norm of all accumulated gradients (for clipping / logging).
     pub fn grad_norm(&self) -> f64 {
-        let mut sq = 0.0;
-        for layer in &self.layers {
-            sq += layer.grad_weights.data().iter().map(|g| g * g).sum::<f64>();
-            sq += layer.grad_bias.iter().map(|g| g * g).sum::<f64>();
-        }
-        sq.sqrt()
+        self.grad_sq_sum().sqrt()
     }
 
     /// Scale all accumulated gradients so their global norm is at most
-    /// `max_norm`.
+    /// `max_norm`. The norm is computed in a single fused pass over every
+    /// parameter slice (no per-layer re-walks), the square root is only
+    /// taken when clipping actually triggers, and the scaling pass reuses
+    /// the same slice order.
     pub fn clip_gradients(&mut self, max_norm: f64) {
-        let norm = self.grad_norm();
-        if norm > max_norm && norm > 0.0 {
-            let scale = max_norm / norm;
-            for layer in &mut self.layers {
-                layer.grad_weights.scale_assign(scale);
-                for g in &mut layer.grad_bias {
+        let sq = self.grad_sq_sum();
+        if sq > max_norm * max_norm && sq > 0.0 {
+            let scale = max_norm / sq.sqrt();
+            for slice in self.layers.iter_mut().flat_map(|layer| {
+                [
+                    layer.grad_weights.data_mut(),
+                    layer.grad_bias.as_mut_slice(),
+                ]
+            }) {
+                for g in slice {
                     *g *= scale;
                 }
             }
@@ -232,6 +315,49 @@ mod tests {
             last_loss < first_loss * 0.05,
             "loss did not drop: {first_loss} -> {last_loss}"
         );
+    }
+
+    #[test]
+    fn into_variants_match_allocating_paths() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for hidden in [vec![], vec![8], vec![8, 6], vec![8, 6, 5]] {
+            let cfg = MlpConfig::relu(4, hidden, 3);
+            let mut mlp = Mlp::new(&cfg, &mut rng);
+            let x = Matrix::randn(7, 4, 1.0, &mut rng);
+            let expect = mlp.infer(&x);
+            // Dirty, wrong-shaped buffers must be fixed up by the _into calls.
+            let mut out = Matrix::randn(2, 9, 1.0, &mut rng);
+            let mut scratch = Matrix::randn(3, 1, 1.0, &mut rng);
+            mlp.infer_into(&x, &mut out, &mut scratch);
+            assert_eq!(out, expect);
+            mlp.forward_into(&x, &mut out);
+            assert_eq!(out, expect);
+            // Reuse on a second batch must stay clean.
+            let x2 = Matrix::randn(5, 4, 1.0, &mut rng);
+            mlp.forward_into(&x2, &mut out);
+            assert_eq!(out, mlp.infer(&x2));
+        }
+    }
+
+    #[test]
+    fn backward_params_only_matches_full_backward_gradients() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let cfg = MlpConfig::relu(5, vec![9, 7], 2);
+        let mut full = Mlp::new(&cfg, &mut rng);
+        let mut params_only = full.clone();
+        let x = Matrix::randn(6, 5, 1.0, &mut rng);
+        let grad_out = Matrix::randn(6, 2, 1.0, &mut rng);
+
+        let a = full.forward(&x);
+        let b = params_only.forward(&x);
+        assert_eq!(a, b);
+        full.backward(&grad_out);
+        params_only.backward_params_only(&grad_out);
+        for (lf, lp) in full.layers().iter().zip(params_only.layers()) {
+            assert_eq!(lf.grad_weights, lp.grad_weights);
+            assert_eq!(lf.grad_bias, lp.grad_bias);
+        }
+        assert_eq!(full.grad_norm(), params_only.grad_norm());
     }
 
     #[test]

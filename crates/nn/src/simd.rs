@@ -1,0 +1,147 @@
+//! Runtime SIMD tier selection for the matmul kernels.
+//!
+//! The kernel layer in [`crate::kernels`] has three implementations of every
+//! inner microkernel — portable scalar, SSE2 (two `f64` lanes) and AVX2
+//! (four `f64` lanes), built on `core::arch` — and every matrix product
+//! dispatches through the tier chosen here. The tier is decided **once per
+//! process** (first use) from CPUID feature detection, so the hot training
+//! loop pays one cached atomic load per kernel call and the selected path is
+//! fixed for the life of the process: repeated runs with the same seed are
+//! deterministic because the same tier executes every time.
+//!
+//! For debugging and baseline measurements the `SURROGATE_SIMD` environment
+//! variable forces a tier (`scalar`, `sse2` or `avx2`, case-insensitive;
+//! anything else — including `auto` — keeps the detected tier). A request
+//! the host cannot honour is clamped down to the detected tier rather than
+//! crashing on an illegal instruction, so `SURROGATE_SIMD=avx2` on an
+//! SSE2-only host silently runs SSE2.
+//!
+//! All three tiers accumulate every output element along the inner dimension
+//! in ascending index order with one product added at a time (multiply then
+//! add, never FMA), so switching tiers never changes results on finite data:
+//! the property tests in `tests/simd_kernels.rs` pin the dispatched kernels
+//! to the scalar reference.
+
+use std::sync::OnceLock;
+
+/// Instruction-set tier the matmul microkernels run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdTier {
+    /// Portable scalar fallback (any architecture).
+    Scalar,
+    /// 128-bit `core::arch` kernels, two `f64` lanes (x86-64 baseline).
+    Sse2,
+    /// 256-bit `core::arch` kernels, four `f64` lanes (runtime-detected).
+    Avx2,
+}
+
+impl SimdTier {
+    /// Number of `f64` lanes per vector register on this tier.
+    pub fn lanes(self) -> usize {
+        match self {
+            SimdTier::Scalar => 1,
+            SimdTier::Sse2 => 2,
+            SimdTier::Avx2 => 4,
+        }
+    }
+
+    /// Lower-case tier name, matching what `SURROGATE_SIMD` accepts.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdTier::Scalar => "scalar",
+            SimdTier::Sse2 => "sse2",
+            SimdTier::Avx2 => "avx2",
+        }
+    }
+}
+
+static TIER: OnceLock<SimdTier> = OnceLock::new();
+
+/// The tier every kernel dispatches through, selected once per process.
+pub fn active_tier() -> SimdTier {
+    *TIER.get_or_init(|| {
+        select_tier(
+            std::env::var("SURROGATE_SIMD").ok().as_deref(),
+            detected_tier(),
+        )
+    })
+}
+
+/// Best tier the host CPU supports.
+fn detected_tier() -> SimdTier {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::is_x86_feature_detected!("avx2") {
+            SimdTier::Avx2
+        } else {
+            // SSE2 is part of the x86-64 baseline; no detection needed.
+            SimdTier::Sse2
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        SimdTier::Scalar
+    }
+}
+
+/// Resolve an optional `SURROGATE_SIMD` request against the detected tier:
+/// recognised names select that tier (clamped to what the host supports),
+/// anything else keeps the detected tier.
+fn select_tier(request: Option<&str>, detected: SimdTier) -> SimdTier {
+    let requested = match request.map(|r| r.trim().to_ascii_lowercase()) {
+        Some(name) => match name.as_str() {
+            "scalar" => SimdTier::Scalar,
+            "sse2" => SimdTier::Sse2,
+            "avx2" => SimdTier::Avx2,
+            _ => detected,
+        },
+        None => detected,
+    };
+    requested.min(detected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_order_and_lanes() {
+        assert!(SimdTier::Scalar < SimdTier::Sse2);
+        assert!(SimdTier::Sse2 < SimdTier::Avx2);
+        assert_eq!(SimdTier::Scalar.lanes(), 1);
+        assert_eq!(SimdTier::Sse2.lanes(), 2);
+        assert_eq!(SimdTier::Avx2.lanes(), 4);
+    }
+
+    #[test]
+    fn select_honours_requests_up_to_detected() {
+        let d = SimdTier::Avx2;
+        assert_eq!(select_tier(Some("scalar"), d), SimdTier::Scalar);
+        assert_eq!(select_tier(Some("SSE2"), d), SimdTier::Sse2);
+        assert_eq!(select_tier(Some(" avx2 "), d), SimdTier::Avx2);
+        assert_eq!(select_tier(None, d), SimdTier::Avx2);
+        assert_eq!(select_tier(Some("auto"), d), SimdTier::Avx2);
+        assert_eq!(select_tier(Some("avx512-nope"), d), SimdTier::Avx2);
+    }
+
+    #[test]
+    fn select_clamps_to_host_support() {
+        assert_eq!(select_tier(Some("avx2"), SimdTier::Sse2), SimdTier::Sse2);
+        assert_eq!(
+            select_tier(Some("sse2"), SimdTier::Scalar),
+            SimdTier::Scalar
+        );
+        assert_eq!(select_tier(None, SimdTier::Scalar), SimdTier::Scalar);
+    }
+
+    #[test]
+    fn active_tier_is_stable_across_calls() {
+        // Dispatch determinism: the process-wide tier never changes once
+        // selected.
+        let first = active_tier();
+        for _ in 0..8 {
+            assert_eq!(active_tier(), first);
+        }
+        assert!(first <= detected_tier());
+    }
+}

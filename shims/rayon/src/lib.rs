@@ -9,6 +9,12 @@
 //! The pool is lazily initialized on the first parallel call and keeps
 //! `available_parallelism() - 1` worker threads alive for the life of the
 //! process; the calling thread always participates as the final executor.
+//! Like upstream rayon, the `RAYON_NUM_THREADS` environment variable
+//! overrides the pool size: a positive integer `t` means "t executors
+//! total" (so `t - 1` background workers — `RAYON_NUM_THREADS=1` runs
+//! everything inline on the caller), which makes bench runs reproducible
+//! across containers whose `available_parallelism` differs. Unparseable or
+//! zero values fall back to the detected parallelism.
 //! Every parallel call splits its items into contiguous chunks, pushes them
 //! onto a shared chunk deque, and idle workers steal chunks until the job
 //! drains. Compared to the previous `std::thread::scope` fork/join design,
@@ -68,6 +74,17 @@ mod pool {
 
     static POOL: OnceLock<Pool> = OnceLock::new();
 
+    /// Background workers to spawn: `RAYON_NUM_THREADS` executors when set
+    /// to a positive integer (minus the participating caller), otherwise
+    /// the detected parallelism (minus the caller).
+    pub(crate) fn configured_workers(env: Option<&str>, available: usize) -> usize {
+        let executors = env
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or(available.max(1));
+        executors - 1
+    }
+
     /// The global pool, spawning its workers on first use.
     pub(crate) fn global() -> &'static Pool {
         let pool = POOL.get_or_init(|| Pool {
@@ -75,10 +92,12 @@ mod pool {
                 jobs: VecDeque::new(),
             }),
             work_available: Condvar::new(),
-            workers: std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1)
-                .saturating_sub(1),
+            workers: configured_workers(
+                std::env::var("RAYON_NUM_THREADS").ok().as_deref(),
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1),
+            ),
             started: Once::new(),
         });
         pool.started.call_once(|| {
@@ -397,6 +416,20 @@ pub fn current_num_threads() -> usize {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    #[test]
+    fn worker_count_override_parses_like_rayon() {
+        use crate::pool::configured_workers;
+        // `RAYON_NUM_THREADS=t` means t executors total → t-1 workers.
+        assert_eq!(configured_workers(Some("1"), 8), 0);
+        assert_eq!(configured_workers(Some("4"), 8), 3);
+        assert_eq!(configured_workers(Some(" 2 "), 1), 1);
+        // Unset, unparseable or zero fall back to detected parallelism.
+        assert_eq!(configured_workers(None, 8), 7);
+        assert_eq!(configured_workers(Some("0"), 4), 3);
+        assert_eq!(configured_workers(Some("lots"), 4), 3);
+        assert_eq!(configured_workers(None, 0), 0);
+    }
 
     #[test]
     fn map_collect_preserves_order() {
