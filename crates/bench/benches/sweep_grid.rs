@@ -1,0 +1,58 @@
+//! Criterion bench: scenario-sweep grid expansion and a miniature
+//! end-to-end sweep (2 cells, smoke budget) so the sweep runtime's
+//! orchestration overhead is tracked alongside the model benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metrics::{DcrConfig, EvaluationConfig};
+use pandasim::GeneratorConfig;
+use surrogate::sweep::{run_sweep, NamedGeneratorConfig, SweepGrid, SweepOptions};
+use surrogate::{ModelKind, TrainingBudget};
+
+fn bench_grid_expansion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_grid");
+    // A deliberately large grid: 64 seeds x 3 budgets x 5 presets x 4
+    // models = 3840 cells, so per-cell expansion cost stays visible.
+    let grid = SweepGrid {
+        seeds: (0..64).collect(),
+        budgets: TrainingBudget::ALL.to_vec(),
+        generators: GeneratorConfig::PRESET_NAMES
+            .iter()
+            .map(|name| NamedGeneratorConfig::preset(name).unwrap())
+            .collect(),
+        models: ModelKind::ALL.to_vec(),
+    };
+    group.bench_function("expand_3840_cells", |b| b.iter(|| grid.expand()));
+    group.finish();
+}
+
+fn bench_tiny_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_run");
+    group.sample_size(10);
+    let grid = SweepGrid {
+        seeds: vec![7],
+        budgets: vec![TrainingBudget::Smoke],
+        generators: vec![{
+            let mut g = NamedGeneratorConfig::preset("small").unwrap();
+            g.config.gross_records = 1_500;
+            g
+        }],
+        models: vec![ModelKind::Smote, ModelKind::TabDdpm],
+    };
+    let options = SweepOptions {
+        evaluation: EvaluationConfig {
+            dcr: DcrConfig {
+                max_synthetic_rows: 200,
+                max_train_rows: 500,
+            },
+            mlef: None,
+        },
+        ..SweepOptions::default()
+    };
+    group.bench_function("two_cell_smoke_sweep", |b| {
+        b.iter(|| run_sweep(&grid, &options))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_expansion, bench_tiny_sweep);
+criterion_main!(benches);

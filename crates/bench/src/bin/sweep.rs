@@ -1,0 +1,299 @@
+//! Scenario-sweep driver: expand a seeds × budgets × generator-variants ×
+//! models grid, batch every cell over the shared pool
+//! (`surrogate::sweep::run_sweep`), print per-cell metrics rows plus
+//! per-model means, and write the `SweepReport` JSON artifact (re-parsed
+//! through the `serde_json` shim as a schema check — CI smoke-runs this).
+//!
+//! Usage:
+//!   sweep [--seeds 2024..2032 | 2024,2025] [--budgets fast,standard]
+//!         [--models tabddpm,smote] [--grid default,tier2_heavy]
+//!         [--rows N] [--days D] [--sample-rows N] [--no-mlef]
+//!         [--sequential] [--quick] [--strict] [--out PATH] [--csv PATH]
+//!
+//! `--seeds` accepts a half-open range (`A..B`) or a comma list. `--rows`
+//! overrides every variant's gross record count (`--rows 0` keeps each
+//! preset's own value; the default is 20000 so a bare run finishes on a
+//! laptop). `--quick` is the CI smoke grid: 2 seeds × smoke budget × the
+//! `small` preset × all four models = 8 cells at 2500 gross records.
+
+use metrics::{mean_report, EvaluationConfig, SurrogateReport};
+use surrogate::sweep::{run_sweep, NamedGeneratorConfig, SweepGrid, SweepOptions, SweepReport};
+use surrogate::{ExecutionMode, ModelKind, TrainingBudget};
+
+const USAGE: &str = "\
+sweep: scenario-sweep runtime over the surrogate experiment pipeline
+
+  --seeds A..B | a,b,c   seed axis (half-open range or comma list; default 2024..2026)
+  --budgets LIST         training budgets: smoke|fast, standard, full|paper (default standard)
+  --models LIST          model subset: tvae, ctabgan, smote, tabddpm (default all four)
+  --grid LIST            generator presets: default, small, tier2_heavy, user_heavy, burst
+  --rows N               gross records per variant (0 = keep preset values; default 20000)
+  --days D               collection-window override in days
+  --sample-rows N        synthetic rows per cell, N >= 1 (default: training-split size)
+  --no-mlef              skip the (slow) MLEF probe
+  --sequential           run cells one after another (byte-identical to parallel)
+  --quick                CI smoke grid: 2 seeds x smoke x small preset x 4 models (8 cells)
+  --strict               exit non-zero if ANY cell fails (default: only when all do)
+  --out PATH             JSON artifact path (default SWEEP.json)
+  --csv PATH             also write per-cell metrics rows as CSV (cell id in the model column)
+";
+
+fn parse_seeds(text: &str) -> Option<Vec<u64>> {
+    if let Some((start, end)) = text.split_once("..") {
+        let (start, end) = (start.trim().parse().ok()?, end.trim().parse().ok()?);
+        if start >= end {
+            return None;
+        }
+        return Some((start..end).collect());
+    }
+    let seeds: Option<Vec<u64>> = text.split(',').map(|s| s.trim().parse().ok()).collect();
+    seeds.filter(|s: &Vec<u64>| !s.is_empty())
+}
+
+fn parse_list<T>(text: &str, what: &str, parse: impl Fn(&str) -> Option<T>) -> Vec<T> {
+    text.split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| {
+            parse(s.trim()).unwrap_or_else(|| {
+                eprintln!("sweep: unknown {what} '{}'", s.trim());
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+/// Drop repeated axis values (first occurrence wins): a duplicated seed or
+/// preset would expand into duplicate cell ids fitted twice and
+/// double-weighted by the per-model means.
+fn dedup_axis<T, K: PartialEq>(what: &str, values: Vec<T>, key: impl Fn(&T) -> K) -> Vec<T> {
+    let mut unique: Vec<T> = Vec::with_capacity(values.len());
+    let mut keys: Vec<K> = Vec::with_capacity(values.len());
+    let mut dropped = 0usize;
+    for value in values {
+        let k = key(&value);
+        if keys.contains(&k) {
+            dropped += 1;
+        } else {
+            keys.push(k);
+            unique.push(value);
+        }
+    }
+    if dropped > 0 {
+        eprintln!("sweep: dropped {dropped} duplicate {what} value(s)");
+    }
+    unique
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+
+    let quick = flag("--quick");
+    let mut grid = SweepGrid {
+        seeds: if quick {
+            vec![2024, 2025]
+        } else {
+            (2024..2026).collect()
+        },
+        budgets: if quick {
+            vec![TrainingBudget::Smoke]
+        } else {
+            vec![TrainingBudget::Standard]
+        },
+        generators: vec![
+            NamedGeneratorConfig::preset(if quick { "small" } else { "default" })
+                .expect("known preset"),
+        ],
+        models: ModelKind::ALL.to_vec(),
+    };
+    let mut rows_override = Some(if quick { 2_500 } else { 20_000 });
+
+    if let Some(v) = value("--seeds") {
+        grid.seeds = parse_seeds(&v).unwrap_or_else(|| {
+            eprintln!("sweep: bad --seeds '{v}' (want A..B or a comma list)");
+            std::process::exit(2);
+        });
+    }
+    if let Some(v) = value("--budgets") {
+        grid.budgets = parse_list(&v, "budget", TrainingBudget::parse);
+    }
+    if let Some(v) = value("--models") {
+        grid.models = parse_list(&v, "model", ModelKind::parse);
+    }
+    if let Some(v) = value("--grid") {
+        grid.generators = parse_list(&v, "generator preset", NamedGeneratorConfig::preset);
+    }
+    if let Some(v) = value("--rows") {
+        match v.parse::<usize>() {
+            Ok(0) => rows_override = None,
+            Ok(n) => rows_override = Some(n),
+            Err(_) => {
+                eprintln!("sweep: bad --rows '{v}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(n) = rows_override {
+        for generator in &mut grid.generators {
+            generator.config.gross_records = n;
+        }
+    }
+    if let Some(v) = value("--days") {
+        let days: f64 = v.parse().unwrap_or_else(|_| {
+            eprintln!("sweep: bad --days '{v}'");
+            std::process::exit(2);
+        });
+        for generator in &mut grid.generators {
+            generator.config.days = days;
+        }
+    }
+    grid.seeds = dedup_axis("--seeds", grid.seeds, |s| *s);
+    grid.budgets = dedup_axis("--budgets", grid.budgets, |b| *b);
+    grid.models = dedup_axis("--models", grid.models, |m| *m);
+    grid.generators = dedup_axis("--grid", grid.generators, |g| g.name.clone());
+
+    let evaluation = if quick || flag("--no-mlef") {
+        EvaluationConfig {
+            mlef: None,
+            ..EvaluationConfig::fast()
+        }
+    } else {
+        EvaluationConfig::fast()
+    };
+    let options = SweepOptions {
+        mode: if flag("--sequential") {
+            ExecutionMode::Sequential
+        } else {
+            ExecutionMode::Parallel
+        },
+        evaluation,
+        keep_tables: false,
+        sample_rows: value("--sample-rows").map(|v| match v.parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("sweep: bad --sample-rows '{v}' (want an integer >= 1)");
+                std::process::exit(2);
+            }
+        }),
+    };
+    let out_path = value("--out").unwrap_or_else(|| "SWEEP.json".to_string());
+
+    if grid.is_empty() {
+        eprintln!("sweep: the grid is empty (every axis needs at least one value)");
+        std::process::exit(2);
+    }
+    eprintln!(
+        "sweep: {} cells = {} seed(s) x {} budget(s) x {} generator variant(s) x {} model(s)",
+        grid.len(),
+        grid.seeds.len(),
+        grid.budgets.len(),
+        grid.generators.len(),
+        grid.models.len()
+    );
+
+    let outcome = run_sweep(&grid, &options);
+    let failed = outcome.report_failures();
+    let report = outcome.report();
+
+    println!(
+        "{:<34} {:>8} {:>8} {:>8} {:>10} {:>8} {:>10} {:>9}",
+        "cell", "rows", "WD↓", "JSD↓", "diff-CORR↓", "DCR↑", "diff-MLEF↓", "wall ms"
+    );
+    for row in &report.cells {
+        if row.ok {
+            let mlef = row
+                .diff_mlef
+                .map_or_else(|| "n/a".to_string(), |v| format!("{v:.3}"));
+            println!(
+                "{:<34} {:>8} {:>8.3} {:>8.3} {:>10.3} {:>8.3} {:>10} {:>9.0}",
+                row.id,
+                row.train_rows.unwrap_or(0),
+                row.wd.unwrap_or(f64::NAN),
+                row.jsd.unwrap_or(f64::NAN),
+                row.diff_corr.unwrap_or(f64::NAN),
+                row.dcr.unwrap_or(f64::NAN),
+                mlef,
+                row.wall_ms
+            );
+        } else {
+            println!(
+                "{:<34} FAILED: {}",
+                row.id,
+                row.error.as_deref().unwrap_or("unknown error")
+            );
+        }
+    }
+
+    // Per-model means across every passing cell (the sweep-level Table I).
+    println!(
+        "\nper-model means over {} passing cell(s) ({} total):",
+        report.total_cells - report.failed_cells,
+        report.total_cells
+    );
+    println!("{}", SurrogateReport::table_header());
+    for model in &grid.models {
+        let rows: Vec<SurrogateReport> = outcome
+            .runs
+            .iter()
+            .filter(|run| run.cell.model == *model)
+            .filter_map(|run| run.outcome.as_ref().ok().map(|s| s.report.clone()))
+            .collect();
+        match mean_report(model.name(), &rows) {
+            Some(mean) => println!("{}", mean.table_row()),
+            None => println!("{:<12} (no passing cells)", model.name()),
+        }
+    }
+
+    if let Some(csv_path) = value("--csv") {
+        // Per-cell metrics rows; the model column carries the full cell id
+        // so one file covers every axis combination.
+        let mut csv = String::from(SurrogateReport::csv_header());
+        csv.push('\n');
+        for run in &outcome.runs {
+            if let Ok(success) = &run.outcome {
+                let row = SurrogateReport {
+                    model: run.cell.id(),
+                    ..success.report.clone()
+                };
+                csv.push_str(&row.csv_row());
+                csv.push('\n');
+            }
+        }
+        std::fs::write(&csv_path, csv).expect("write sweep CSV");
+        eprintln!("sweep: wrote {csv_path}");
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("render sweep report");
+    std::fs::write(&out_path, json + "\n").expect("write sweep report");
+    match std::fs::read_to_string(&out_path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| SweepReport::validate_artifact(&text))
+    {
+        Ok(cells) => eprintln!(
+            "sweep: wrote and validated {out_path} ({cells} cells, {failed} failed, {:.1}s)",
+            report.wall_ms / 1e3
+        ),
+        Err(e) => {
+            eprintln!("sweep: emitted {out_path} failed validation: {e}");
+            std::process::exit(1);
+        }
+    }
+    if failed == report.total_cells {
+        eprintln!("sweep: every cell failed");
+        std::process::exit(1);
+    }
+    if failed > 0 && flag("--strict") {
+        eprintln!("sweep: {failed} cell(s) failed (--strict)");
+        std::process::exit(1);
+    }
+}

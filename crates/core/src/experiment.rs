@@ -76,11 +76,7 @@ impl ExperimentOptions {
                     i += 2;
                 }
                 ("--budget", Some(v)) => {
-                    options.budget = match v.as_str() {
-                        "smoke" => TrainingBudget::Smoke,
-                        "full" => TrainingBudget::Full,
-                        _ => TrainingBudget::Standard,
-                    };
+                    options.budget = TrainingBudget::parse(&v).unwrap_or(TrainingBudget::Standard);
                     i += 2;
                 }
                 ("--seed", Some(v)) => {
@@ -117,12 +113,20 @@ pub struct PreparedData {
 
 /// Generate, filter and split the synthetic PanDA dataset.
 pub fn prepare_data(options: &ExperimentOptions) -> PreparedData {
-    let generator = WorkloadGenerator::new(GeneratorConfig {
+    prepare_data_from_config(&GeneratorConfig {
         gross_records: options.gross_records,
         days: options.days,
         seed: options.seed,
         ..GeneratorConfig::default()
-    });
+    })
+}
+
+/// [`prepare_data`] for an arbitrary generator configuration (scenario
+/// sweeps drive this directly with preset variants). The train/test split
+/// derives its seed from the generator seed, so the whole prepared dataset
+/// is a pure function of `config`.
+pub fn prepare_data_from_config(config: &GeneratorConfig) -> PreparedData {
+    let generator = WorkloadGenerator::new(config.clone());
     let gross = generator.generate();
     let funnel = FilterFunnel::apply(&gross);
     let table = records_to_table(&funnel.records);
@@ -131,7 +135,7 @@ pub fn prepare_data(options: &ExperimentOptions) -> PreparedData {
         SplitOptions {
             train_fraction: 0.8,
             shuffle: true,
-            seed: options.seed,
+            seed: config.seed,
         },
     )
     .expect("non-empty modelling table");

@@ -24,6 +24,12 @@
 //! dataset preparation ([`experiment::prepare_data`]) and the parallel,
 //! failure-isolating fit of all four models ([`experiment::fit_all`]) that
 //! the `bench` binaries, examples and integration tests all drive.
+//!
+//! [`sweep`] scales that runtime to scenario grids: a declarative
+//! seeds × budgets × generator-variants × models grid expands into cells
+//! whose fit→sample→evaluate pipelines are batched over one flat parallel
+//! work queue, with per-cell determinism and failure isolation, aggregated
+//! into a serializable [`sweep::SweepReport`].
 
 pub mod codec;
 pub mod ctabgan;
@@ -31,6 +37,7 @@ pub mod experiment;
 pub mod mixed;
 pub mod pipeline;
 pub mod smote;
+pub mod sweep;
 pub mod tabddpm;
 pub mod traits;
 pub mod tvae;
@@ -38,11 +45,16 @@ pub mod tvae;
 pub use codec::{ColumnSpan, TableCodec};
 pub use ctabgan::{CtabGan, CtabGanConfig};
 pub use experiment::{
-    fit_all, fit_all_with_mode, fit_models_with, prepare_data, sample_all_models, ExecutionMode,
-    ExperimentError, ExperimentOptions, FitReport, ModelRun, PreparedData,
+    fit_all, fit_all_with_mode, fit_models_with, prepare_data, prepare_data_from_config,
+    sample_all_models, ExecutionMode, ExperimentError, ExperimentOptions, FitReport, ModelRun,
+    PreparedData,
 };
 pub use pipeline::{build_model, fit_and_sample, ModelKind, TrainingBudget};
 pub use smote::{SmoteConfig, SmoteSampler};
+pub use sweep::{
+    run_cell, run_sweep, run_sweep_with, CellRun, CellSuccess, NamedGeneratorConfig, SweepCell,
+    SweepCellRow, SweepGrid, SweepOptions, SweepOutcome, SweepReport,
+};
 pub use tabddpm::{TabDdpm, TabDdpmConfig};
 pub use traits::{SurrogateError, TabularGenerator};
 pub use tvae::{Tvae, TvaeConfig};

@@ -71,6 +71,33 @@ pub enum TrainingBudget {
 }
 
 impl TrainingBudget {
+    /// All budgets, cheapest first.
+    pub const ALL: [TrainingBudget; 3] = [
+        TrainingBudget::Smoke,
+        TrainingBudget::Standard,
+        TrainingBudget::Full,
+    ];
+
+    /// Name used in CLI flags and report rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrainingBudget::Smoke => "smoke",
+            TrainingBudget::Standard => "standard",
+            TrainingBudget::Full => "full",
+        }
+    }
+
+    /// Parse a budget name (case-insensitive). `fast` is an alias for
+    /// `smoke` and `paper` for `full`, matching how the docs describe them.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "smoke" | "fast" => Some(TrainingBudget::Smoke),
+            "standard" | "default" => Some(TrainingBudget::Standard),
+            "full" | "paper" => Some(TrainingBudget::Full),
+            _ => None,
+        }
+    }
+
     fn scale_epochs(self, standard: usize) -> usize {
         match self {
             TrainingBudget::Smoke => (standard / 4).max(4),
@@ -184,6 +211,16 @@ mod tests {
         assert!(TrainingBudget::Smoke.scale_epochs(60) < 60);
         assert_eq!(TrainingBudget::Standard.scale_epochs(60), 60);
         assert_eq!(TrainingBudget::Full.scale_epochs(60), 240);
+    }
+
+    #[test]
+    fn budget_names_round_trip_through_parse() {
+        for budget in TrainingBudget::ALL {
+            assert_eq!(TrainingBudget::parse(budget.name()), Some(budget));
+        }
+        assert_eq!(TrainingBudget::parse("fast"), Some(TrainingBudget::Smoke));
+        assert_eq!(TrainingBudget::parse("PAPER"), Some(TrainingBudget::Full));
+        assert_eq!(TrainingBudget::parse("mystery"), None);
     }
 
     #[test]

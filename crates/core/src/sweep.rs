@@ -1,0 +1,771 @@
+//! Scenario-sweep runtime: many seeds × budgets × generator variants ×
+//! models, batched over one work queue.
+//!
+//! The paper evaluates its four surrogates at a single seed and budget, but
+//! the point of a surrogate is cheap *exploration* of many simulator
+//! configurations. This module scales the experiment runtime in that
+//! direction: a declarative [`SweepGrid`] expands into [`SweepCell`]s (one
+//! per axis combination), and [`run_sweep`] executes every cell's
+//! fit→sample→evaluate pipeline batched over the existing rayon pool.
+//!
+//! Three properties are load-bearing, mirroring `experiment`:
+//!
+//! * **Flat work queue** — (scenario × model) work items are flattened into
+//!   one parallel queue rather than nesting parallel loops, so the pool
+//!   load-balances across the whole grid instead of fork-joining per
+//!   scenario. Datasets shared by several cells (same seed + generator
+//!   variant) are prepared once, up front.
+//! * **Per-cell determinism** — every cell derives its RNGs from its own
+//!   seed axis value alone, so any cell run standalone ([`run_cell`]) is
+//!   byte-identical to the same cell inside a sweep, and parallel and
+//!   sequential sweeps agree byte-for-byte; `tests/sweep.rs` asserts both.
+//! * **Per-cell failure isolation** — a diverging fit surfaces as that
+//!   cell's `Err` (reusing the `FitReport` semantics of per-run `Result`s);
+//!   every other cell's output is untouched.
+//!
+//! Results aggregate into a serializable [`SweepReport`] (one metrics row
+//! per cell: WD / JSD / diff-CORR / DCR / diff-MLEF deltas from `metrics`,
+//! wall-clock, pass/fail) that the `bench --bin sweep` binary writes as a
+//! JSON artifact and re-parses through the `serde_json` shim.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rayon::prelude::*;
+use serde::Serialize;
+
+use metrics::{evaluate_surrogate, EvaluationConfig, SurrogateReport};
+use pandasim::GeneratorConfig;
+use tabular::Table;
+
+use crate::experiment::{prepare_data_from_config, ExecutionMode, PreparedData};
+use crate::pipeline::{fit_and_sample, ModelKind, TrainingBudget};
+use crate::traits::SurrogateError;
+
+/// A named generator configuration — one value on the sweep's
+/// generator-variant axis. The name is carried into cell ids and report
+/// rows; the config's `seed` field is overridden per cell by the seed axis.
+#[derive(Debug, Clone)]
+pub struct NamedGeneratorConfig {
+    /// Short name used in cell ids (e.g. `"tier2_heavy"`).
+    pub name: String,
+    /// The generator configuration this name stands for.
+    pub config: GeneratorConfig,
+}
+
+impl NamedGeneratorConfig {
+    /// Resolve one of the `pandasim` presets (see
+    /// [`GeneratorConfig::PRESET_NAMES`]).
+    pub fn preset(name: &str) -> Option<Self> {
+        GeneratorConfig::preset(name).map(|config| Self {
+            name: name.to_string(),
+            config,
+        })
+    }
+}
+
+/// The declarative sweep grid: the cross product of four axes. Expansion
+/// order is fixed — seeds, then budgets, then generator variants, then
+/// models — so cell indices and report rows are stable for a given grid.
+///
+/// Axis values are taken as given: a repeated value (the same seed twice,
+/// two variants with one name) expands into cells with duplicate ids that
+/// are fitted twice and double-weighted by downstream means. Callers that
+/// accept user input should de-duplicate first, as the `sweep` binary does.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// Seed axis. Each seed drives both data generation and model training.
+    pub seeds: Vec<u64>,
+    /// Training-budget axis.
+    pub budgets: Vec<TrainingBudget>,
+    /// Generator-variant axis.
+    pub generators: Vec<NamedGeneratorConfig>,
+    /// Model-subset axis.
+    pub models: Vec<ModelKind>,
+}
+
+impl Default for SweepGrid {
+    fn default() -> Self {
+        Self {
+            seeds: vec![2024],
+            budgets: vec![TrainingBudget::Standard],
+            generators: vec![NamedGeneratorConfig::preset("default").expect("known preset")],
+            models: ModelKind::ALL.to_vec(),
+        }
+    }
+}
+
+impl SweepGrid {
+    /// Number of cells the grid expands to (product of the axis lengths).
+    pub fn len(&self) -> usize {
+        self.seeds.len() * self.budgets.len() * self.generators.len() * self.models.len()
+    }
+
+    /// Whether any axis is empty (the grid expands to no cells).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expand the grid into its cells, in the fixed axis order.
+    pub fn expand(&self) -> Vec<SweepCell> {
+        let mut cells = Vec::with_capacity(self.len());
+        for &seed in &self.seeds {
+            for &budget in &self.budgets {
+                for generator in &self.generators {
+                    for &model in &self.models {
+                        // The cell's dataset is a pure function of
+                        // (generator variant, seed): pin the seed here so
+                        // standalone and in-sweep runs prepare identical data.
+                        let mut generator = generator.clone();
+                        generator.config.seed = seed;
+                        cells.push(SweepCell {
+                            index: cells.len(),
+                            seed,
+                            budget,
+                            generator,
+                            model,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// One (scenario × model) work item of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Position in the expanded grid (stable for a given grid).
+    pub index: usize,
+    /// Seed axis value (already applied to `generator.config.seed`).
+    pub seed: u64,
+    /// Training-budget axis value.
+    pub budget: TrainingBudget,
+    /// Generator-variant axis value, seed already pinned.
+    pub generator: NamedGeneratorConfig,
+    /// Model axis value.
+    pub model: ModelKind,
+}
+
+impl SweepCell {
+    /// Human-readable unique id, e.g. `s2024-smoke-default-tabddpm`.
+    pub fn id(&self) -> String {
+        let model: String = self
+            .model
+            .name()
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        format!(
+            "s{}-{}-{}-{}",
+            self.seed,
+            self.budget.name(),
+            self.generator.name,
+            model
+        )
+    }
+
+    /// Key identifying the prepared dataset this cell runs on. Cells share
+    /// one prepared dataset inside a sweep only when both this key (seed +
+    /// variant name) and the full generator config agree, so a misnamed
+    /// variant can never silently run on another variant's data.
+    pub fn dataset_key(&self) -> (u64, String) {
+        (self.seed, self.generator.name.clone())
+    }
+}
+
+/// Options shared by every cell of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Parallel (default) or sequential execution; byte-identical outputs.
+    pub mode: ExecutionMode,
+    /// Metric configuration for the per-cell evaluation.
+    pub evaluation: EvaluationConfig,
+    /// Retain each cell's synthetic table in its [`CellRun`]. Off by
+    /// default: a large sweep would otherwise hold every synthetic table in
+    /// memory at once. Determinism tests switch this on to compare tables
+    /// byte-for-byte.
+    pub keep_tables: bool,
+    /// Rows to sample per cell; `None` samples as many as the training
+    /// split holds.
+    pub sample_rows: Option<usize>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self {
+            mode: ExecutionMode::Parallel,
+            evaluation: EvaluationConfig::fast(),
+            keep_tables: false,
+            sample_rows: None,
+        }
+    }
+}
+
+/// What a successfully executed cell produced.
+#[derive(Debug)]
+pub struct CellSuccess {
+    /// The Table-I-style metrics row for this cell.
+    pub report: SurrogateReport,
+    /// Rows in the training split the model was fitted on.
+    pub train_rows: usize,
+    /// Rows sampled from the fitted model.
+    pub synthetic_rows: usize,
+    /// The synthetic table, kept only under
+    /// [`SweepOptions::keep_tables`].
+    pub synthetic: Option<Table>,
+}
+
+/// The outcome of one cell: its metrics row, or why the fit failed —
+/// failure stays confined to the cell, like a failed
+/// [`crate::experiment::ModelRun`] inside a `FitReport`.
+#[derive(Debug)]
+pub struct CellRun {
+    /// The cell this run executed.
+    pub cell: SweepCell,
+    /// Metrics row or per-cell error.
+    pub outcome: Result<CellSuccess, SurrogateError>,
+    /// Wall-clock of the fit→sample→evaluate pipeline for this cell.
+    pub wall_ms: f64,
+}
+
+/// Every cell's run from one sweep, in grid-expansion order.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// One entry per cell, order preserved.
+    pub runs: Vec<CellRun>,
+    /// Wall-clock of the whole sweep (dataset preparation + all cells).
+    pub wall_ms: f64,
+}
+
+impl SweepOutcome {
+    /// The cells that failed, with their errors.
+    pub fn failures(&self) -> impl Iterator<Item = (&SweepCell, &SurrogateError)> {
+        self.runs
+            .iter()
+            .filter_map(|run| run.outcome.as_ref().err().map(|e| (&run.cell, e)))
+    }
+
+    /// Print every failed cell to stderr and return how many failed.
+    pub fn report_failures(&self) -> usize {
+        let mut failed = 0;
+        for (cell, error) in self.failures() {
+            eprintln!("warning: cell {} failed: {error}", cell.id());
+            failed += 1;
+        }
+        failed
+    }
+
+    /// Lower the outcome into the serializable artifact.
+    pub fn report(&self) -> SweepReport {
+        let cells: Vec<SweepCellRow> = self.runs.iter().map(SweepCellRow::from_run).collect();
+        SweepReport {
+            schema_version: 1,
+            generated_by: "surrogate::sweep".to_string(),
+            total_cells: cells.len(),
+            failed_cells: cells.iter().filter(|c| !c.ok).count(),
+            wall_ms: self.wall_ms,
+            cells,
+        }
+    }
+}
+
+/// One serialized row of the sweep artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepCellRow {
+    /// Unique cell id (see [`SweepCell::id`]).
+    pub id: String,
+    /// Seed axis value.
+    pub seed: u64,
+    /// Budget axis value (name).
+    pub budget: String,
+    /// Generator-variant axis value (name).
+    pub generator: String,
+    /// Model axis value (Table-I name).
+    pub model: String,
+    /// Whether the cell produced a metrics row.
+    pub ok: bool,
+    /// The cell's error, when `ok` is false.
+    pub error: Option<String>,
+    /// Training rows the model saw (absent on failure).
+    pub train_rows: Option<usize>,
+    /// Synthetic rows sampled (absent on failure).
+    pub synthetic_rows: Option<usize>,
+    /// Cell wall-clock in milliseconds.
+    pub wall_ms: f64,
+    /// Mean normalised Wasserstein distance (↓, absent on failure).
+    pub wd: Option<f64>,
+    /// Mean Jensen–Shannon divergence (↓, absent on failure).
+    pub jsd: Option<f64>,
+    /// Association-matrix delta (↓, absent on failure).
+    pub diff_corr: Option<f64>,
+    /// Distance to closest record (↑, absent on failure).
+    pub dcr: Option<f64>,
+    /// MLEF gap (↓, absent when failed or probe skipped).
+    pub diff_mlef: Option<f64>,
+}
+
+impl SweepCellRow {
+    fn from_run(run: &CellRun) -> Self {
+        let cell = &run.cell;
+        let base = Self {
+            id: cell.id(),
+            seed: cell.seed,
+            budget: cell.budget.name().to_string(),
+            generator: cell.generator.name.clone(),
+            model: cell.model.name().to_string(),
+            ok: false,
+            error: None,
+            train_rows: None,
+            synthetic_rows: None,
+            wall_ms: run.wall_ms,
+            wd: None,
+            jsd: None,
+            diff_corr: None,
+            dcr: None,
+            diff_mlef: None,
+        };
+        match &run.outcome {
+            Ok(success) => Self {
+                ok: true,
+                train_rows: Some(success.train_rows),
+                synthetic_rows: Some(success.synthetic_rows),
+                wd: Some(success.report.wd),
+                jsd: Some(success.report.jsd),
+                diff_corr: Some(success.report.diff_corr),
+                dcr: Some(success.report.dcr),
+                diff_mlef: success.report.diff_mlef,
+                ..base
+            },
+            Err(error) => Self {
+                error: Some(error.to_string()),
+                ..base
+            },
+        }
+    }
+}
+
+/// The serializable sweep artifact: header plus one row per cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepReport {
+    /// Artifact schema version (this layout: 1).
+    pub schema_version: u32,
+    /// Producer tag.
+    pub generated_by: String,
+    /// Number of cells in the sweep.
+    pub total_cells: usize,
+    /// How many of them failed.
+    pub failed_cells: usize,
+    /// Whole-sweep wall-clock in milliseconds.
+    pub wall_ms: f64,
+    /// Per-cell rows, in grid-expansion order.
+    pub cells: Vec<SweepCellRow>,
+}
+
+impl SweepReport {
+    /// Parse a written artifact back and check its shape, returning the
+    /// cell count. This is the read-back half the `sweep` binary and
+    /// `tests/sweep.rs` use to prove the JSON round-trips.
+    pub fn validate_artifact(text: &str) -> Result<usize, String> {
+        use serde_json::ValueExt;
+        let doc = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        let total = doc
+            .get("total_cells")
+            .and_then(|v| v.as_f64())
+            .ok_or("missing numeric 'total_cells'")? as usize;
+        let cells = doc
+            .get("cells")
+            .and_then(|v| v.as_array())
+            .ok_or("missing 'cells' array")?;
+        if cells.len() != total {
+            return Err(format!(
+                "cell count mismatch: total_cells {total} vs {} rows",
+                cells.len()
+            ));
+        }
+        for row in cells {
+            row.get("id")
+                .and_then(|v| v.as_str())
+                .ok_or("cell row missing 'id'")?;
+            let ok = match row.get("ok") {
+                Some(serde_json::Value::Bool(b)) => *b,
+                _ => return Err("cell row missing boolean 'ok'".to_string()),
+            };
+            if ok {
+                for field in ["wd", "jsd", "diff_corr", "dcr"] {
+                    let v = row
+                        .get(field)
+                        .and_then(|v| v.as_f64())
+                        .ok_or_else(|| format!("passing cell missing numeric '{field}'"))?;
+                    if !v.is_finite() {
+                        return Err(format!("cell field '{field}' is not finite"));
+                    }
+                }
+            } else {
+                row.get("error")
+                    .and_then(|v| v.as_str())
+                    .ok_or("failing cell missing 'error'")?;
+            }
+        }
+        Ok(total)
+    }
+}
+
+/// The default cell fitter: fit the cell's model on the training split and
+/// sample synthetic rows, with the RNG chain derived from the cell seed
+/// exactly as [`crate::experiment::fit_all`] derives it from the
+/// experiment seed.
+fn default_fitter(
+    cell: &SweepCell,
+    train: &Table,
+    sample_rows: Option<usize>,
+) -> Result<Table, SurrogateError> {
+    let rows = sample_rows.unwrap_or_else(|| train.n_rows());
+    fit_and_sample(cell.model, train, rows, cell.budget, cell.seed)
+}
+
+/// Fit→sample→evaluate one cell against an already prepared dataset.
+fn run_cell_prepared<F>(
+    data: &PreparedData,
+    cell: &SweepCell,
+    options: &SweepOptions,
+    fitter: &F,
+) -> CellRun
+where
+    F: Fn(&SweepCell, &Table) -> Result<Table, SurrogateError> + Sync,
+{
+    let start = Instant::now();
+    let outcome = fitter(cell, &data.train).and_then(|synthetic| {
+        // An empty synthetic table would panic inside the metric kernels;
+        // surface it as this cell's failure, not a sweep-wide abort.
+        if synthetic.n_rows() == 0 {
+            return Err(SurrogateError::InvalidTrainingData(
+                "model produced an empty synthetic table".to_string(),
+            ));
+        }
+        let report = evaluate_surrogate(
+            cell.model.name(),
+            &data.train,
+            &data.test,
+            &synthetic,
+            &options.evaluation,
+        );
+        Ok(CellSuccess {
+            report,
+            train_rows: data.train.n_rows(),
+            synthetic_rows: synthetic.n_rows(),
+            synthetic: options.keep_tables.then_some(synthetic),
+        })
+    });
+    CellRun {
+        cell: cell.clone(),
+        outcome,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// Run one cell standalone: prepare its dataset and execute its pipeline.
+/// Byte-identical to the same cell inside [`run_sweep`] — both prepare the
+/// dataset as a pure function of the cell's generator config, and both
+/// derive the model RNGs from the cell seed alone.
+pub fn run_cell(cell: &SweepCell, options: &SweepOptions) -> CellRun {
+    let data = prepare_data_from_config(&cell.generator.config);
+    run_cell_prepared(&data, cell, options, &|cell, train| {
+        default_fitter(cell, train, options.sample_rows)
+    })
+}
+
+/// Execute every cell of the grid with the default fitter.
+pub fn run_sweep(grid: &SweepGrid, options: &SweepOptions) -> SweepOutcome {
+    run_sweep_with(grid, options, |cell, train| {
+        default_fitter(cell, train, options.sample_rows)
+    })
+}
+
+/// [`run_sweep`] with an injected cell fitter. This is the orchestration
+/// core; tests inject failing fitters to exercise per-cell failure
+/// isolation without waiting for a real model to diverge.
+pub fn run_sweep_with<F>(grid: &SweepGrid, options: &SweepOptions, fitter: F) -> SweepOutcome
+where
+    F: Fn(&SweepCell, &Table) -> Result<Table, SurrogateError> + Sync,
+{
+    let start = Instant::now();
+    let cells = grid.expand();
+
+    // Prepare each distinct (seed, generator variant) dataset once, in
+    // parallel. Cells hold an index into this list. The full config is part
+    // of the identity: two variants that share a name but differ in config
+    // get separate datasets, preserving standalone/in-sweep byte-identity.
+    let mut keys: Vec<((u64, String), GeneratorConfig)> = Vec::new();
+    let dataset_of: Vec<usize> = cells
+        .iter()
+        .map(|cell| {
+            let key = cell.dataset_key();
+            keys.iter()
+                .position(|(k, config)| *k == key && *config == cell.generator.config)
+                .unwrap_or_else(|| {
+                    keys.push((key, cell.generator.config.clone()));
+                    keys.len() - 1
+                })
+        })
+        .collect();
+    let configs: Vec<GeneratorConfig> = keys.into_iter().map(|(_, config)| config).collect();
+    let datasets: Vec<Arc<PreparedData>> = match options.mode {
+        ExecutionMode::Parallel => configs
+            .par_iter()
+            .map(|config| Arc::new(prepare_data_from_config(config)))
+            .collect(),
+        ExecutionMode::Sequential => configs
+            .iter()
+            .map(|config| Arc::new(prepare_data_from_config(config)))
+            .collect(),
+    };
+
+    // One flat (scenario × model) work queue over the shared pool: no
+    // nested parallel loops, so the pool balances across the whole grid.
+    let work: Vec<(SweepCell, Arc<PreparedData>)> = cells
+        .into_iter()
+        .zip(&dataset_of)
+        .map(|(cell, &dataset)| (cell, Arc::clone(&datasets[dataset])))
+        .collect();
+    // The work items now hold the only long-lived Arcs: dropping this Vec
+    // lets each dataset be freed as soon as its last cell completes,
+    // bounding peak memory to in-flight cells instead of the whole grid.
+    drop(datasets);
+    let runs: Vec<CellRun> = match options.mode {
+        ExecutionMode::Parallel => work
+            .into_par_iter()
+            .map(|(cell, data)| run_cell_prepared(&data, &cell, options, &fitter))
+            .collect(),
+        ExecutionMode::Sequential => work
+            .into_iter()
+            .map(|(cell, data)| run_cell_prepared(&data, &cell, options, &fitter))
+            .collect(),
+    };
+
+    SweepOutcome {
+        runs,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A grid with axis lengths drawn from `rng` (each at least 1).
+    fn random_grid(rng: &mut StdRng) -> SweepGrid {
+        let n_seeds = rng.gen_range(1..5);
+        let n_budgets = rng.gen_range(1..4);
+        let n_generators = rng.gen_range(1..GeneratorConfig::PRESET_NAMES.len() + 1);
+        let n_models = rng.gen_range(1..ModelKind::ALL.len() + 1);
+        SweepGrid {
+            seeds: (0..n_seeds).map(|i| 1000 + i as u64 * 7).collect(),
+            budgets: TrainingBudget::ALL[..n_budgets].to_vec(),
+            generators: GeneratorConfig::PRESET_NAMES[..n_generators]
+                .iter()
+                .map(|name| NamedGeneratorConfig::preset(name).unwrap())
+                .collect(),
+            models: ModelKind::ALL[..n_models].to_vec(),
+        }
+    }
+
+    #[test]
+    fn expansion_count_is_the_product_of_axis_lengths() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let grid = random_grid(&mut rng);
+            let cells = grid.expand();
+            assert_eq!(
+                cells.len(),
+                grid.seeds.len() * grid.budgets.len() * grid.generators.len() * grid.models.len()
+            );
+            assert_eq!(cells.len(), grid.len());
+            assert!(!grid.is_empty());
+        }
+    }
+
+    #[test]
+    fn expansion_has_no_duplicate_cell_ids() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..50 {
+            let grid = random_grid(&mut rng);
+            let mut ids: Vec<String> = grid.expand().iter().map(SweepCell::id).collect();
+            let before = ids.len();
+            ids.sort();
+            ids.dedup();
+            assert_eq!(ids.len(), before, "duplicate cell id in {grid:?}");
+        }
+    }
+
+    #[test]
+    fn expansion_ordering_is_stable_and_axis_major() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..20 {
+            let grid = random_grid(&mut rng);
+            let a = grid.expand();
+            let b = grid.expand();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.id(), y.id());
+                assert_eq!(x.index, y.index);
+            }
+            // Axis-major order: the expansion enumerates models fastest,
+            // then generators, then budgets, then seeds.
+            for (i, cell) in a.iter().enumerate() {
+                let n_models = grid.models.len();
+                let n_generators = grid.generators.len();
+                let n_budgets = grid.budgets.len();
+                assert_eq!(cell.index, i);
+                assert_eq!(cell.model, grid.models[i % n_models]);
+                let gi = (i / n_models) % n_generators;
+                assert_eq!(cell.generator.name, grid.generators[gi].name);
+                let bi = (i / (n_models * n_generators)) % n_budgets;
+                assert_eq!(cell.budget, grid.budgets[bi]);
+                let si = i / (n_models * n_generators * n_budgets);
+                assert_eq!(cell.seed, grid.seeds[si]);
+            }
+        }
+    }
+
+    #[test]
+    fn expanded_cells_pin_the_seed_into_the_generator_config() {
+        let grid = SweepGrid {
+            seeds: vec![1, 2],
+            ..SweepGrid::default()
+        };
+        for cell in grid.expand() {
+            assert_eq!(cell.generator.config.seed, cell.seed);
+        }
+    }
+
+    #[test]
+    fn empty_axis_expands_to_no_cells() {
+        let grid = SweepGrid {
+            models: Vec::new(),
+            ..SweepGrid::default()
+        };
+        assert!(grid.is_empty());
+        assert_eq!(grid.expand().len(), 0);
+    }
+
+    #[test]
+    fn same_named_variants_with_different_configs_get_separate_datasets() {
+        // Two variants that (wrongly) share a name but differ in config
+        // must not share a prepared dataset — the cell's own config wins,
+        // so standalone/in-sweep byte-identity survives the name clash.
+        let mut small = NamedGeneratorConfig::preset("small").unwrap();
+        small.config.gross_records = 800;
+        let mut bigger = small.clone();
+        bigger.config.gross_records = 1_600;
+        let grid = SweepGrid {
+            seeds: vec![5],
+            budgets: vec![TrainingBudget::Smoke],
+            generators: vec![small, bigger],
+            models: vec![ModelKind::Smote],
+        };
+        // Echo the training split back so train_rows exposes which dataset
+        // each cell actually ran on.
+        let outcome = run_sweep_with(
+            &grid,
+            &SweepOptions::default(),
+            |_, train| Ok(train.clone()),
+        );
+        let rows: Vec<usize> = outcome
+            .runs
+            .iter()
+            .map(|run| run.outcome.as_ref().unwrap().train_rows)
+            .collect();
+        assert_eq!(rows.len(), 2);
+        assert!(
+            rows[1] > rows[0],
+            "second variant ran on the first variant's dataset: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn empty_synthetic_table_fails_only_its_own_cell() {
+        // The metric kernels panic on empty samples; the runtime must turn
+        // an empty synthetic table into that cell's Err instead.
+        let mut small = NamedGeneratorConfig::preset("small").unwrap();
+        small.config.gross_records = 800;
+        let grid = SweepGrid {
+            seeds: vec![5],
+            budgets: vec![TrainingBudget::Smoke],
+            generators: vec![small],
+            models: vec![ModelKind::Smote, ModelKind::TabDdpm],
+        };
+        let outcome = run_sweep_with(&grid, &SweepOptions::default(), |cell, train| {
+            if cell.model == ModelKind::Smote {
+                Ok(Table::new())
+            } else {
+                Ok(train.clone())
+            }
+        });
+        assert_eq!(outcome.runs.len(), 2);
+        let error = outcome.runs[0].outcome.as_ref().unwrap_err();
+        assert!(error.to_string().contains("empty synthetic table"));
+        assert!(outcome.runs[1].outcome.is_ok());
+    }
+
+    #[test]
+    fn report_rows_mirror_outcomes() {
+        let cell = SweepGrid::default().expand().remove(0);
+        let ok_run = CellRun {
+            cell: cell.clone(),
+            outcome: Ok(CellSuccess {
+                report: SurrogateReport {
+                    model: cell.model.name().to_string(),
+                    wd: 0.1,
+                    jsd: 0.2,
+                    diff_corr: 0.3,
+                    dcr: 0.4,
+                    diff_mlef: None,
+                },
+                train_rows: 100,
+                synthetic_rows: 100,
+                synthetic: None,
+            }),
+            wall_ms: 5.0,
+        };
+        let err_run = CellRun {
+            cell,
+            outcome: Err(SurrogateError::InvalidTrainingData("boom".to_string())),
+            wall_ms: 1.0,
+        };
+        let outcome = SweepOutcome {
+            runs: vec![ok_run, err_run],
+            wall_ms: 6.0,
+        };
+        let report = outcome.report();
+        assert_eq!(report.total_cells, 2);
+        assert_eq!(report.failed_cells, 1);
+        assert!(report.cells[0].ok);
+        assert_eq!(report.cells[0].wd, Some(0.1));
+        assert!(!report.cells[1].ok);
+        assert!(report.cells[1].error.as_deref().unwrap().contains("boom"));
+        assert_eq!(report.cells[1].wd, None);
+
+        // The serialized artifact round-trips through the shim parser.
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert_eq!(SweepReport::validate_artifact(&json).unwrap(), 2);
+    }
+
+    #[test]
+    fn validate_artifact_rejects_malformed_documents() {
+        assert!(SweepReport::validate_artifact("not json").is_err());
+        assert!(SweepReport::validate_artifact("{}").is_err());
+        // Count mismatch between the header and the rows.
+        assert!(SweepReport::validate_artifact(r#"{"total_cells": 2, "cells": []}"#).is_err());
+        // A passing row missing its metrics.
+        let bad = r#"{"total_cells": 1, "cells": [{"id": "x", "ok": true}]}"#;
+        assert!(SweepReport::validate_artifact(bad).is_err());
+        // A failing row carrying its error is fine.
+        let ok = r#"{"total_cells": 1, "cells": [{"id": "x", "ok": false, "error": "e"}]}"#;
+        assert_eq!(SweepReport::validate_artifact(ok).unwrap(), 1);
+    }
+}

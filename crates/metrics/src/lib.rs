@@ -32,5 +32,5 @@ pub use dcr::{distance_to_closest_record, DcrConfig};
 pub use jsd::column_jsd;
 pub use jsd::{jensen_shannon_divergence, mean_jsd};
 pub use mlef::{diff_mlef, mlef_mse, MlefConfig};
-pub use report::{evaluate_surrogate, EvaluationConfig, SurrogateReport};
+pub use report::{evaluate_surrogate, mean_report, EvaluationConfig, SurrogateReport};
 pub use wasserstein::{mean_wasserstein, wasserstein_1d, wasserstein_1d_normalized};

@@ -83,6 +83,45 @@ impl SurrogateReport {
             self.model, self.wd, self.jsd, self.diff_corr, self.dcr, mlef
         )
     }
+
+    /// Header matching [`SurrogateReport::csv_row`], for sweep artifacts and
+    /// spreadsheet-style exports.
+    pub fn csv_header() -> &'static str {
+        "model,wd,jsd,diff_corr,dcr,diff_mlef"
+    }
+
+    /// Render this report as one comma-separated row (full precision; the
+    /// MLEF column is empty when the probe was skipped).
+    pub fn csv_row(&self) -> String {
+        let mlef = self.diff_mlef.map_or_else(String::new, |v| v.to_string());
+        format!(
+            "{},{},{},{},{},{}",
+            self.model, self.wd, self.jsd, self.diff_corr, self.dcr, mlef
+        )
+    }
+}
+
+/// Element-wise mean of several reports — e.g. one model's rows across the
+/// seed axis of a sweep. Returns `None` for an empty slice. The `diff_mlef`
+/// mean is taken over the rows that carried one, or `None` if none did.
+pub fn mean_report(model: &str, reports: &[SurrogateReport]) -> Option<SurrogateReport> {
+    if reports.is_empty() {
+        return None;
+    }
+    let n = reports.len() as f64;
+    let mlef: Vec<f64> = reports.iter().filter_map(|r| r.diff_mlef).collect();
+    Some(SurrogateReport {
+        model: model.to_string(),
+        wd: reports.iter().map(|r| r.wd).sum::<f64>() / n,
+        jsd: reports.iter().map(|r| r.jsd).sum::<f64>() / n,
+        diff_corr: reports.iter().map(|r| r.diff_corr).sum::<f64>() / n,
+        dcr: reports.iter().map(|r| r.dcr).sum::<f64>() / n,
+        diff_mlef: if mlef.is_empty() {
+            None
+        } else {
+            Some(mlef.iter().sum::<f64>() / mlef.len() as f64)
+        },
+    })
 }
 
 /// Evaluate a synthetic table against the real train/test split, producing
@@ -197,6 +236,35 @@ mod tests {
             ..report
         };
         assert!(no_mlef.table_row().contains("n/a"));
+    }
+
+    #[test]
+    fn csv_row_matches_header_shape_and_mean_aggregates() {
+        let a = SurrogateReport {
+            model: "TabDDPM".to_string(),
+            wd: 0.2,
+            jsd: 0.1,
+            diff_corr: 0.4,
+            dcr: 0.6,
+            diff_mlef: Some(1.0),
+        };
+        let b = SurrogateReport {
+            wd: 0.4,
+            diff_mlef: None,
+            ..a.clone()
+        };
+        let columns = SurrogateReport::csv_header().split(',').count();
+        assert_eq!(a.csv_row().split(',').count(), columns);
+        // The skipped MLEF probe leaves an empty trailing cell.
+        assert!(b.csv_row().ends_with(','));
+        assert_eq!(b.csv_row().split(',').count(), columns);
+
+        let mean = mean_report("TabDDPM", &[a.clone(), b]).unwrap();
+        assert!((mean.wd - 0.3).abs() < 1e-12);
+        assert!((mean.jsd - 0.1).abs() < 1e-12);
+        // Only one row carried an MLEF value; the mean is over that one.
+        assert_eq!(mean.diff_mlef, Some(1.0));
+        assert!(mean_report("empty", &[]).is_none());
     }
 
     #[test]

@@ -26,7 +26,7 @@ use crate::temporal::TemporalProfile;
 use crate::user::UserPopulation;
 
 /// Configuration of the synthetic PanDA stream.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GeneratorConfig {
     /// Length of the collection window in days (paper: 150).
     pub days: f64,
@@ -65,6 +65,41 @@ impl GeneratorConfig {
             n_users: 60,
             n_tier2_sites: 12,
             ..Self::default()
+        }
+    }
+
+    /// The names accepted by [`GeneratorConfig::preset`], in a stable order.
+    /// These are the generator-variant axis of scenario sweeps
+    /// (`surrogate::sweep`): each preset stresses a different structural
+    /// property of the stream while keeping the same nine-feature schema.
+    pub const PRESET_NAMES: [&'static str; 5] =
+        ["default", "small", "tier2_heavy", "user_heavy", "burst"];
+
+    /// Look up a named preset. The preset keeps the default seed; sweep
+    /// runners override `seed` per cell.
+    pub fn preset(name: &str) -> Option<Self> {
+        match name {
+            "default" => Some(Self::default()),
+            "small" => Some(Self::small()),
+            // Long-tail site mix: triple the Tier-2 population so the
+            // `computingsite` marginal gets a much heavier tail.
+            "tier2_heavy" => Some(Self {
+                n_tier2_sites: 120,
+                ..Self::default()
+            }),
+            // Analysis-dominated stream: most gross records survive the
+            // user-analysis funnel stage, shifting the status/source mix.
+            "user_heavy" => Some(Self {
+                user_analysis_fraction: 0.85,
+                ..Self::default()
+            }),
+            // Same record count compressed into a 30-day window: a dense
+            // campaign burst with much higher submission intensity.
+            "burst" => Some(Self {
+                days: 30.0,
+                ..Self::default()
+            }),
+            _ => None,
         }
     }
 }
@@ -281,6 +316,33 @@ mod tests {
             assert!(r.cpu_time_s <= 4.0 * 86_400.0 + 1.0);
             assert!(r.n_input_files >= 1);
         }
+    }
+
+    #[test]
+    fn every_named_preset_resolves_and_unknown_names_do_not() {
+        for name in GeneratorConfig::PRESET_NAMES {
+            let config = GeneratorConfig::preset(name)
+                .unwrap_or_else(|| panic!("preset {name} did not resolve"));
+            // Presets keep the default seed so sweeps own the seed axis.
+            assert_eq!(config.seed, GeneratorConfig::default().seed, "{name}");
+        }
+        assert!(GeneratorConfig::preset("no_such_preset").is_none());
+        assert!(
+            GeneratorConfig::preset("Default").is_none(),
+            "names are exact"
+        );
+    }
+
+    #[test]
+    fn presets_change_the_axis_they_claim_to() {
+        let default = GeneratorConfig::default();
+        let tier2 = GeneratorConfig::preset("tier2_heavy").unwrap();
+        assert!(tier2.n_tier2_sites > default.n_tier2_sites);
+        let user = GeneratorConfig::preset("user_heavy").unwrap();
+        assert!(user.user_analysis_fraction > default.user_analysis_fraction);
+        let burst = GeneratorConfig::preset("burst").unwrap();
+        assert!(burst.days < default.days);
+        assert_eq!(burst.gross_records, default.gross_records);
     }
 
     #[test]

@@ -451,4 +451,88 @@ mod tests {
         assert!(from_str("1 2").is_err());
         assert!(from_str("\"unterminated").is_err());
     }
+
+    #[test]
+    fn parse_handles_exponent_floats() {
+        assert_eq!(from_str("1e3").unwrap(), Value::Number(1000.0));
+        assert_eq!(from_str("-2.5E-4").unwrap(), Value::Number(-2.5e-4));
+        assert_eq!(from_str("1.25e+2").unwrap(), Value::Number(125.0));
+        assert_eq!(
+            from_str("[1e0, 2e-1]").unwrap().as_array().unwrap()[1],
+            Value::Number(0.2)
+        );
+        // A bare exponent marker or sign is not a number.
+        assert!(from_str("1e").is_err());
+        assert!(from_str("-").is_err());
+        assert!(from_str("2.5e+").is_err());
+    }
+
+    #[test]
+    fn parse_handles_string_escape_edge_cases() {
+        assert_eq!(from_str(r#""""#).unwrap(), Value::String(String::new()));
+        assert_eq!(
+            from_str(r#""aéb\t\"c\"\\""#).unwrap(),
+            Value::String("aéb\t\"c\"\\".to_string())
+        );
+        // Lone surrogates (never emitted by the writer) map to U+FFFD
+        // instead of producing invalid UTF-8.
+        assert_eq!(
+            from_str(r#""\ud83d""#).unwrap(),
+            Value::String("\u{fffd}".to_string())
+        );
+        // Unknown escapes, truncated \u escapes and bad hex are rejected.
+        assert!(from_str(r#""\q""#).is_err());
+        assert!(from_str(r#""\u00""#).is_err());
+        assert!(from_str(r#""\u00g1""#).is_err());
+        assert!(from_str("\"dangling escape\\").is_err());
+    }
+
+    #[test]
+    fn parse_handles_deeply_nested_arrays() {
+        let parsed = from_str(r#"[[[[1, [2]]]], [], [[]]]"#).unwrap();
+        let outer = parsed.as_array().unwrap();
+        assert_eq!(outer.len(), 3);
+        let deep = outer[0].as_array().unwrap()[0].as_array().unwrap()[0]
+            .as_array()
+            .unwrap();
+        assert_eq!(deep[0], Value::Number(1.0));
+        assert_eq!(deep[1].as_array().unwrap()[0], Value::Number(2.0));
+        assert_eq!(outer[1], Value::Array(vec![]));
+        // Unbalanced nesting fails rather than truncating.
+        assert!(from_str("[[1]").is_err());
+        assert!(from_str(r#"{"a": [1, {"b": 2}}"#).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage_after_any_root() {
+        // `perf_report --check` and the sweep artifact both re-parse whole
+        // files, so a valid prefix followed by junk must be an error, not a
+        // silent truncation.
+        assert!(from_str(r#"{"a": 1} trailing"#).is_err());
+        assert!(from_str("[1, 2]]").is_err());
+        assert!(from_str(r#""abc"def"#).is_err());
+        assert!(from_str("3.5, 4").is_err());
+        assert!(from_str("null null").is_err());
+        // Leading and trailing whitespace alone is fine.
+        assert_eq!(
+            from_str("  [ 1 ,\t2 ]\n")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bare_words_and_literal_prefixes() {
+        assert!(from_str("tru").is_err());
+        assert!(
+            from_str("falsehood").is_err(),
+            "trailing chars after literal"
+        );
+        assert!(from_str("nul").is_err());
+        assert!(from_str("NaN").is_err());
+        assert!(from_str("Infinity").is_err());
+    }
 }

@@ -6,11 +6,34 @@
 //! reaches further, diffusion quality improving with more timesteps).
 
 use panda_surrogate::metrics::{distance_to_closest_record, mean_wasserstein, DcrConfig};
+use panda_surrogate::nn::matrix::reference;
+use panda_surrogate::nn::Matrix;
 use panda_surrogate::surrogate::{
     prepare_data, ExperimentOptions, SmoteConfig, SmoteSampler, TabDdpm, TabDdpmConfig, TableCodec,
     TabularGenerator,
 };
 use panda_surrogate::tabular::Table;
+
+/// The live kernels must still agree bit-for-bit with the frozen seed
+/// reference on training-shaped products. Every pinned tolerance below was
+/// measured through these kernels; this anchor means a future kernel change
+/// that breaks bit-exactness (e.g. an FMA tier) shows up here first rather
+/// than as a mysterious tolerance failure in the ablation numbers.
+#[test]
+fn live_kernels_match_the_seed_reference_on_training_shapes() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(77);
+    for &(m, k, n) in &[(64usize, 33usize, 17usize), (97, 61, 113)] {
+        let a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        assert_eq!(
+            a.matmul(&b).data(),
+            reference::matmul(&a, &b).data(),
+            "live matmul drifted from nn::matrix::reference on {m}x{k}x{n}"
+        );
+    }
+}
 
 fn training_table(gross: usize, seed: u64) -> Table {
     // The full (unsplit) modelling table from the shared preparation path.
@@ -39,8 +62,11 @@ fn smote_neighbourhood_size_trades_privacy_for_fidelity() {
         let synthetic = smote.sample(1_000, 5).unwrap();
         let dcr = distance_to_closest_record(&train, &synthetic, dcr_config);
         let wd = mean_wasserstein(&train, &synthetic);
-        // Fidelity stays high for any k.
-        assert!(wd < 0.15, "k={k}: WD {wd}");
+        // Fidelity stays high for any k. Re-pinned (2026-07, PR 4) from the
+        // seed-era `wd < 0.15` against the bit-exact kernels: measured WD is
+        // 0.0082 (k=1) / 0.0102 (k=15) at this seed, so 0.03 is a ~3x margin
+        // that still fails on any real fidelity regression.
+        assert!(wd < 0.03, "k={k}: WD {wd}");
         dcr_by_k.push((k, dcr));
     }
     // Interpolating towards the 15th-nearest neighbour strays further from
@@ -64,10 +90,14 @@ fn tabddpm_with_more_timesteps_is_at_least_as_faithful() {
         let synthetic = model.sample(1_500, 9).unwrap();
         wd_by_steps.push((timesteps, mean_wasserstein(&train, &synthetic)));
     }
-    // A 3-step reverse process is a very coarse sampler; 20 steps must not be
-    // worse (allowing a small tolerance for sampling noise).
+    // A 3-step reverse process is a very coarse sampler; 20 steps must not
+    // be meaningfully worse. Re-pinned (2026-07, PR 4) from the seed-era
+    // `* 1.25 + 0.02` slack against the bit-exact kernels: measured WD is
+    // 0.3741 (t=3) vs 0.3765 (t=20) at this seed — a 0.7% gap — so a 5%
+    // ratio plus 0.01 absolute slack is a real bound instead of a bound
+    // that a 25% degradation would still have slipped through.
     assert!(
-        wd_by_steps[1].1 <= wd_by_steps[0].1 * 1.25 + 0.02,
+        wd_by_steps[1].1 <= wd_by_steps[0].1 * 1.05 + 0.01,
         "more timesteps degraded fidelity: {wd_by_steps:?}"
     );
 }
