@@ -46,15 +46,14 @@ use nn::{
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use serde::Serialize;
-use serde_json::ValueExt;
+use serde::{Deserialize, Serialize};
 use surrogate::mixed::{mixed_activation, mixed_activation_backward, mixed_reconstruction_loss};
 use surrogate::{
     CtabGan, CtabGanConfig, TabDdpm, TabDdpmConfig, TableCodec, TabularGenerator, Tvae, TvaeConfig,
 };
 use tabular::{Column, FeatureKind, Table};
 
-#[derive(Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct KernelBench {
     name: String,
     baseline_kind: String,
@@ -63,7 +62,7 @@ struct KernelBench {
     speedup: f64,
 }
 
-#[derive(Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct EpochBench {
     baseline_kind: String,
     rows: usize,
@@ -73,7 +72,7 @@ struct EpochBench {
     speedup: f64,
 }
 
-#[derive(Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct Report {
     schema_version: u32,
     generated_by: String,
@@ -1004,46 +1003,52 @@ fn tvae_epoch_bench(quick: bool) -> EpochBench {
 // Report emission, validation and the CI regression guard.
 // ---------------------------------------------------------------------------
 
-/// Re-read the emitted report and validate the schema, proving the JSON both
-/// renders and parses (the CI smoke test relies on this).
-fn validate(path: &str) -> Result<(), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    let doc = serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
-    let kernels = doc
-        .get("kernels")
-        .and_then(|k| k.as_array())
-        .ok_or("missing 'kernels' array")?;
-    if kernels.is_empty() {
+/// Parse an emitted report back through the typed `Deserialize` path (no
+/// `Value` accessor chains) and check its invariants: a malformed or
+/// field-stripped document fails at the parse, and a structurally valid one
+/// must carry positive finite timings throughout.
+fn validate_text(text: &str) -> Result<Report, String> {
+    let report: Report = serde_json::from_str(text).map_err(|e| format!("parse: {e}"))?;
+    if report.kernels.is_empty() {
         return Err("'kernels' array is empty".to_string());
     }
-    for entry in kernels {
-        entry
-            .get("baseline_kind")
-            .and_then(|v| v.as_str())
-            .ok_or("kernel entry missing 'baseline_kind'")?;
-        for field in ["new_ns", "baseline_ns", "speedup"] {
-            let v = entry
-                .get(field)
-                .and_then(|v| v.as_f64())
-                .ok_or_else(|| format!("kernel entry missing numeric '{field}'"))?;
+    for entry in &report.kernels {
+        if entry.name.is_empty() || entry.baseline_kind.is_empty() {
+            return Err("kernel entry with an empty name or baseline_kind".to_string());
+        }
+        for (field, v) in [
+            ("new_ns", entry.new_ns),
+            ("baseline_ns", entry.baseline_ns),
+            ("speedup", entry.speedup),
+        ] {
             if !v.is_finite() || v <= 0.0 {
-                return Err(format!("kernel field '{field}' is not a positive number"));
+                return Err(format!(
+                    "kernel '{}' field '{field}' is not a positive number",
+                    entry.name
+                ));
             }
         }
     }
-    for model in ["tabddpm_epoch", "ctabgan_epoch", "tvae_epoch"] {
-        let speedup = doc
-            .get(model)
-            .and_then(|e| e.get("speedup"))
-            .and_then(|v| v.as_f64())
-            .ok_or_else(|| format!("missing {model}.speedup"))?;
-        if !speedup.is_finite() || speedup <= 0.0 {
+    for (model, epoch) in [
+        ("tabddpm_epoch", &report.tabddpm_epoch),
+        ("ctabgan_epoch", &report.ctabgan_epoch),
+        ("tvae_epoch", &report.tvae_epoch),
+    ] {
+        if !epoch.speedup.is_finite() || epoch.speedup <= 0.0 {
             return Err(format!("{model}.speedup is not a positive number"));
         }
     }
-    doc.get("simd_tier")
-        .and_then(|v| v.as_str())
-        .ok_or("missing 'simd_tier'")?;
+    if report.simd_tier.is_empty() {
+        return Err("empty 'simd_tier'".to_string());
+    }
+    Ok(report)
+}
+
+/// Re-read the emitted report and validate the schema, proving the JSON both
+/// renders and parses typed (the CI smoke test relies on this).
+fn validate(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    validate_text(&text).map_err(|e| format!("{path}: {e}"))?;
     Ok(())
 }
 
@@ -1143,5 +1148,93 @@ fn main() {
             );
             std::process::exit(1);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_report() -> Report {
+        let epoch = |kind: &str| EpochBench {
+            baseline_kind: kind.to_string(),
+            rows: 512,
+            epochs_timed: 2,
+            new_epoch_ms: 10.0,
+            baseline_epoch_ms: 25.0,
+            speedup: 2.5,
+        };
+        Report {
+            schema_version: 2,
+            generated_by: "bench::perf_report".to_string(),
+            quick: true,
+            threads: 1,
+            simd_tier: "avx2".to_string(),
+            kernels: vec![kernel_entry(
+                "matmul_64x64x64",
+                "seed_reference",
+                100.0,
+                250.0,
+            )],
+            tabddpm_epoch: epoch("seed_epoch_loop"),
+            ctabgan_epoch: epoch("unfused_discriminator_double_step"),
+            tvae_epoch: epoch("seed_epoch_loop"),
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_the_typed_parser() {
+        let report = toy_report();
+        let text = serde_json::to_string_pretty(&report).unwrap();
+        let parsed = validate_text(&text).expect("valid report parses");
+        assert_eq!(parsed.simd_tier, "avx2");
+        assert_eq!(parsed.kernels.len(), 1);
+        assert_eq!(parsed.kernels[0].speedup, 2.5);
+        assert_eq!(parsed.tabddpm_epoch.rows, 512);
+        assert!(parsed.quick);
+    }
+
+    #[test]
+    fn validate_text_rejects_malformed_documents() {
+        // Not JSON at all, and structurally wrong JSON.
+        assert!(validate_text("not json").is_err());
+        assert!(validate_text("{}").is_err());
+        assert!(validate_text("[1, 2]").is_err());
+
+        let report = toy_report();
+        // A mandatory field stripped from the document fails the typed
+        // parse (this is what a schema drift looks like to CI).
+        let text = serde_json::to_string(&report).unwrap();
+        let stripped = text.replacen("\"simd_tier\":\"avx2\",", "", 1);
+        assert_ne!(stripped, text, "field strip must change the document");
+        assert!(validate_text(&stripped).is_err());
+        // A field of the wrong type is named in the error.
+        let retyped = text.replacen("\"simd_tier\":\"avx2\"", "\"simd_tier\":3", 1);
+        let err = validate_text(&retyped).unwrap_err();
+        assert!(err.contains("simd_tier"), "{err}");
+
+        // Structural invariants past the parse: empty kernel list,
+        // non-positive and non-finite timings.
+        let mut bad = toy_report();
+        bad.kernels.clear();
+        assert!(validate_text(&serde_json::to_string(&bad).unwrap()).is_err());
+        let mut bad = toy_report();
+        bad.kernels[0].speedup = 0.0;
+        assert!(validate_text(&serde_json::to_string(&bad).unwrap()).is_err());
+        let mut bad = toy_report();
+        // NaN serializes as null, so the typed parse itself rejects it.
+        bad.tvae_epoch.speedup = f64::NAN;
+        assert!(validate_text(&serde_json::to_string(&bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn kernel_regressions_flags_only_sub_one_speedups() {
+        let kernels = vec![
+            kernel_entry("fast", "seed_reference", 100.0, 250.0),
+            kernel_entry("slow", "seed_reference", 300.0, 250.0),
+        ];
+        let offending = kernel_regressions(&kernels);
+        assert_eq!(offending.len(), 1);
+        assert!(offending[0].contains("slow"));
     }
 }

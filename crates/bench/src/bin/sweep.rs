@@ -1,14 +1,34 @@
 //! Scenario-sweep driver: expand a seeds × budgets × generator-variants ×
 //! models grid, batch every cell over the shared pool
-//! (`surrogate::sweep::run_sweep`), print per-cell metrics rows plus
-//! per-model means, and write the `SweepReport` JSON artifact (re-parsed
-//! through the `serde_json` shim as a schema check — CI smoke-runs this).
+//! (`surrogate::sweep::run_sweep_resumable`), print per-cell metrics rows
+//! plus per-model means, and write the `SweepReport` JSON artifact (read
+//! back **typed** through the `serde_json` shim as a schema check — CI
+//! smoke-runs this).
+//!
+//! Durability modes on top of the plain run:
+//!
+//! * `--shard I/N` runs one deterministic round-robin slice of the
+//!   axis-major cell order, so N independent containers split one grid;
+//! * `--resume PRIOR.json` loads completed cells from a prior artifact
+//!   (rejected if its grid fingerprint is stale) and runs only the rest;
+//! * `--merge a.json b.json …` recombines disjoint shard artifacts into the
+//!   single report an unsharded run would have produced;
+//! * `--canonical-out PATH` additionally writes the wall-clock-zeroed form,
+//!   which CI diffs to enforce shard-merge ≡ unsharded and resumed ≡
+//!   from-scratch byte-for-byte;
+//! * `--drop-last K IN.json` truncates an artifact (test/CI surgery for the
+//!   resume smoke).
 //!
 //! Usage:
 //!   sweep [--seeds 2024..2032 | 2024,2025] [--budgets fast,standard]
 //!         [--models tabddpm,smote] [--grid default,tier2_heavy]
 //!         [--rows N] [--days D] [--sample-rows N] [--no-mlef]
-//!         [--sequential] [--quick] [--strict] [--out PATH] [--csv PATH]
+//!         [--sequential] [--quick] [--strict] [--shard I/N]
+//!         [--resume PRIOR.json] [--out PATH] [--canonical-out PATH]
+//!         [--csv PATH]
+//!   sweep --merge A.json B.json … [--allow-partial] [--out PATH]
+//!         [--canonical-out PATH]
+//!   sweep --drop-last K IN.json [--out PATH]
 //!
 //! `--seeds` accepts a half-open range (`A..B`) or a comma list. `--rows`
 //! overrides every variant's gross record count (`--rows 0` keeps each
@@ -17,12 +37,16 @@
 //! `small` preset × all four models = 8 cells at 2500 gross records.
 
 use metrics::{mean_report, EvaluationConfig, SurrogateReport};
-use surrogate::sweep::{run_sweep, NamedGeneratorConfig, SweepGrid, SweepOptions, SweepReport};
+use surrogate::sweep::{
+    run_sweep_resumable, NamedGeneratorConfig, ShardSpec, SweepCellRow, SweepGrid, SweepOptions,
+    SweepReport,
+};
 use surrogate::{ExecutionMode, ModelKind, TrainingBudget};
 
 const USAGE: &str = "\
 sweep: scenario-sweep runtime over the surrogate experiment pipeline
 
+run mode:
   --seeds A..B | a,b,c   seed axis (half-open range or comma list; default 2024..2026)
   --budgets LIST         training budgets: smoke|fast, standard, full|paper (default standard)
   --models LIST          model subset: tvae, ctabgan, smote, tabddpm (default all four)
@@ -34,30 +58,121 @@ sweep: scenario-sweep runtime over the surrogate experiment pipeline
   --sequential           run cells one after another (byte-identical to parallel)
   --quick                CI smoke grid: 2 seeds x smoke x small preset x 4 models (8 cells)
   --strict               exit non-zero if ANY cell fails (default: only when all do)
+  --shard I/N            run only cells with index % N == I (round-robin over the
+                         axis-major order); merge the N artifacts with --merge
+  --resume PRIOR.json    load completed cells from a prior artifact of the SAME
+                         grid (fingerprint-checked) and run only the rest
   --out PATH             JSON artifact path (default SWEEP.json)
+  --canonical-out PATH   also write the artifact with wall-clock fields zeroed
+                         (the form CI byte-compares across shards/resumes)
   --csv PATH             also write per-cell metrics rows as CSV (cell id in the model column)
+
+merge mode:
+  --merge A.json B.json ...  validate + recombine disjoint shard artifacts
+  --allow-partial            accept a merge that does not cover the full grid
+  --out / --canonical-out    as in run mode
+
+artifact surgery:
+  --drop-last K IN.json      rewrite IN.json without its last K cell rows
+                             (used by the CI resume smoke) to --out
 ";
 
-fn parse_seeds(text: &str) -> Option<Vec<u64>> {
-    if let Some((start, end)) = text.split_once("..") {
-        let (start, end) = (start.trim().parse().ok()?, end.trim().parse().ok()?);
-        if start >= end {
-            return None;
+/// Flags that consume the following argument, for positional extraction.
+const VALUE_FLAGS: &[&str] = &[
+    "--seeds",
+    "--budgets",
+    "--models",
+    "--grid",
+    "--rows",
+    "--days",
+    "--sample-rows",
+    "--shard",
+    "--resume",
+    "--out",
+    "--canonical-out",
+    "--csv",
+    "--drop-last",
+];
+
+/// Exit for malformed command lines (bad flag syntax, unknown names).
+fn usage_error(message: &str) -> ! {
+    eprintln!("sweep: {message}");
+    eprintln!("sweep: run with --help for usage");
+    std::process::exit(2);
+}
+
+/// Exit for runtime failures (unreadable/stale artifacts, failed cells).
+fn runtime_error(message: &str) -> ! {
+    eprintln!("sweep: {message}");
+    std::process::exit(1);
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Arguments that are neither flags nor a value consumed by one — the input
+/// artifact paths of `--merge` / `--drop-last`.
+fn positionals(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut skip_next = false;
+    for arg in args {
+        if skip_next {
+            skip_next = false;
+            continue;
         }
-        return Some((start..end).collect());
+        if VALUE_FLAGS.contains(&arg.as_str()) {
+            skip_next = true;
+        } else if !arg.starts_with("--") {
+            out.push(arg.clone());
+        }
     }
-    let seeds: Option<Vec<u64>> = text.split(',').map(|s| s.trim().parse().ok()).collect();
-    seeds.filter(|s: &Vec<u64>| !s.is_empty())
+    out
+}
+
+/// Parse the seed axis: a half-open `A..B` range or a comma list. Every
+/// malformed spelling comes back as `Err` with the offending token, so the
+/// CLI exits with a message instead of panicking through `parse().unwrap()`.
+fn parse_seeds(text: &str) -> Result<Vec<u64>, String> {
+    if let Some((start, end)) = text.split_once("..") {
+        let start: u64 = start
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad range start '{}' in '{text}'", start.trim()))?;
+        let end: u64 = end
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad range end '{}' in '{text}'", end.trim()))?;
+        if start >= end {
+            return Err(format!("empty seed range '{text}' (want start < end)"));
+        }
+        return Ok((start..end).collect());
+    }
+    let seeds: Vec<u64> = text
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().map_err(|_| format!("bad seed '{s}' in '{text}'")))
+        .collect::<Result<_, String>>()?;
+    if seeds.is_empty() {
+        return Err(format!("empty seed list '{text}'"));
+    }
+    Ok(seeds)
 }
 
 fn parse_list<T>(text: &str, what: &str, parse: impl Fn(&str) -> Option<T>) -> Vec<T> {
     text.split(',')
         .filter(|s| !s.trim().is_empty())
         .map(|s| {
-            parse(s.trim()).unwrap_or_else(|| {
-                eprintln!("sweep: unknown {what} '{}'", s.trim());
-                std::process::exit(2);
-            })
+            parse(s.trim())
+                .unwrap_or_else(|| usage_error(&format!("unknown {what} '{}'", s.trim())))
         })
         .collect()
 }
@@ -84,21 +199,131 @@ fn dedup_axis<T, K: PartialEq>(what: &str, values: Vec<T>, key: impl Fn(&T) -> K
     unique
 }
 
+/// Read an artifact back through the typed `Deserialize` path and check its
+/// structural invariants.
+fn read_report(path: &str) -> SweepReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| runtime_error(&format!("cannot read {path}: {e}")));
+    let report: SweepReport = serde_json::from_str(&text)
+        .unwrap_or_else(|e| runtime_error(&format!("cannot parse {path}: {e}")));
+    report
+        .validate()
+        .unwrap_or_else(|e| runtime_error(&format!("invalid artifact {path}: {e}")));
+    report
+}
+
+/// Render an artifact, write it, and prove the written bytes read back
+/// through the typed parser (the writer/parser round-trip CI relies on).
+fn write_report(report: &SweepReport, path: &str) {
+    let json = serde_json::to_string_pretty(report).expect("render sweep report");
+    std::fs::write(path, json + "\n")
+        .unwrap_or_else(|e| runtime_error(&format!("cannot write {path}: {e}")));
+    match std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| SweepReport::validate_artifact(&text))
+    {
+        Ok(cells) => eprintln!("sweep: wrote and validated {path} ({cells} cells)"),
+        Err(e) => runtime_error(&format!("emitted {path} failed validation: {e}")),
+    }
+}
+
+/// Write the wall-clock-zeroed canonical form when requested.
+fn write_canonical(report: &SweepReport, args: &[String]) {
+    if let Some(path) = value(args, "--canonical-out") {
+        write_report(&report.canonical(), &path);
+    }
+}
+
+/// Per-cell Table-I row rebuilt from an artifact row (resumed cells carry
+/// no in-memory `CellRun`, so means and CSV exports work off the report).
+fn row_metrics(row: &SweepCellRow) -> Option<SurrogateReport> {
+    if !row.ok {
+        return None;
+    }
+    Some(SurrogateReport {
+        model: row.model.clone(),
+        wd: row.wd?,
+        jsd: row.jsd?,
+        diff_corr: row.diff_corr?,
+        dcr: row.dcr?,
+        diff_mlef: row.diff_mlef,
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         print!("{USAGE}");
         return;
     }
-    let flag = |name: &str| args.iter().any(|a| a == name);
-    let value = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-    };
+    if flag(&args, "--merge") {
+        merge_main(&args);
+    } else if flag(&args, "--drop-last") {
+        drop_last_main(&args);
+    } else {
+        run_main(&args);
+    }
+}
 
-    let quick = flag("--quick");
+/// `--merge`: validate and recombine shard artifacts.
+fn merge_main(args: &[String]) {
+    let inputs = positionals(args);
+    if inputs.is_empty() {
+        usage_error("--merge needs at least one artifact path");
+    }
+    let parts: Vec<SweepReport> = inputs.iter().map(|path| read_report(path)).collect();
+    let merged =
+        SweepReport::merge(&parts).unwrap_or_else(|e| runtime_error(&format!("cannot merge: {e}")));
+    if !merged.is_complete() && !flag(args, "--allow-partial") {
+        runtime_error(&format!(
+            "merged artifact covers {} of {} grid cells; pass --allow-partial to accept an \
+             incomplete merge",
+            merged.total_cells, merged.grid_cells
+        ));
+    }
+    eprintln!(
+        "sweep: merged {} artifact(s) into {} cells ({} failed, grid {} cells)",
+        parts.len(),
+        merged.total_cells,
+        merged.failed_cells,
+        merged.grid_cells
+    );
+    let out_path = value(args, "--out").unwrap_or_else(|| "SWEEP.json".to_string());
+    write_report(&merged, &out_path);
+    write_canonical(&merged, args);
+}
+
+/// `--drop-last K IN.json`: artifact surgery for the CI resume smoke.
+fn drop_last_main(args: &[String]) {
+    let count: usize = value(args, "--drop-last")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage_error("--drop-last needs an integer row count"));
+    let inputs = positionals(args);
+    let [input] = inputs.as_slice() else {
+        usage_error("--drop-last needs exactly one input artifact path");
+    };
+    let mut report = read_report(input);
+    if count > report.cells.len() {
+        runtime_error(&format!(
+            "cannot drop {count} rows from a {}-row artifact",
+            report.cells.len()
+        ));
+    }
+    report.cells.truncate(report.cells.len() - count);
+    report.total_cells = report.cells.len();
+    report.failed_cells = report.cells.iter().filter(|row| !row.ok).count();
+    let out_path = value(args, "--out").unwrap_or_else(|| "SWEEP.json".to_string());
+    eprintln!(
+        "sweep: dropped the last {count} row(s) of {input} ({} remain)",
+        report.total_cells
+    );
+    write_report(&report, &out_path);
+}
+
+/// Default mode: expand the grid and run it (optionally one shard of it,
+/// optionally resuming from a prior artifact).
+fn run_main(args: &[String]) {
+    let quick = flag(args, "--quick");
     let mut grid = SweepGrid {
         seeds: if quick {
             vec![2024, 2025]
@@ -118,29 +343,23 @@ fn main() {
     };
     let mut rows_override = Some(if quick { 2_500 } else { 20_000 });
 
-    if let Some(v) = value("--seeds") {
-        grid.seeds = parse_seeds(&v).unwrap_or_else(|| {
-            eprintln!("sweep: bad --seeds '{v}' (want A..B or a comma list)");
-            std::process::exit(2);
-        });
+    if let Some(v) = value(args, "--seeds") {
+        grid.seeds = parse_seeds(&v).unwrap_or_else(|e| usage_error(&e));
     }
-    if let Some(v) = value("--budgets") {
+    if let Some(v) = value(args, "--budgets") {
         grid.budgets = parse_list(&v, "budget", TrainingBudget::parse);
     }
-    if let Some(v) = value("--models") {
+    if let Some(v) = value(args, "--models") {
         grid.models = parse_list(&v, "model", ModelKind::parse);
     }
-    if let Some(v) = value("--grid") {
+    if let Some(v) = value(args, "--grid") {
         grid.generators = parse_list(&v, "generator preset", NamedGeneratorConfig::preset);
     }
-    if let Some(v) = value("--rows") {
+    if let Some(v) = value(args, "--rows") {
         match v.parse::<usize>() {
             Ok(0) => rows_override = None,
             Ok(n) => rows_override = Some(n),
-            Err(_) => {
-                eprintln!("sweep: bad --rows '{v}'");
-                std::process::exit(2);
-            }
+            Err(_) => usage_error(&format!("bad --rows '{v}' (want a non-negative integer)")),
         }
     }
     if let Some(n) = rows_override {
@@ -148,11 +367,10 @@ fn main() {
             generator.config.gross_records = n;
         }
     }
-    if let Some(v) = value("--days") {
-        let days: f64 = v.parse().unwrap_or_else(|_| {
-            eprintln!("sweep: bad --days '{v}'");
-            std::process::exit(2);
-        });
+    if let Some(v) = value(args, "--days") {
+        let days: f64 = v
+            .parse()
+            .unwrap_or_else(|_| usage_error(&format!("bad --days '{v}' (want a number)")));
         for generator in &mut grid.generators {
             generator.config.days = days;
         }
@@ -162,7 +380,10 @@ fn main() {
     grid.models = dedup_axis("--models", grid.models, |m| *m);
     grid.generators = dedup_axis("--grid", grid.generators, |g| g.name.clone());
 
-    let evaluation = if quick || flag("--no-mlef") {
+    let shard = value(args, "--shard").map(|v| {
+        ShardSpec::parse(&v).unwrap_or_else(|e| usage_error(&format!("bad --shard: {e}")))
+    });
+    let evaluation = if quick || flag(args, "--no-mlef") {
         EvaluationConfig {
             mlef: None,
             ..EvaluationConfig::fast()
@@ -171,39 +392,50 @@ fn main() {
         EvaluationConfig::fast()
     };
     let options = SweepOptions {
-        mode: if flag("--sequential") {
+        mode: if flag(args, "--sequential") {
             ExecutionMode::Sequential
         } else {
             ExecutionMode::Parallel
         },
         evaluation,
         keep_tables: false,
-        sample_rows: value("--sample-rows").map(|v| match v.parse() {
+        sample_rows: value(args, "--sample-rows").map(|v| match v.parse() {
             Ok(n) if n > 0 => n,
-            _ => {
-                eprintln!("sweep: bad --sample-rows '{v}' (want an integer >= 1)");
-                std::process::exit(2);
-            }
+            _ => usage_error(&format!("bad --sample-rows '{v}' (want an integer >= 1)")),
         }),
     };
-    let out_path = value("--out").unwrap_or_else(|| "SWEEP.json".to_string());
+    let out_path = value(args, "--out").unwrap_or_else(|| "SWEEP.json".to_string());
+    let prior = value(args, "--resume").map(|path| read_report(&path));
 
     if grid.is_empty() {
-        eprintln!("sweep: the grid is empty (every axis needs at least one value)");
-        std::process::exit(2);
+        usage_error("the grid is empty (every axis needs at least one value)");
     }
     eprintln!(
-        "sweep: {} cells = {} seed(s) x {} budget(s) x {} generator variant(s) x {} model(s)",
+        "sweep: {} cells = {} seed(s) x {} budget(s) x {} generator variant(s) x {} model(s){}",
         grid.len(),
         grid.seeds.len(),
         grid.budgets.len(),
         grid.generators.len(),
-        grid.models.len()
+        grid.models.len(),
+        shard.map(|s| format!(", shard {s}")).unwrap_or_default()
     );
 
-    let outcome = run_sweep(&grid, &options);
-    let failed = outcome.report_failures();
-    let report = outcome.report();
+    let summary = run_sweep_resumable(&grid, &options, shard, prior.as_ref())
+        .unwrap_or_else(|e| runtime_error(&format!("cannot resume: {e}")));
+    let report = &summary.report;
+    eprintln!(
+        "sweep: executed {} cell(s), resumed {} from the prior artifact",
+        summary.runs.len(),
+        summary.resumed
+    );
+    let failed = report.failed_cells;
+    for row in report.cells.iter().filter(|row| !row.ok) {
+        eprintln!(
+            "warning: cell {} failed: {}",
+            row.id,
+            row.error.as_deref().unwrap_or("unknown error")
+        );
+    }
 
     println!(
         "{:<34} {:>8} {:>8} {:>8} {:>10} {:>8} {:>10} {:>9}",
@@ -234,19 +466,21 @@ fn main() {
         }
     }
 
-    // Per-model means across every passing cell (the sweep-level Table I).
+    // Per-model means across every passing cell (the sweep-level Table I),
+    // resumed rows included — the metrics come from the artifact rows, not
+    // the in-memory runs.
     println!(
         "\nper-model means over {} passing cell(s) ({} total):",
-        report.total_cells - report.failed_cells,
+        report.total_cells - failed,
         report.total_cells
     );
     println!("{}", SurrogateReport::table_header());
     for model in &grid.models {
-        let rows: Vec<SurrogateReport> = outcome
-            .runs
+        let rows: Vec<SurrogateReport> = report
+            .cells
             .iter()
-            .filter(|run| run.cell.model == *model)
-            .filter_map(|run| run.outcome.as_ref().ok().map(|s| s.report.clone()))
+            .filter(|row| row.model == model.name())
+            .filter_map(row_metrics)
             .collect();
         match mean_report(model.name(), &rows) {
             Some(mean) => println!("{}", mean.table_row()),
@@ -254,46 +488,98 @@ fn main() {
         }
     }
 
-    if let Some(csv_path) = value("--csv") {
+    if let Some(csv_path) = value(args, "--csv") {
         // Per-cell metrics rows; the model column carries the full cell id
         // so one file covers every axis combination.
         let mut csv = String::from(SurrogateReport::csv_header());
         csv.push('\n');
-        for run in &outcome.runs {
-            if let Ok(success) = &run.outcome {
-                let row = SurrogateReport {
-                    model: run.cell.id(),
-                    ..success.report.clone()
+        for row in &report.cells {
+            if let Some(metrics_row) = row_metrics(row) {
+                let line = SurrogateReport {
+                    model: row.id.clone(),
+                    ..metrics_row
                 };
-                csv.push_str(&row.csv_row());
+                csv.push_str(&line.csv_row());
                 csv.push('\n');
             }
         }
-        std::fs::write(&csv_path, csv).expect("write sweep CSV");
+        std::fs::write(&csv_path, csv)
+            .unwrap_or_else(|e| runtime_error(&format!("cannot write {csv_path}: {e}")));
         eprintln!("sweep: wrote {csv_path}");
     }
 
-    let json = serde_json::to_string_pretty(&report).expect("render sweep report");
-    std::fs::write(&out_path, json + "\n").expect("write sweep report");
-    match std::fs::read_to_string(&out_path)
-        .map_err(|e| e.to_string())
-        .and_then(|text| SweepReport::validate_artifact(&text))
-    {
-        Ok(cells) => eprintln!(
-            "sweep: wrote and validated {out_path} ({cells} cells, {failed} failed, {:.1}s)",
-            report.wall_ms / 1e3
-        ),
-        Err(e) => {
-            eprintln!("sweep: emitted {out_path} failed validation: {e}");
-            std::process::exit(1);
+    write_report(report, &out_path);
+    write_canonical(report, args);
+    eprintln!(
+        "sweep: {} cells, {} failed, {:.1}s",
+        report.total_cells,
+        failed,
+        report.wall_ms / 1e3
+    );
+    if failed == report.total_cells && report.total_cells > 0 {
+        runtime_error("every cell failed");
+    }
+    if failed > 0 && flag(args, "--strict") {
+        runtime_error(&format!("{failed} cell(s) failed (--strict)"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_seeds_accepts_ranges_and_lists() {
+        assert_eq!(parse_seeds("2024..2027").unwrap(), vec![2024, 2025, 2026]);
+        assert_eq!(parse_seeds(" 7 , 9 ").unwrap(), vec![7, 9]);
+        assert_eq!(parse_seeds("5").unwrap(), vec![5]);
+        assert_eq!(parse_seeds("1,,2").unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn parse_seeds_rejects_malformed_specs_with_the_offending_token() {
+        for (spec, needle) in [
+            ("", "empty seed list"),
+            ("   ", "empty seed list"),
+            ("a,2", "bad seed 'a'"),
+            ("3..x", "bad range end 'x'"),
+            ("x..3", "bad range start 'x'"),
+            ("5..5", "empty seed range"),
+            ("9..2", "empty seed range"),
+            ("-1,2", "bad seed '-1'"),
+            ("1.5", "bad seed '1.5'"),
+        ] {
+            let err = parse_seeds(spec).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "'{spec}' should fail mentioning {needle:?}, got: {err}"
+            );
         }
     }
-    if failed == report.total_cells {
-        eprintln!("sweep: every cell failed");
-        std::process::exit(1);
+
+    #[test]
+    fn positionals_skip_flags_and_their_values() {
+        let argv = args(&[
+            "--merge",
+            "a.json",
+            "b.json",
+            "--out",
+            "merged.json",
+            "--allow-partial",
+            "c.json",
+            "--canonical-out",
+            "canon.json",
+        ]);
+        assert_eq!(positionals(&argv), args(&["a.json", "b.json", "c.json"]));
     }
-    if failed > 0 && flag("--strict") {
-        eprintln!("sweep: {failed} cell(s) failed (--strict)");
-        std::process::exit(1);
+
+    #[test]
+    fn dedup_axis_keeps_first_occurrences_in_order() {
+        let deduped = dedup_axis("--seeds", vec![3u64, 1, 3, 2, 1], |s| *s);
+        assert_eq!(deduped, vec![3, 1, 2]);
     }
 }

@@ -52,8 +52,9 @@ pub use experiment::{
 pub use pipeline::{build_model, fit_and_sample, ModelKind, TrainingBudget};
 pub use smote::{SmoteConfig, SmoteSampler};
 pub use sweep::{
-    run_cell, run_sweep, run_sweep_with, CellRun, CellSuccess, NamedGeneratorConfig, SweepCell,
-    SweepCellRow, SweepGrid, SweepOptions, SweepOutcome, SweepReport,
+    grid_fingerprint, run_cell, run_sweep, run_sweep_resumable, run_sweep_resumable_with,
+    run_sweep_with, CellRun, CellSuccess, NamedGeneratorConfig, ShardSpec, SweepArtifactError,
+    SweepCell, SweepCellRow, SweepGrid, SweepOptions, SweepOutcome, SweepReport, SweepRunSummary,
 };
 pub use tabddpm::{TabDdpm, TabDdpmConfig};
 pub use traits::{SurrogateError, TabularGenerator};

@@ -26,13 +26,29 @@
 //! Results aggregate into a serializable [`SweepReport`] (one metrics row
 //! per cell: WD / JSD / diff-CORR / DCR / diff-MLEF deltas from `metrics`,
 //! wall-clock, pass/fail) that the `bench --bin sweep` binary writes as a
-//! JSON artifact and re-parses through the `serde_json` shim.
+//! JSON artifact and reads back **typed** through the `serde_json` shim's
+//! `Deserialize` path (`from_str::<SweepReport>`).
+//!
+//! On top of the single-shot runtime, sweeps are **durable**: grid campaigns
+//! only scale when partial results survive (Schmid et al., arXiv:2502.12741),
+//! so [`run_sweep_resumable`] can
+//!
+//! * **resume** — cells already present in a prior artifact (matched by cell
+//!   id under an equal [`grid_fingerprint`]) are loaded instead of re-run,
+//!   and the merged report is byte-identical to a from-scratch run modulo
+//!   wall-clock fields;
+//! * **shard** — a [`ShardSpec`] (`i/n`) deterministically partitions the
+//!   axis-major cell order round-robin so independent containers split one
+//!   grid, and [`SweepReport::merge`] recombines disjoint shard artifacts
+//!   (validating fingerprints and disjointness) into the single report an
+//!   unsharded run would have produced.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
 use rayon::prelude::*;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use metrics::{evaluate_surrogate, EvaluationConfig, SurrogateReport};
 use pandasim::GeneratorConfig;
@@ -176,6 +192,100 @@ impl SweepCell {
     }
 }
 
+/// One shard of a sweep: this container runs every cell whose axis-major
+/// index is congruent to `index` modulo `count` (round-robin, so each shard
+/// sees a balanced mix of seeds and models rather than a contiguous slab of
+/// the heaviest axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// Zero-based shard index, `< count`.
+    pub index: usize,
+    /// Total number of shards splitting the grid, `>= 1`.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// Parse an `i/n` spec (as passed to `sweep --shard`), rejecting
+    /// malformed text, `n == 0` and `i >= n` with a usable message.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let (index, count) = text
+            .split_once('/')
+            .ok_or_else(|| format!("bad shard spec '{text}' (want I/N, e.g. 0/2)"))?;
+        let spec = Self {
+            index: index
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad shard index '{index}' in '{text}'"))?,
+            count: count
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad shard count '{count}' in '{text}'"))?,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Check the invariants (`count >= 1`, `index < count`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.count == 0 {
+            return Err("shard count must be >= 1".to_string());
+        }
+        if self.index >= self.count {
+            return Err(format!(
+                "shard index {} out of range for {} shard(s)",
+                self.index, self.count
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether the cell at `cell_index` in the axis-major order belongs to
+    /// this shard.
+    pub fn contains(&self, cell_index: usize) -> bool {
+        cell_index % self.count == self.index
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// 64-bit FNV-1a over a canonical encoding of everything that determines a
+/// sweep's results: the four grid axes (with each generator's full config,
+/// not just its name), the per-cell sample count and the evaluation
+/// configuration. Resume and merge refuse artifacts whose fingerprint
+/// differs — a stale artifact from an edited grid can never be silently
+/// mixed into a fresh run. Rendered as 16 lowercase hex digits.
+pub fn grid_fingerprint(grid: &SweepGrid, options: &SweepOptions) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut feed = |token: &str| {
+        // Length-prefix every token so concatenations cannot collide.
+        for byte in token.len().to_le_bytes().into_iter().chain(token.bytes()) {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for seed in &grid.seeds {
+        feed(&format!("seed:{seed}"));
+    }
+    for budget in &grid.budgets {
+        feed(&format!("budget:{}", budget.name()));
+    }
+    for generator in &grid.generators {
+        let config = serde_json::to_string(&generator.config).expect("render generator config");
+        feed(&format!("generator:{}:{config}", generator.name));
+    }
+    for model in &grid.models {
+        feed(&format!("model:{}", model.name()));
+    }
+    feed(&format!("sample_rows:{:?}", options.sample_rows));
+    let evaluation = serde_json::to_string(&options.evaluation).expect("render evaluation config");
+    feed(&format!("evaluation:{evaluation}"));
+    format!("{hash:016x}")
+}
+
 /// Options shared by every cell of a sweep.
 #[derive(Debug, Clone)]
 pub struct SweepOptions {
@@ -238,6 +348,10 @@ pub struct SweepOutcome {
     pub runs: Vec<CellRun>,
     /// Wall-clock of the whole sweep (dataset preparation + all cells).
     pub wall_ms: f64,
+    /// [`grid_fingerprint`] of the grid + options that ran.
+    pub grid_fingerprint: String,
+    /// Cell count of the full grid.
+    pub grid_cells: usize,
 }
 
 impl SweepOutcome {
@@ -262,8 +376,11 @@ impl SweepOutcome {
     pub fn report(&self) -> SweepReport {
         let cells: Vec<SweepCellRow> = self.runs.iter().map(SweepCellRow::from_run).collect();
         SweepReport {
-            schema_version: 1,
-            generated_by: "surrogate::sweep".to_string(),
+            schema_version: SCHEMA_VERSION,
+            generated_by: GENERATED_BY.to_string(),
+            grid_fingerprint: self.grid_fingerprint.clone(),
+            grid_cells: self.grid_cells,
+            shard: None,
             total_cells: cells.len(),
             failed_cells: cells.iter().filter(|c| !c.ok).count(),
             wall_ms: self.wall_ms,
@@ -273,8 +390,10 @@ impl SweepOutcome {
 }
 
 /// One serialized row of the sweep artifact.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepCellRow {
+    /// Position in the full expanded grid — the merge key across shards.
+    pub index: usize,
     /// Unique cell id (see [`SweepCell::id`]).
     pub id: String,
     /// Seed axis value.
@@ -311,6 +430,7 @@ impl SweepCellRow {
     fn from_run(run: &CellRun) -> Self {
         let cell = &run.cell;
         let base = Self {
+            index: cell.index,
             id: cell.id(),
             seed: cell.seed,
             budget: cell.budget.name().to_string(),
@@ -347,69 +467,308 @@ impl SweepCellRow {
     }
 }
 
-/// The serializable sweep artifact: header plus one row per cell.
-#[derive(Debug, Clone, Serialize)]
+/// Current sweep-artifact schema version. Version 2 added the typed
+/// durability header (`grid_fingerprint`, `grid_cells`, `shard`) and the
+/// per-row `index`; version-1 artifacts are rejected by the typed read-back
+/// (they lack mandatory fields) rather than mis-merged.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Producer tag written into every artifact.
+pub const GENERATED_BY: &str = "surrogate::sweep";
+
+/// The serializable sweep artifact: header plus one row per cell. A full
+/// run carries every cell; a shard or interrupted run carries a subset
+/// (`total_cells < grid_cells`), recombined by [`SweepReport::merge`] or
+/// completed by [`run_sweep_resumable`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepReport {
-    /// Artifact schema version (this layout: 1).
+    /// Artifact schema version (this layout: [`SCHEMA_VERSION`]).
     pub schema_version: u32,
     /// Producer tag.
     pub generated_by: String,
-    /// Number of cells in the sweep.
+    /// [`grid_fingerprint`] of the grid + options that produced this
+    /// artifact; resume and merge refuse artifacts from a different grid.
+    pub grid_fingerprint: String,
+    /// Cell count of the **full** grid (not just the rows present here).
+    pub grid_cells: usize,
+    /// The shard this artifact covers, `None` for an unsharded or merged
+    /// run.
+    pub shard: Option<ShardSpec>,
+    /// Number of cell rows present in this artifact.
     pub total_cells: usize,
     /// How many of them failed.
     pub failed_cells: usize,
     /// Whole-sweep wall-clock in milliseconds.
     pub wall_ms: f64,
-    /// Per-cell rows, in grid-expansion order.
+    /// Per-cell rows, ascending by `index`.
     pub cells: Vec<SweepCellRow>,
 }
 
-impl SweepReport {
-    /// Parse a written artifact back and check its shape, returning the
-    /// cell count. This is the read-back half the `sweep` binary and
-    /// `tests/sweep.rs` use to prove the JSON round-trips.
-    pub fn validate_artifact(text: &str) -> Result<usize, String> {
-        use serde_json::ValueExt;
-        let doc = serde_json::from_str(text).map_err(|e| e.to_string())?;
-        let total = doc
-            .get("total_cells")
-            .and_then(|v| v.as_f64())
-            .ok_or("missing numeric 'total_cells'")? as usize;
-        let cells = doc
-            .get("cells")
-            .and_then(|v| v.as_array())
-            .ok_or("missing 'cells' array")?;
-        if cells.len() != total {
-            return Err(format!(
-                "cell count mismatch: total_cells {total} vs {} rows",
-                cells.len()
-            ));
+/// Why a prior artifact cannot be resumed from or merged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepArtifactError {
+    /// Merge was given no artifacts.
+    NoParts,
+    /// The artifact was written under a different schema.
+    SchemaVersion {
+        /// Version found in the artifact.
+        found: u32,
+    },
+    /// The artifact's grid fingerprint does not match — it is stale
+    /// (different axes, sample count or evaluation config).
+    FingerprintMismatch {
+        /// Fingerprint the current grid + options hash to.
+        expected: String,
+        /// Fingerprint carried by the artifact.
+        found: String,
+    },
+    /// The artifact disagrees about the full grid's cell count.
+    GridSize {
+        /// Cell count of the current grid.
+        expected: usize,
+        /// Cell count claimed by the artifact.
+        found: usize,
+    },
+    /// A row's id does not exist in the current grid.
+    UnknownCell {
+        /// The offending row id.
+        id: String,
+    },
+    /// A row's recorded index disagrees with the grid's expansion order.
+    IndexMismatch {
+        /// The offending row id.
+        id: String,
+        /// Index the current grid assigns this cell.
+        expected: usize,
+        /// Index recorded in the artifact.
+        found: usize,
+    },
+    /// The same cell appears more than once (overlapping shards, or a
+    /// duplicated row in one artifact).
+    OverlappingCell {
+        /// The duplicated cell id.
+        id: String,
+    },
+    /// The shard spec violates its invariants (`count == 0` or
+    /// `index >= count`).
+    InvalidShard {
+        /// What [`ShardSpec::validate`] rejected.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SweepArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoParts => write!(f, "no artifacts to merge"),
+            Self::SchemaVersion { found } => write!(
+                f,
+                "artifact schema_version {found} is not the supported {SCHEMA_VERSION}"
+            ),
+            Self::FingerprintMismatch { expected, found } => write!(
+                f,
+                "stale artifact: grid fingerprint {found} does not match {expected} \
+                 (the grid axes, sample count or evaluation config differ)"
+            ),
+            Self::GridSize { expected, found } => write!(
+                f,
+                "artifact claims a {found}-cell grid but the current grid has {expected} cells"
+            ),
+            Self::UnknownCell { id } => {
+                write!(f, "artifact row '{id}' does not exist in the current grid")
+            }
+            Self::IndexMismatch {
+                id,
+                expected,
+                found,
+            } => write!(
+                f,
+                "artifact row '{id}' is recorded at index {found} but the grid expands it at {expected}"
+            ),
+            Self::OverlappingCell { id } => write!(f, "cell '{id}' appears more than once"),
+            Self::InvalidShard { reason } => write!(f, "invalid shard spec: {reason}"),
         }
-        for row in cells {
-            row.get("id")
-                .and_then(|v| v.as_str())
-                .ok_or("cell row missing 'id'")?;
-            let ok = match row.get("ok") {
-                Some(serde_json::Value::Bool(b)) => *b,
-                _ => return Err("cell row missing boolean 'ok'".to_string()),
-            };
-            if ok {
-                for field in ["wd", "jsd", "diff_corr", "dcr"] {
-                    let v = row
-                        .get(field)
-                        .and_then(|v| v.as_f64())
-                        .ok_or_else(|| format!("passing cell missing numeric '{field}'"))?;
-                    if !v.is_finite() {
-                        return Err(format!("cell field '{field}' is not finite"));
-                    }
-                }
-            } else {
-                row.get("error")
-                    .and_then(|v| v.as_str())
-                    .ok_or("failing cell missing 'error'")?;
+    }
+}
+
+impl std::error::Error for SweepArtifactError {}
+
+impl SweepReport {
+    /// Whether this artifact carries every cell of its grid.
+    pub fn is_complete(&self) -> bool {
+        self.total_cells == self.grid_cells
+    }
+
+    /// Copy with every wall-clock field zeroed — the canonical form two
+    /// artifacts are compared in, since wall-clock is the one field an
+    /// otherwise deterministic sweep cannot reproduce. CI diffs canonical
+    /// forms to enforce shard-merge ≡ unsharded and resumed ≡ from-scratch.
+    pub fn canonical(&self) -> SweepReport {
+        let mut canonical = self.clone();
+        canonical.wall_ms = 0.0;
+        for row in &mut canonical.cells {
+            row.wall_ms = 0.0;
+        }
+        canonical
+    }
+
+    /// Recombine disjoint shard artifacts of one grid into the single
+    /// report an unsharded run would have produced (modulo wall-clock,
+    /// which sums over the parts). Rejects mismatched fingerprints /
+    /// schemas and overlapping cells; completeness is the caller's policy
+    /// (see [`SweepReport::is_complete`]).
+    pub fn merge(parts: &[SweepReport]) -> Result<SweepReport, SweepArtifactError> {
+        let first = parts.first().ok_or(SweepArtifactError::NoParts)?;
+        for part in parts {
+            if part.schema_version != SCHEMA_VERSION {
+                return Err(SweepArtifactError::SchemaVersion {
+                    found: part.schema_version,
+                });
+            }
+            if part.grid_fingerprint != first.grid_fingerprint {
+                return Err(SweepArtifactError::FingerprintMismatch {
+                    expected: first.grid_fingerprint.clone(),
+                    found: part.grid_fingerprint.clone(),
+                });
+            }
+            if part.grid_cells != first.grid_cells {
+                return Err(SweepArtifactError::GridSize {
+                    expected: first.grid_cells,
+                    found: part.grid_cells,
+                });
             }
         }
-        Ok(total)
+        let mut cells: Vec<SweepCellRow> = parts
+            .iter()
+            .flat_map(|part| part.cells.iter().cloned())
+            .collect();
+        cells.sort_by_key(|row| row.index);
+        for pair in cells.windows(2) {
+            if pair[0].index == pair[1].index {
+                return Err(SweepArtifactError::OverlappingCell {
+                    id: pair[1].id.clone(),
+                });
+            }
+        }
+        if let Some(row) = cells.iter().find(|row| row.index >= first.grid_cells) {
+            return Err(SweepArtifactError::UnknownCell { id: row.id.clone() });
+        }
+        Ok(SweepReport {
+            schema_version: SCHEMA_VERSION,
+            generated_by: first.generated_by.clone(),
+            grid_fingerprint: first.grid_fingerprint.clone(),
+            grid_cells: first.grid_cells,
+            shard: None,
+            total_cells: cells.len(),
+            failed_cells: cells.iter().filter(|row| !row.ok).count(),
+            wall_ms: parts.iter().map(|part| part.wall_ms).sum(),
+            cells,
+        })
+    }
+
+    /// Structural invariants of an artifact, checked after the typed parse:
+    /// supported schema, header counts consistent with the rows, rows
+    /// strictly ascending by index and inside the grid (and inside the
+    /// declared shard), passing rows carrying finite metrics, failing rows
+    /// carrying their error.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {} (expected {SCHEMA_VERSION})",
+                self.schema_version
+            ));
+        }
+        if self.total_cells != self.cells.len() {
+            return Err(format!(
+                "cell count mismatch: total_cells {} vs {} rows",
+                self.total_cells,
+                self.cells.len()
+            ));
+        }
+        if self.total_cells > self.grid_cells {
+            return Err(format!(
+                "artifact carries {} rows for a {}-cell grid",
+                self.total_cells, self.grid_cells
+            ));
+        }
+        let failed = self.cells.iter().filter(|row| !row.ok).count();
+        if self.failed_cells != failed {
+            return Err(format!(
+                "failed_cells {} disagrees with {} failing rows",
+                self.failed_cells, failed
+            ));
+        }
+        if self.grid_fingerprint.len() != 16
+            || !self
+                .grid_fingerprint
+                .bytes()
+                .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+        {
+            return Err(format!(
+                "grid_fingerprint '{}' is not 16 lowercase hex digits",
+                self.grid_fingerprint
+            ));
+        }
+        if let Some(shard) = &self.shard {
+            shard.validate()?;
+        }
+        let mut previous: Option<usize> = None;
+        for row in &self.cells {
+            if row.id.is_empty() {
+                return Err(format!("cell row {} has an empty id", row.index));
+            }
+            if previous.is_some_and(|p| p >= row.index) {
+                return Err(format!(
+                    "cell rows are not strictly ascending by index at '{}'",
+                    row.id
+                ));
+            }
+            previous = Some(row.index);
+            if row.index >= self.grid_cells {
+                return Err(format!(
+                    "cell '{}' index {} is outside the {}-cell grid",
+                    row.id, row.index, self.grid_cells
+                ));
+            }
+            if let Some(shard) = &self.shard {
+                if !shard.contains(row.index) {
+                    return Err(format!(
+                        "cell '{}' (index {}) does not belong to shard {shard}",
+                        row.id, row.index
+                    ));
+                }
+            }
+            if row.ok {
+                for (field, value) in [
+                    ("wd", row.wd),
+                    ("jsd", row.jsd),
+                    ("diff_corr", row.diff_corr),
+                    ("dcr", row.dcr),
+                ] {
+                    match value {
+                        Some(v) if v.is_finite() => {}
+                        Some(_) => return Err(format!("cell field '{field}' is not finite")),
+                        None => {
+                            return Err(format!("passing cell missing numeric '{field}'"));
+                        }
+                    }
+                }
+            } else if row.error.is_none() {
+                return Err(format!("failing cell '{}' missing 'error'", row.id));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse a written artifact back into the typed struct and check its
+    /// invariants, returning the cell count. This is the read-back half the
+    /// `sweep` binary and `tests/sweep.rs` use to prove the JSON
+    /// round-trips — it goes through the shim `Deserialize` derive, not
+    /// `Value` accessors.
+    pub fn validate_artifact(text: &str) -> Result<usize, String> {
+        let report: SweepReport = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        report.validate()?;
+        Ok(report.total_cells)
     }
 }
 
@@ -493,7 +852,22 @@ where
 {
     let start = Instant::now();
     let cells = grid.expand();
+    let grid_cells = cells.len();
+    let runs = execute_cells(cells, options, &fitter);
+    SweepOutcome {
+        runs,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        grid_fingerprint: grid_fingerprint(grid, options),
+        grid_cells,
+    }
+}
 
+/// Execute a batch of cells (a full grid, one shard, or a resume
+/// remainder) over the shared pool, returning the runs in input order.
+fn execute_cells<F>(cells: Vec<SweepCell>, options: &SweepOptions, fitter: &F) -> Vec<CellRun>
+where
+    F: Fn(&SweepCell, &Table) -> Result<Table, SurrogateError> + Sync,
+{
     // Prepare each distinct (seed, generator variant) dataset once, in
     // parallel. Cells hold an index into this list. The full config is part
     // of the identity: two variants that share a name but differ in config
@@ -534,21 +908,160 @@ where
     // lets each dataset be freed as soon as its last cell completes,
     // bounding peak memory to in-flight cells instead of the whole grid.
     drop(datasets);
-    let runs: Vec<CellRun> = match options.mode {
+    match options.mode {
         ExecutionMode::Parallel => work
             .into_par_iter()
-            .map(|(cell, data)| run_cell_prepared(&data, &cell, options, &fitter))
+            .map(|(cell, data)| run_cell_prepared(&data, &cell, options, fitter))
             .collect(),
         ExecutionMode::Sequential => work
             .into_iter()
-            .map(|(cell, data)| run_cell_prepared(&data, &cell, options, &fitter))
+            .map(|(cell, data)| run_cell_prepared(&data, &cell, options, fitter))
             .collect(),
-    };
-
-    SweepOutcome {
-        runs,
-        wall_ms: start.elapsed().as_secs_f64() * 1e3,
     }
+}
+
+/// What a resumable/sharded sweep produced: the artifact plus the split
+/// between freshly executed cells and rows reloaded from the prior
+/// artifact.
+#[derive(Debug)]
+pub struct SweepRunSummary {
+    /// The artifact for this run's cells (one shard's worth when sharded).
+    pub report: SweepReport,
+    /// The cells actually executed this run, in grid order.
+    pub runs: Vec<CellRun>,
+    /// How many rows were reloaded from the prior artifact instead of run.
+    pub resumed: usize,
+}
+
+/// Run a sweep with durability: an optional [`ShardSpec`] restricts
+/// execution to one deterministic round-robin slice of the axis-major cell
+/// order, and an optional prior artifact resumes — cells whose rows are
+/// already present (matched by cell id under an equal grid fingerprint) are
+/// loaded, only the remainder runs, and the combined rows are byte-identical
+/// to a from-scratch run modulo wall-clock. A stale prior (edited grid,
+/// different evaluation options) is rejected, never silently mixed in.
+pub fn run_sweep_resumable(
+    grid: &SweepGrid,
+    options: &SweepOptions,
+    shard: Option<ShardSpec>,
+    prior: Option<&SweepReport>,
+) -> Result<SweepRunSummary, SweepArtifactError> {
+    run_sweep_resumable_with(grid, options, shard, prior, |cell, train| {
+        default_fitter(cell, train, options.sample_rows)
+    })
+}
+
+/// [`run_sweep_resumable`] with an injected cell fitter (the test seam:
+/// resume tests inject a panicking fitter to prove completed cells are
+/// never re-run).
+pub fn run_sweep_resumable_with<F>(
+    grid: &SweepGrid,
+    options: &SweepOptions,
+    shard: Option<ShardSpec>,
+    prior: Option<&SweepReport>,
+    fitter: F,
+) -> Result<SweepRunSummary, SweepArtifactError>
+where
+    F: Fn(&SweepCell, &Table) -> Result<Table, SurrogateError> + Sync,
+{
+    let start = Instant::now();
+    if let Some(shard) = &shard {
+        shard
+            .validate()
+            .map_err(|reason| SweepArtifactError::InvalidShard { reason })?;
+    }
+    let fingerprint = grid_fingerprint(grid, options);
+    let all = grid.expand();
+    // Each cell's id, computed once: the prior validation, the todo filter
+    // and the stitch below all key on it.
+    let ids: Vec<String> = all.iter().map(SweepCell::id).collect();
+
+    // Validate the prior artifact against the current grid before trusting
+    // any of its rows.
+    let mut prior_rows: HashMap<&str, &SweepCellRow> = HashMap::new();
+    if let Some(prior) = prior {
+        if prior.schema_version != SCHEMA_VERSION {
+            return Err(SweepArtifactError::SchemaVersion {
+                found: prior.schema_version,
+            });
+        }
+        if prior.grid_fingerprint != fingerprint {
+            return Err(SweepArtifactError::FingerprintMismatch {
+                expected: fingerprint,
+                found: prior.grid_fingerprint.clone(),
+            });
+        }
+        if prior.grid_cells != all.len() {
+            return Err(SweepArtifactError::GridSize {
+                expected: all.len(),
+                found: prior.grid_cells,
+            });
+        }
+        let index_of: HashMap<&str, usize> = ids
+            .iter()
+            .enumerate()
+            .map(|(index, id)| (id.as_str(), index))
+            .collect();
+        for row in &prior.cells {
+            match index_of.get(row.id.as_str()) {
+                None => {
+                    return Err(SweepArtifactError::UnknownCell { id: row.id.clone() });
+                }
+                Some(&expected) if expected != row.index => {
+                    return Err(SweepArtifactError::IndexMismatch {
+                        id: row.id.clone(),
+                        expected,
+                        found: row.index,
+                    });
+                }
+                Some(_) => {
+                    if prior_rows.insert(row.id.as_str(), row).is_some() {
+                        return Err(SweepArtifactError::OverlappingCell { id: row.id.clone() });
+                    }
+                }
+            }
+        }
+    }
+
+    // This run's cells: the shard's slice of the axis-major order, minus
+    // whatever the prior artifact already covers. Only the cells that
+    // actually execute are cloned.
+    let shard_members: Vec<usize> = (0..all.len())
+        .filter(|&index| shard.is_none_or(|s| s.contains(index)))
+        .collect();
+    let todo: Vec<SweepCell> = shard_members
+        .iter()
+        .filter(|&&index| !prior_rows.contains_key(ids[index].as_str()))
+        .map(|&index| all[index].clone())
+        .collect();
+    let runs = execute_cells(todo, options, &fitter);
+
+    // Stitch prior and fresh rows back into grid order. `runs` is a
+    // subsequence of the shard's cells, so one forward pass pairs them up.
+    let mut fresh = runs.iter().map(SweepCellRow::from_run);
+    let cells: Vec<SweepCellRow> = shard_members
+        .iter()
+        .map(|&index| match prior_rows.get(ids[index].as_str()) {
+            Some(&row) => row.clone(),
+            None => fresh.next().expect("one fresh row per remaining cell"),
+        })
+        .collect();
+    let resumed = cells.len() - runs.len();
+    Ok(SweepRunSummary {
+        report: SweepReport {
+            schema_version: SCHEMA_VERSION,
+            generated_by: GENERATED_BY.to_string(),
+            grid_fingerprint: fingerprint,
+            grid_cells: all.len(),
+            shard,
+            total_cells: cells.len(),
+            failed_cells: cells.iter().filter(|row| !row.ok).count(),
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            cells,
+        },
+        runs,
+        resumed,
+    })
 }
 
 #[cfg(test)]
@@ -714,12 +1227,14 @@ mod tests {
 
     #[test]
     fn report_rows_mirror_outcomes() {
-        let cell = SweepGrid::default().expand().remove(0);
+        let mut cells = SweepGrid::default().expand();
+        let err_cell = cells.remove(1);
+        let ok_cell = cells.remove(0);
         let ok_run = CellRun {
-            cell: cell.clone(),
+            cell: ok_cell.clone(),
             outcome: Ok(CellSuccess {
                 report: SurrogateReport {
-                    model: cell.model.name().to_string(),
+                    model: ok_cell.model.name().to_string(),
                     wd: 0.1,
                     jsd: 0.2,
                     diff_corr: 0.3,
@@ -733,13 +1248,15 @@ mod tests {
             wall_ms: 5.0,
         };
         let err_run = CellRun {
-            cell,
+            cell: err_cell,
             outcome: Err(SurrogateError::InvalidTrainingData("boom".to_string())),
             wall_ms: 1.0,
         };
         let outcome = SweepOutcome {
             runs: vec![ok_run, err_run],
             wall_ms: 6.0,
+            grid_fingerprint: "0123456789abcdef".to_string(),
+            grid_cells: 2,
         };
         let report = outcome.report();
         assert_eq!(report.total_cells, 2);
@@ -755,17 +1272,292 @@ mod tests {
         assert_eq!(SweepReport::validate_artifact(&json).unwrap(), 2);
     }
 
+    /// A structurally valid hand-built report: `cells` passing rows at the
+    /// given indices of a `grid_cells`-cell grid.
+    fn toy_report(grid_cells: usize, indices: &[usize]) -> SweepReport {
+        let cells: Vec<SweepCellRow> = indices
+            .iter()
+            .map(|&index| SweepCellRow {
+                index,
+                id: format!("cell-{index}"),
+                seed: index as u64,
+                budget: "smoke".to_string(),
+                generator: "small".to_string(),
+                model: "SMOTE".to_string(),
+                ok: true,
+                error: None,
+                train_rows: Some(10),
+                synthetic_rows: Some(10),
+                wall_ms: 1.0 + index as f64,
+                wd: Some(0.1),
+                jsd: Some(0.2),
+                diff_corr: Some(0.3),
+                dcr: Some(0.4),
+                diff_mlef: None,
+            })
+            .collect();
+        SweepReport {
+            schema_version: SCHEMA_VERSION,
+            generated_by: GENERATED_BY.to_string(),
+            grid_fingerprint: "0123456789abcdef".to_string(),
+            grid_cells,
+            shard: None,
+            total_cells: cells.len(),
+            failed_cells: 0,
+            wall_ms: 5.0,
+            cells,
+        }
+    }
+
     #[test]
     fn validate_artifact_rejects_malformed_documents() {
         assert!(SweepReport::validate_artifact("not json").is_err());
+        // Typed read-back: a document missing mandatory fields (e.g. a
+        // pre-durability v1 artifact) is rejected at the parse, not
+        // spelunked around.
         assert!(SweepReport::validate_artifact("{}").is_err());
-        // Count mismatch between the header and the rows.
-        assert!(SweepReport::validate_artifact(r#"{"total_cells": 2, "cells": []}"#).is_err());
-        // A passing row missing its metrics.
-        let bad = r#"{"total_cells": 1, "cells": [{"id": "x", "ok": true}]}"#;
-        assert!(SweepReport::validate_artifact(bad).is_err());
-        // A failing row carrying its error is fine.
-        let ok = r#"{"total_cells": 1, "cells": [{"id": "x", "ok": false, "error": "e"}]}"#;
-        assert_eq!(SweepReport::validate_artifact(ok).unwrap(), 1);
+        assert!(
+            SweepReport::validate_artifact(r#"{"total_cells": 2, "cells": []}"#).is_err(),
+            "v1-shaped artifact must fail the typed parse"
+        );
+
+        let good = toy_report(4, &[0, 2]);
+        let json = serde_json::to_string_pretty(&good).unwrap();
+        assert_eq!(SweepReport::validate_artifact(&json).unwrap(), 2);
+
+        // Header counts disagreeing with the rows.
+        let mut bad = good.clone();
+        bad.total_cells = 3;
+        assert!(bad.validate().unwrap_err().contains("count mismatch"));
+        let mut bad = good.clone();
+        bad.failed_cells = 1;
+        assert!(bad.validate().unwrap_err().contains("failed_cells"));
+        // More rows than the grid has cells.
+        let mut bad = good.clone();
+        bad.grid_cells = 1;
+        assert!(bad.validate().is_err());
+        // A passing row stripped of its metrics.
+        let mut bad = good.clone();
+        bad.cells[0].wd = None;
+        assert!(bad.validate().unwrap_err().contains("wd"));
+        // A passing row with a non-finite metric (serialized as null, so
+        // the typed parse itself rejects it too).
+        let mut bad = good.clone();
+        bad.cells[0].jsd = Some(f64::NAN);
+        assert!(bad.validate().unwrap_err().contains("not finite"));
+        assert!(SweepReport::validate_artifact(&serde_json::to_string(&bad).unwrap()).is_err());
+        // A failing row without its error.
+        let mut bad = good.clone();
+        bad.cells[0].ok = false;
+        bad.failed_cells = 1;
+        assert!(bad.validate().unwrap_err().contains("error"));
+        // Rows out of order / duplicated.
+        let mut bad = good.clone();
+        bad.cells.swap(0, 1);
+        assert!(bad.validate().unwrap_err().contains("ascending"));
+        // A fingerprint that is not 16 lowercase hex digits.
+        let mut bad = good.clone();
+        bad.grid_fingerprint = "XYZ".to_string();
+        assert!(bad.validate().unwrap_err().contains("fingerprint"));
+        // A shard the rows do not belong to.
+        let mut bad = good.clone();
+        bad.shard = Some(ShardSpec { index: 1, count: 2 });
+        assert!(bad.validate().unwrap_err().contains("shard"));
+        // An unsupported schema version.
+        let mut bad = good;
+        bad.schema_version = 1;
+        assert!(bad.validate().unwrap_err().contains("schema_version"));
+    }
+
+    #[test]
+    fn report_round_trips_through_the_typed_parser() {
+        let mut report = toy_report(4, &[0, 1, 3]);
+        report.cells[1].ok = false;
+        report.cells[1].error = Some("diverged".to_string());
+        report.cells[1].wd = None;
+        report.cells[1].jsd = None;
+        report.cells[1].diff_corr = None;
+        report.cells[1].dcr = None;
+        report.cells[1].train_rows = None;
+        report.cells[1].synthetic_rows = None;
+        report.failed_cells = 1;
+        report.shard = Some(ShardSpec { index: 0, count: 1 });
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let parsed: SweepReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, report, "typed round-trip must be lossless");
+    }
+
+    #[test]
+    fn shard_spec_parses_well_formed_specs_and_rejects_the_rest() {
+        assert_eq!(
+            ShardSpec::parse("0/2").unwrap(),
+            ShardSpec { index: 0, count: 2 }
+        );
+        assert_eq!(
+            ShardSpec::parse(" 3 / 5 ").unwrap(),
+            ShardSpec { index: 3, count: 5 }
+        );
+        for bad in ["", "1", "a/2", "1/b", "2/2", "3/2", "1/0", "-1/2", "1/2/3"] {
+            assert!(ShardSpec::parse(bad).is_err(), "'{bad}' must be rejected");
+        }
+    }
+
+    #[test]
+    fn resumable_rejects_invalid_shard_specs_instead_of_panicking() {
+        // A spec that never went through ShardSpec::parse (built
+        // programmatically or deserialized) must surface as an error, not
+        // a modulo-by-zero panic in the shard filter.
+        let grid = SweepGrid::default();
+        let options = SweepOptions::default();
+        for spec in [
+            ShardSpec { index: 0, count: 0 },
+            ShardSpec { index: 2, count: 2 },
+        ] {
+            let err = run_sweep_resumable_with(&grid, &options, Some(spec), None, |_, train| {
+                Ok(train.clone())
+            })
+            .unwrap_err();
+            assert!(
+                matches!(err, SweepArtifactError::InvalidShard { .. }),
+                "{spec:?} gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_grid_exactly() {
+        // Property: for any shard count 1..=5, the shards are pairwise
+        // disjoint and their union is the full axis-major cell order.
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..20 {
+            let grid = random_grid(&mut rng);
+            let all = grid.expand();
+            for count in 1..=5usize {
+                let mut seen = vec![false; all.len()];
+                for index in 0..count {
+                    let shard = ShardSpec { index, count };
+                    for cell in all.iter().filter(|c| shard.contains(c.index)) {
+                        assert!(!seen[cell.index], "cell {} in two shards", cell.id());
+                        seen[cell.index] = true;
+                    }
+                }
+                assert!(
+                    seen.iter().all(|&s| s),
+                    "a cell of {grid:?} is in no shard of {count}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive_to_every_axis() {
+        let grid = SweepGrid::default();
+        let options = SweepOptions::default();
+        let base = grid_fingerprint(&grid, &options);
+        assert_eq!(base, grid_fingerprint(&grid, &options));
+        assert_eq!(base.len(), 16);
+
+        let mut other = grid.clone();
+        other.seeds.push(9);
+        assert_ne!(base, grid_fingerprint(&other, &options));
+        let mut other = grid.clone();
+        other.budgets = vec![TrainingBudget::Smoke];
+        assert_ne!(base, grid_fingerprint(&other, &options));
+        let mut other = grid.clone();
+        other.generators[0].config.gross_records += 1;
+        assert_ne!(base, grid_fingerprint(&other, &options));
+        let mut other = grid.clone();
+        other.models.pop();
+        assert_ne!(base, grid_fingerprint(&other, &options));
+        let sampled = SweepOptions {
+            sample_rows: Some(128),
+            ..SweepOptions::default()
+        };
+        assert_ne!(base, grid_fingerprint(&grid, &sampled));
+        let no_mlef = SweepOptions {
+            evaluation: metrics::EvaluationConfig {
+                mlef: None,
+                ..metrics::EvaluationConfig::fast()
+            },
+            ..SweepOptions::default()
+        };
+        assert_ne!(base, grid_fingerprint(&grid, &no_mlef));
+    }
+
+    #[test]
+    fn merge_recombines_disjoint_shards_and_rejects_overlap() {
+        let even = SweepReport {
+            shard: Some(ShardSpec { index: 0, count: 2 }),
+            ..toy_report(4, &[0, 2])
+        };
+        let odd = SweepReport {
+            shard: Some(ShardSpec { index: 1, count: 2 }),
+            ..toy_report(4, &[1, 3])
+        };
+        let merged = SweepReport::merge(&[odd.clone(), even.clone()]).unwrap();
+        assert!(merged.is_complete());
+        assert_eq!(merged.shard, None);
+        assert_eq!(
+            merged.cells.iter().map(|r| r.index).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3],
+            "rows sort back into axis-major order regardless of part order"
+        );
+        assert_eq!(merged.canonical(), toy_report(4, &[0, 1, 2, 3]).canonical());
+        merged.validate().unwrap();
+
+        // Overlapping parts are rejected, naming the duplicated cell.
+        let err = SweepReport::merge(&[even.clone(), even.clone()]).unwrap_err();
+        assert!(matches!(err, SweepArtifactError::OverlappingCell { .. }));
+        // Mismatched fingerprints are rejected.
+        let mut stale = odd.clone();
+        stale.grid_fingerprint = "ffffffffffffffff".to_string();
+        assert!(matches!(
+            SweepReport::merge(&[even.clone(), stale]).unwrap_err(),
+            SweepArtifactError::FingerprintMismatch { .. }
+        ));
+        // Mismatched grid sizes and schema versions are rejected.
+        let mut wrong = odd.clone();
+        wrong.grid_cells = 8;
+        assert!(matches!(
+            SweepReport::merge(&[even.clone(), wrong]).unwrap_err(),
+            SweepArtifactError::GridSize { .. }
+        ));
+        let mut old = odd.clone();
+        old.schema_version = 1;
+        assert!(matches!(
+            SweepReport::merge(&[even.clone(), old]).unwrap_err(),
+            SweepArtifactError::SchemaVersion { .. }
+        ));
+        // A row outside the declared grid is rejected.
+        let mut outside = odd;
+        outside.cells[1].index = 9;
+        assert!(matches!(
+            SweepReport::merge(&[even, outside]).unwrap_err(),
+            SweepArtifactError::UnknownCell { .. }
+        ));
+        assert_eq!(
+            SweepReport::merge(&[]).unwrap_err(),
+            SweepArtifactError::NoParts
+        );
+        // An incomplete but valid merge is allowed; completeness is policy.
+        let partial = SweepReport::merge(&[toy_report(4, &[1])]).unwrap();
+        assert!(!partial.is_complete());
+    }
+
+    #[test]
+    fn canonical_zeroes_every_wall_clock_field() {
+        let report = toy_report(2, &[0, 1]);
+        let canonical = report.canonical();
+        assert_eq!(canonical.wall_ms, 0.0);
+        assert!(canonical.cells.iter().all(|row| row.wall_ms == 0.0));
+        // Everything else is untouched.
+        assert_eq!(canonical.grid_fingerprint, report.grid_fingerprint);
+        assert_eq!(canonical.total_cells, report.total_cells);
+        // Two runs differing only in timing agree canonically.
+        let mut slower = report.clone();
+        slower.wall_ms += 100.0;
+        slower.cells[0].wall_ms += 3.0;
+        assert_ne!(slower, report);
+        assert_eq!(slower.canonical(), report.canonical());
     }
 }

@@ -3,14 +3,12 @@
 //! The build environment has no crates.io access, so this shim replaces
 //! serde's zero-copy serializer architecture with the simplest model that
 //! serves the workspace: [`Serialize`] lowers any value into a JSON-like
-//! [`Value`] tree, and the `serde_json` shim renders that tree. The derive
-//! macros are re-exported from the local `serde_derive` shim, so existing
-//! `#[derive(Serialize, Deserialize)]` and `#[serde(skip)]` annotations work
-//! unchanged.
-//!
-//! [`Deserialize`] is a marker only: nothing in the workspace reads
-//! serialized artifacts back yet. When that need arrives, extend the trait
-//! with a `from_value` method and teach the derive shim to emit it.
+//! [`Value`] tree, the `serde_json` shim renders that tree, and
+//! [`Deserialize`] walks a parsed tree back into a typed value
+//! ([`Deserialize::from_value`]). The derive macros are re-exported from the
+//! local `serde_derive` shim, so existing `#[derive(Serialize, Deserialize)]`
+//! and `#[serde(skip)]` annotations work unchanged; skipped fields are
+//! rebuilt with `Default::default()` on read-back, matching upstream serde.
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -33,15 +31,78 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Human-readable kind name, used in [`DeError`] messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Number(_) => "a number",
+            Value::String(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        }
+    }
+}
+
 /// Types that can lower themselves into a [`Value`] tree.
 pub trait Serialize {
     /// Build the document tree for this value.
     fn to_value(&self) -> Value;
 }
 
-/// Marker for types whose serialized form could be read back. See the
-/// module docs for why this carries no methods yet.
-pub trait Deserialize {}
+/// Error produced when a [`Value`] tree does not match the shape of the
+/// requested type. Carries a human-readable message with the field path
+/// prepended as the error bubbles out of nested structures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Free-form error message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self(message.into())
+    }
+
+    /// The document has no member for a mandatory field.
+    pub fn missing_field(field: &str) -> Self {
+        Self(format!("missing field '{field}'"))
+    }
+
+    /// The value's kind does not match what the type expects.
+    pub fn type_mismatch(expected: &str, found: &Value) -> Self {
+        Self(format!("expected {expected}, found {}", found.kind()))
+    }
+
+    /// Prefix the error with the field it occurred in.
+    #[must_use]
+    pub fn in_field(self, field: &str) -> Self {
+        Self(format!("{field}: {}", self.0))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can be rebuilt from a [`Value`] tree — the read-back half of
+/// [`Serialize`]. The derive macro emits `from_value` for the same shapes it
+/// can serialize, so `#[derive(Serialize, Deserialize)]` round-trips.
+pub trait Deserialize: Sized {
+    /// Rebuild a value of this type from the document tree.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+
+    /// How to materialise this type when its object member is absent
+    /// entirely: an error for most types, overridden to `None` by
+    /// `Option<T>` (the writer encodes `None` as `null`, so an absent
+    /// member and an explicit `null` both read back as `None`).
+    fn from_missing_field(field: &str) -> Result<Self, DeError> {
+        Err(DeError::missing_field(field))
+    }
+}
 
 macro_rules! serialize_number {
     ($($t:ty),*) => {$(
@@ -54,6 +115,165 @@ macro_rules! serialize_number {
 }
 
 serialize_number!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64);
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let Value::Number(n) = value else {
+                    return Err(DeError::type_mismatch(
+                        concat!("an integer (", stringify!($t), ")"),
+                        value,
+                    ));
+                };
+                // The writer widens every integer to f64, so read-back
+                // accepts exactly the integral f64 range of the target
+                // type. The upper bound is exclusive at `MAX + 1`: for
+                // wide types (u64, i64, …) `MAX as f64` rounds UP to the
+                // next power of two, so a `> MAX as f64` check would let
+                // e.g. 2^64 slip through and saturate. `MAX as f64 + 1.0`
+                // lands on that power of two exactly (MIN is a power of
+                // two or zero, hence exact as-is).
+                if n.fract() != 0.0 || *n < <$t>::MIN as f64 || *n >= <$t>::MAX as f64 + 1.0 {
+                    return Err(DeError::custom(format!(
+                        concat!("number {} is not a valid ", stringify!($t)),
+                        n
+                    )));
+                }
+                Ok(*n as $t)
+            }
+        }
+    )*};
+}
+
+deserialize_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! deserialize_float {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Number(n) => Ok(*n as $t),
+                    other => Err(DeError::type_mismatch("a number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_float!(f32, f64);
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::type_mismatch("a boolean", other)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let Value::String(s) = value else {
+            return Err(DeError::type_mismatch("a one-character string", value));
+        };
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom(format!(
+                "expected a one-character string, found {s:?}"
+            ))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::type_mismatch("a string", other)),
+        }
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(DeError::type_mismatch("null", other)),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing_field(_field: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let Value::Array(items) = value else {
+            return Err(DeError::type_mismatch("an array", value));
+        };
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(value)?;
+        let found = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected {N} array elements, found {found}")))
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($($name:ident : $idx:tt),+; $arity:expr))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let Value::Array(items) = value else {
+                    return Err(DeError::type_mismatch("a tuple array", value));
+                };
+                if items.len() != $arity {
+                    return Err(DeError::custom(format!(
+                        "expected {} tuple elements, found {}",
+                        $arity,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+deserialize_tuple! {
+    (A: 0, B: 1; 2)
+    (A: 0, B: 1, C: 2; 3)
+    (A: 0, B: 1, C: 2, D: 3; 4)
+}
 
 impl Serialize for bool {
     fn to_value(&self) -> Value {
@@ -171,6 +391,58 @@ macro_rules! int_map_key {
 
 int_map_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+/// Keys recoverable from their stringified object-key form — the read-back
+/// half of [`MapKey`]. (`&str` keys can serialize but not deserialize, since
+/// read-back must produce owned values.)
+pub trait ParseMapKey: Sized {
+    /// Parse the key back from its object-key string, `None` on mismatch.
+    fn parse_key(key: &str) -> Option<Self>;
+}
+
+impl ParseMapKey for String {
+    fn parse_key(key: &str) -> Option<Self> {
+        Some(key.to_string())
+    }
+}
+
+macro_rules! int_parse_map_key {
+    ($($t:ty),*) => {$(
+        impl ParseMapKey for $t {
+            fn parse_key(key: &str) -> Option<Self> {
+                key.parse().ok()
+            }
+        }
+    )*};
+}
+
+int_parse_map_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn map_entries<K: ParseMapKey, V: Deserialize>(value: &Value) -> Result<Vec<(K, V)>, DeError> {
+    let Value::Object(entries) = value else {
+        return Err(DeError::type_mismatch("an object", value));
+    };
+    entries
+        .iter()
+        .map(|(k, v)| {
+            let key = K::parse_key(k)
+                .ok_or_else(|| DeError::custom(format!("unparseable map key '{k}'")))?;
+            Ok((key, V::from_value(v).map_err(|e| e.in_field(k))?))
+        })
+        .collect()
+}
+
+impl<K: ParseMapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        map_entries(value).map(|entries| entries.into_iter().collect())
+    }
+}
+
+impl<K: ParseMapKey + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        map_entries(value).map(|entries| entries.into_iter().collect())
+    }
+}
+
 impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_value(&self) -> Value {
         Value::Object(
@@ -203,6 +475,84 @@ mod tests {
         assert_eq!(true.to_value(), Value::Bool(true));
         assert_eq!("hi".to_value(), Value::String("hi".to_string()));
         assert_eq!(Option::<u8>::None.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn primitives_read_back_from_values() {
+        assert_eq!(u32::from_value(&Value::Number(3.0)), Ok(3u32));
+        assert_eq!(f64::from_value(&Value::Number(2.5)), Ok(2.5));
+        assert_eq!(bool::from_value(&Value::Bool(true)), Ok(true));
+        assert_eq!(
+            String::from_value(&Value::String("hi".into())),
+            Ok("hi".to_string())
+        );
+        assert_eq!(Option::<u8>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u8>::from_value(&Value::Number(7.0)), Ok(Some(7u8)));
+        assert_eq!(Option::<u8>::from_missing_field("x"), Ok(None));
+        let items = Value::Array(vec![Value::Number(1.0), Value::Number(2.0)]);
+        assert_eq!(Vec::<u64>::from_value(&items), Ok(vec![1, 2]));
+        assert_eq!(<[f64; 2]>::from_value(&items), Ok([1.0, 2.0]));
+        assert_eq!(<(u8, f64)>::from_value(&items), Ok((1u8, 2.0)));
+    }
+
+    #[test]
+    fn integer_read_back_rejects_fractional_and_out_of_range_numbers() {
+        assert!(u8::from_value(&Value::Number(1.5)).is_err());
+        assert!(u8::from_value(&Value::Number(256.0)).is_err());
+        assert!(u64::from_value(&Value::Number(-1.0)).is_err());
+        assert!(i8::from_value(&Value::Number(-129.0)).is_err());
+        assert!(u32::from_value(&Value::String("3".into())).is_err());
+        assert!(u32::from_missing_field("cells").is_err());
+    }
+
+    #[test]
+    fn integer_read_back_handles_the_inexact_max_boundary() {
+        // `u64::MAX as f64` rounds UP to 2^64, so the range check must be
+        // exclusive there: 2^64 is out of range (a `> MAX` check would let
+        // it saturate to u64::MAX), while the largest f64 integer below
+        // 2^64 is in range.
+        let two_pow_64 = 18_446_744_073_709_551_616.0_f64;
+        assert!(u64::from_value(&Value::Number(two_pow_64)).is_err());
+        let below = 18_446_744_073_709_549_568u64; // 2^64 - 2048
+        assert_eq!(u64::from_value(&Value::Number(below as f64)), Ok(below));
+        // Same story for i64 at 2^63, in both directions (MIN is exact).
+        let two_pow_63 = 9_223_372_036_854_775_808.0_f64;
+        assert!(i64::from_value(&Value::Number(two_pow_63)).is_err());
+        assert_eq!(
+            i64::from_value(&Value::Number(-two_pow_63)),
+            Ok(i64::MIN),
+            "i64::MIN is exactly representable and must be accepted"
+        );
+        // Exact-MAX types keep their inclusive upper bound.
+        assert_eq!(u8::from_value(&Value::Number(255.0)), Ok(255u8));
+    }
+
+    #[test]
+    fn map_read_back_parses_stringified_keys() {
+        let doc = Value::Object(vec![
+            ("2".to_string(), Value::Number(4.0)),
+            ("7".to_string(), Value::Number(49.0)),
+        ]);
+        let map: HashMap<usize, f64> = HashMap::from_value(&doc).unwrap();
+        assert_eq!(map[&2], 4.0);
+        assert_eq!(map[&7], 49.0);
+        assert!(HashMap::<usize, f64>::from_value(&Value::Object(vec![(
+            "x".to_string(),
+            Value::Number(1.0)
+        )]))
+        .is_err());
+    }
+
+    #[test]
+    fn deserialize_errors_carry_field_context() {
+        let err = f64::from_value(&Value::Null)
+            .map_err(|e| e.in_field("Report.wd"))
+            .unwrap_err();
+        assert_eq!(err.to_string(), "Report.wd: expected a number, found null");
+        assert_eq!(
+            DeError::missing_field("cells").to_string(),
+            "missing field 'cells'"
+        );
     }
 
     #[test]

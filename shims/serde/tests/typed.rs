@@ -1,0 +1,133 @@
+//! Derive-level round-trip tests for the shim's `Deserialize` emission:
+//! every shape the `serde_derive` shim serializes must walk back through
+//! `from_value` losslessly (modulo `#[serde(skip)]`, which defaults), with
+//! shape mismatches rejected at the right field. These run against the
+//! `Value` tree directly — the JSON text layer is covered in `serde_json`.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize, Value};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Unit;
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Pair(u32, String);
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Shape {
+    Point,
+    Circle(f64),
+    Rect { w: f64, h: f64 },
+    Pair(i8, i8),
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Nested {
+    name: String,
+    shapes: Vec<Shape>,
+    pair: Pair,
+    boxed: Box<u64>,
+    maybe: Option<f64>,
+    table: HashMap<usize, Vec<f64>>,
+    #[serde(skip)]
+    cache: Option<String>,
+}
+
+fn nested() -> Nested {
+    let mut table = HashMap::new();
+    table.insert(3usize, vec![1.0, 2.5]);
+    table.insert(11usize, vec![]);
+    Nested {
+        name: "grid".to_string(),
+        shapes: vec![
+            Shape::Point,
+            Shape::Circle(1.25),
+            Shape::Rect { w: 2.0, h: 3.0 },
+            Shape::Pair(-4, 7),
+        ],
+        pair: Pair(9, "nine".to_string()),
+        boxed: Box::new(42),
+        maybe: None,
+        table,
+        cache: Some("never serialized".to_string()),
+    }
+}
+
+#[test]
+fn derived_shapes_round_trip_through_from_value() {
+    let original = nested();
+    let parsed = Nested::from_value(&original.to_value()).expect("round-trip");
+    assert_eq!(parsed.name, original.name);
+    assert_eq!(parsed.shapes, original.shapes);
+    assert_eq!(parsed.pair, original.pair);
+    assert_eq!(parsed.boxed, original.boxed);
+    assert_eq!(parsed.maybe, original.maybe);
+    assert_eq!(parsed.table, original.table);
+    // Skipped fields are rebuilt with Default, never read from the tree.
+    assert_eq!(parsed.cache, None);
+
+    let unit = Unit::from_value(&Unit.to_value()).expect("unit struct");
+    assert_eq!(unit, Unit);
+    let pair = Pair::from_value(&Pair(1, "x".into()).to_value()).expect("tuple struct");
+    assert_eq!(pair, Pair(1, "x".into()));
+}
+
+#[test]
+fn enum_variants_round_trip_in_every_form() {
+    for shape in [
+        Shape::Point,
+        Shape::Circle(0.5),
+        Shape::Rect { w: 1.0, h: -2.0 },
+        Shape::Pair(1, 2),
+    ] {
+        assert_eq!(Shape::from_value(&shape.to_value()).unwrap(), shape);
+    }
+    // Unit variants serialize as bare strings, data variants as single-key
+    // objects — cross-reading fails cleanly.
+    assert!(Shape::from_value(&Value::String("Nope".into())).is_err());
+    assert!(
+        Shape::from_value(&Value::Object(vec![("Nope".into(), Value::Null)])).is_err(),
+        "unknown data variant"
+    );
+    assert!(Shape::from_value(&Value::Number(3.0)).is_err());
+}
+
+#[test]
+fn mismatched_shapes_are_rejected_with_field_context() {
+    // Wrong root kind for a named struct.
+    let err = Nested::from_value(&Value::Array(vec![])).unwrap_err();
+    assert!(err.to_string().contains("struct Nested"), "{err}");
+    // Missing mandatory field named in the error.
+    let err = Nested::from_value(&Value::Object(vec![])).unwrap_err();
+    assert!(err.to_string().contains("Nested."), "{err}");
+    // A wrong-typed nested field carries its path.
+    let mut tree = nested().to_value();
+    let Value::Object(entries) = &mut tree else {
+        panic!("expected object");
+    };
+    for (key, value) in entries.iter_mut() {
+        if key == "pair" {
+            *value = Value::Bool(true);
+        }
+    }
+    let err = Nested::from_value(&tree).unwrap_err();
+    assert!(err.to_string().contains("Nested.pair"), "{err}");
+    // Tuple arity is enforced.
+    let err = Pair::from_value(&Value::Array(vec![Value::Number(1.0)])).unwrap_err();
+    assert!(err.to_string().contains("expected 2 elements"), "{err}");
+    // Absent Option members read back as None (the writer encodes None as
+    // null, so absence and null are equivalent).
+    let thin = Value::Object(vec![
+        ("name".into(), Value::String("n".into())),
+        ("shapes".into(), Value::Array(vec![])),
+        (
+            "pair".into(),
+            Value::Array(vec![Value::Number(0.0), Value::String(String::new())]),
+        ),
+        ("boxed".into(), Value::Number(1.0)),
+        ("table".into(), Value::Object(vec![])),
+    ]);
+    let parsed = Nested::from_value(&thin).expect("absent Option tolerated");
+    assert_eq!(parsed.maybe, None);
+}

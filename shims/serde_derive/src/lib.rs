@@ -10,8 +10,10 @@
 //!
 //! without generic parameters. `Serialize` lowers a value into the shim's
 //! `serde::Value` tree (JSON semantics: unit variants become strings,
-//! data-carrying variants become single-key objects). `Deserialize` only
-//! marks the type — nothing in the workspace reads serialized data back yet.
+//! data-carrying variants become single-key objects). `Deserialize` emits
+//! the inverse `from_value` walk over the same shapes, so a derived pair
+//! round-trips; `#[serde(skip)]` fields are rebuilt with
+//! `Default::default()`, matching upstream serde's skip semantics.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -58,13 +60,164 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .expect("generated Serialize impl parses")
 }
 
-/// Derive the marker trait `serde::Deserialize`.
+/// Derive `serde::Deserialize` by generating a `from_value` implementation —
+/// the inverse of the `Serialize` emission above.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    format!("impl serde::Deserialize for {} {{}}", item.name)
-        .parse()
-        .expect("generated Deserialize impl parses")
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => format!(
+            "let serde::Value::Object(entries) = value else {{\n\
+             return Err(serde::DeError::type_mismatch({:?}, value));\n\
+             }};\n\
+             Ok({name} {{\n{}}})",
+            format!("struct {name}"),
+            named_field_initializers(name, fields, "entries"),
+        ),
+        Shape::TupleStruct(arity) => format!(
+            "let items = tuple_items({:?}, {arity}, value)?;\n\
+             Ok({name}({}))",
+            format!("tuple struct {name}"),
+            tuple_field_reads(name, *arity),
+        ),
+        Shape::UnitStruct => format!(
+            "match value {{\n\
+             serde::Value::Null => Ok({name}),\n\
+             other => Err(serde::DeError::type_mismatch({:?}, other)),\n\
+             }}",
+            format!("unit struct {name}"),
+        ),
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("{:?} => Ok({name}::{}),\n", v.name, v.name))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, VariantShape::Unit))
+                .map(|v| variant_from_value_arm(name, v))
+                .collect();
+            format!(
+                "match value {{\n\
+                 serde::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(serde::DeError::custom(format!(\n\
+                 \"unknown {name} unit variant '{{other}}'\"\n\
+                 ))),\n\
+                 }},\n\
+                 serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (key, payload) = &entries[0];\n\
+                 let _ = payload;\n\
+                 match key.as_str() {{\n\
+                 {data_arms}\
+                 other => Err(serde::DeError::custom(format!(\n\
+                 \"unknown {name} variant '{{other}}'\"\n\
+                 ))),\n\
+                 }}\n\
+                 }},\n\
+                 other => Err(serde::DeError::type_mismatch({:?}, other)),\n\
+                 }}",
+                format!("enum {name}"),
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+         #[allow(dead_code)]\n\
+         fn tuple_items<'v>(\n\
+         what: &'static str,\n\
+         arity: usize,\n\
+         value: &'v serde::Value,\n\
+         ) -> Result<&'v [serde::Value], serde::DeError> {{\n\
+         let serde::Value::Array(items) = value else {{\n\
+         return Err(serde::DeError::type_mismatch(what, value));\n\
+         }};\n\
+         if items.len() != arity {{\n\
+         return Err(serde::DeError::custom(format!(\n\
+         \"{{what}}: expected {{arity}} elements, found {{}}\",\n\
+         items.len()\n\
+         )));\n\
+         }}\n\
+         Ok(items)\n\
+         }}\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+/// `field: <read from entries>,` initializer lines for a named-field shape
+/// (struct or struct variant). Skipped fields are defaulted; missing members
+/// fall back to `from_missing_field` so `Option` fields tolerate absence.
+fn named_field_initializers(context: &str, fields: &[Field], entries_expr: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: Default::default(),\n", f.name)
+            } else {
+                let path = format!("{context}.{}", f.name);
+                format!(
+                    "{}: match {entries_expr}.iter().find(|(k, _)| k == {:?}) {{\n\
+                     Some((_, v)) => {{\n\
+                     serde::Deserialize::from_value(v).map_err(|e| e.in_field({path:?}))?\n\
+                     }}\n\
+                     None => serde::Deserialize::from_missing_field({path:?})?,\n\
+                     }},\n",
+                    f.name, f.name,
+                )
+            }
+        })
+        .collect()
+}
+
+/// Comma-joined `from_value(&items[i])?` reads for a tuple shape.
+fn tuple_field_reads(context: &str, arity: usize) -> String {
+    (0..arity)
+        .map(|i| {
+            format!(
+                "serde::Deserialize::from_value(&items[{i}]).map_err(|e| e.in_field({:?}))?",
+                format!("{context}.{i}"),
+            )
+        })
+        .collect::<Vec<String>>()
+        .join(", ")
+}
+
+/// One `"Variant" => …` arm of the data-carrying-variant match in the
+/// derived `from_value` (the payload of the single-key object form).
+fn variant_from_value_arm(enum_name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    let context = format!("{enum_name}::{v}");
+    match &variant.shape {
+        VariantShape::Unit => unreachable!("unit variants take the string form"),
+        VariantShape::Tuple(1) => format!(
+            "{v:?} => Ok({enum_name}::{v}(\n\
+             serde::Deserialize::from_value(payload).map_err(|e| e.in_field({context:?}))?,\n\
+             )),\n",
+        ),
+        VariantShape::Tuple(arity) => format!(
+            "{v:?} => {{\n\
+             let items = tuple_items({context:?}, {arity}, payload)?;\n\
+             Ok({enum_name}::{v}({}))\n\
+             }},\n",
+            tuple_field_reads(&context, *arity),
+        ),
+        VariantShape::Struct(fields) => format!(
+            "{v:?} => {{\n\
+             let serde::Value::Object(inner) = payload else {{\n\
+             return Err(serde::DeError::type_mismatch({context:?}, payload));\n\
+             }};\n\
+             Ok({enum_name}::{v} {{\n{}}})\n\
+             }},\n",
+            named_field_initializers(&context, fields, "inner"),
+        ),
+    }
 }
 
 fn variant_arm(enum_name: &str, variant: &Variant) -> String {

@@ -1,16 +1,19 @@
 //! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json):
 //! renders the local serde shim's [`Value`] tree as JSON text, and parses
-//! JSON text back into a [`Value`] tree via [`from_str`] so artifacts such
-//! as `BENCH_nn.json` can be validated and read back after being written.
+//! JSON text back — untyped into a [`Value`] tree (`from_str::<Value>`) or
+//! straight into any `Deserialize` type ([`from_str`]/[`from_value`]) — so
+//! artifacts such as `BENCH_nn.json` and `SWEEP.json` round-trip into real
+//! structs instead of `Value` accessor chains.
 
 pub use serde::Value;
 
-/// Parse JSON text into a [`Value`] tree.
+/// Parse JSON text into any [`serde::Deserialize`] type (use
+/// `from_str::<Value>` for an untyped tree).
 ///
 /// Supports the full JSON grammar the writer half emits: objects, arrays,
 /// strings with escapes (including `\uXXXX`), numbers, booleans and `null`.
 /// Numbers are widened to `f64`, matching the serde shim's data model.
-pub fn from_str(text: &str) -> Result<Value, Error> {
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
     let mut parser = Parser {
         bytes: text.as_bytes(),
         pos: 0,
@@ -21,7 +24,12 @@ pub fn from_str(text: &str) -> Result<Value, Error> {
     if parser.pos != parser.bytes.len() {
         return Err(Error(format!("trailing characters at byte {}", parser.pos)));
     }
-    Ok(value)
+    from_value(&value)
+}
+
+/// Rebuild a typed value from an already parsed [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value).map_err(|e| Error(e.to_string()))
 }
 
 /// Convenience accessors used when inspecting parsed artifacts.
@@ -426,15 +434,16 @@ mod tests {
         ]);
         let mut compact = String::new();
         write_value(&value, None, 0, &mut compact);
-        assert_eq!(from_str(&compact).unwrap(), value);
+        assert_eq!(from_str::<Value>(&compact).unwrap(), value);
         let mut pretty = String::new();
         write_value(&value, Some(2), 0, &mut pretty);
-        assert_eq!(from_str(&pretty).unwrap(), value);
+        assert_eq!(from_str::<Value>(&pretty).unwrap(), value);
     }
 
     #[test]
     fn parse_handles_escapes_and_nesting() {
-        let parsed = from_str(r#"{"a": [{"b": "x\nyA"}, [1, 2.5, -3]], "c": {}}"#).unwrap();
+        let parsed =
+            from_str::<Value>(r#"{"a": [{"b": "x\nyA"}, [1, 2.5, -3]], "c": {}}"#).unwrap();
         let a = parsed.get("a").unwrap().as_array().unwrap();
         assert_eq!(a[0].get("b").unwrap().as_str().unwrap(), "x\nyA");
         let inner = a[1].as_array().unwrap();
@@ -444,52 +453,61 @@ mod tests {
 
     #[test]
     fn parse_rejects_malformed_input() {
-        assert!(from_str("").is_err());
-        assert!(from_str("{").is_err());
-        assert!(from_str("[1,]").is_err());
-        assert!(from_str(r#"{"a" 1}"#).is_err());
-        assert!(from_str("1 2").is_err());
-        assert!(from_str("\"unterminated").is_err());
+        assert!(from_str::<Value>("").is_err());
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>(r#"{"a" 1}"#).is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
     }
 
     #[test]
     fn parse_handles_exponent_floats() {
-        assert_eq!(from_str("1e3").unwrap(), Value::Number(1000.0));
-        assert_eq!(from_str("-2.5E-4").unwrap(), Value::Number(-2.5e-4));
-        assert_eq!(from_str("1.25e+2").unwrap(), Value::Number(125.0));
+        assert_eq!(from_str::<Value>("1e3").unwrap(), Value::Number(1000.0));
         assert_eq!(
-            from_str("[1e0, 2e-1]").unwrap().as_array().unwrap()[1],
+            from_str::<Value>("-2.5E-4").unwrap(),
+            Value::Number(-2.5e-4)
+        );
+        assert_eq!(from_str::<Value>("1.25e+2").unwrap(), Value::Number(125.0));
+        assert_eq!(
+            from_str::<Value>("[1e0, 2e-1]")
+                .unwrap()
+                .as_array()
+                .unwrap()[1],
             Value::Number(0.2)
         );
         // A bare exponent marker or sign is not a number.
-        assert!(from_str("1e").is_err());
-        assert!(from_str("-").is_err());
-        assert!(from_str("2.5e+").is_err());
+        assert!(from_str::<Value>("1e").is_err());
+        assert!(from_str::<Value>("-").is_err());
+        assert!(from_str::<Value>("2.5e+").is_err());
     }
 
     #[test]
     fn parse_handles_string_escape_edge_cases() {
-        assert_eq!(from_str(r#""""#).unwrap(), Value::String(String::new()));
         assert_eq!(
-            from_str(r#""aéb\t\"c\"\\""#).unwrap(),
+            from_str::<Value>(r#""""#).unwrap(),
+            Value::String(String::new())
+        );
+        assert_eq!(
+            from_str::<Value>(r#""aéb\t\"c\"\\""#).unwrap(),
             Value::String("aéb\t\"c\"\\".to_string())
         );
         // Lone surrogates (never emitted by the writer) map to U+FFFD
         // instead of producing invalid UTF-8.
         assert_eq!(
-            from_str(r#""\ud83d""#).unwrap(),
+            from_str::<Value>(r#""\ud83d""#).unwrap(),
             Value::String("\u{fffd}".to_string())
         );
         // Unknown escapes, truncated \u escapes and bad hex are rejected.
-        assert!(from_str(r#""\q""#).is_err());
-        assert!(from_str(r#""\u00""#).is_err());
-        assert!(from_str(r#""\u00g1""#).is_err());
-        assert!(from_str("\"dangling escape\\").is_err());
+        assert!(from_str::<Value>(r#""\q""#).is_err());
+        assert!(from_str::<Value>(r#""\u00""#).is_err());
+        assert!(from_str::<Value>(r#""\u00g1""#).is_err());
+        assert!(from_str::<Value>("\"dangling escape\\").is_err());
     }
 
     #[test]
     fn parse_handles_deeply_nested_arrays() {
-        let parsed = from_str(r#"[[[[1, [2]]]], [], [[]]]"#).unwrap();
+        let parsed = from_str::<Value>(r#"[[[[1, [2]]]], [], [[]]]"#).unwrap();
         let outer = parsed.as_array().unwrap();
         assert_eq!(outer.len(), 3);
         let deep = outer[0].as_array().unwrap()[0].as_array().unwrap()[0]
@@ -499,8 +517,8 @@ mod tests {
         assert_eq!(deep[1].as_array().unwrap()[0], Value::Number(2.0));
         assert_eq!(outer[1], Value::Array(vec![]));
         // Unbalanced nesting fails rather than truncating.
-        assert!(from_str("[[1]").is_err());
-        assert!(from_str(r#"{"a": [1, {"b": 2}}"#).is_err());
+        assert!(from_str::<Value>("[[1]").is_err());
+        assert!(from_str::<Value>(r#"{"a": [1, {"b": 2}}"#).is_err());
     }
 
     #[test]
@@ -508,14 +526,14 @@ mod tests {
         // `perf_report --check` and the sweep artifact both re-parse whole
         // files, so a valid prefix followed by junk must be an error, not a
         // silent truncation.
-        assert!(from_str(r#"{"a": 1} trailing"#).is_err());
-        assert!(from_str("[1, 2]]").is_err());
-        assert!(from_str(r#""abc"def"#).is_err());
-        assert!(from_str("3.5, 4").is_err());
-        assert!(from_str("null null").is_err());
+        assert!(from_str::<Value>(r#"{"a": 1} trailing"#).is_err());
+        assert!(from_str::<Value>("[1, 2]]").is_err());
+        assert!(from_str::<Value>(r#""abc"def"#).is_err());
+        assert!(from_str::<Value>("3.5, 4").is_err());
+        assert!(from_str::<Value>("null null").is_err());
         // Leading and trailing whitespace alone is fine.
         assert_eq!(
-            from_str("  [ 1 ,\t2 ]\n")
+            from_str::<Value>("  [ 1 ,\t2 ]\n")
                 .unwrap()
                 .as_array()
                 .unwrap()
@@ -526,13 +544,140 @@ mod tests {
 
     #[test]
     fn parse_rejects_bare_words_and_literal_prefixes() {
-        assert!(from_str("tru").is_err());
+        assert!(from_str::<Value>("tru").is_err());
         assert!(
-            from_str("falsehood").is_err(),
+            from_str::<Value>("falsehood").is_err(),
             "trailing chars after literal"
         );
-        assert!(from_str("nul").is_err());
-        assert!(from_str("NaN").is_err());
-        assert!(from_str("Infinity").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("NaN").is_err());
+        assert!(from_str::<Value>("Infinity").is_err());
+    }
+
+    // -----------------------------------------------------------------------
+    // Typed read-back through the derive shim: the to_string → from_str::<T>
+    // round-trip that BENCH_nn.json and SWEEP.json rely on.
+    // -----------------------------------------------------------------------
+
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    enum Mode {
+        Fast,
+        Careful { retries: u32, label: String },
+        Pair(u8, u8),
+        Wrapped(f64),
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Row {
+        id: String,
+        score: Option<f64>,
+        counts: Vec<u64>,
+        mode: Mode,
+        #[serde(skip)]
+        scratch: Vec<f64>,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Artifact {
+        version: u32,
+        rows: Vec<Row>,
+        lookup: BTreeMap<String, f64>,
+    }
+
+    fn artifact() -> Artifact {
+        let mut lookup = BTreeMap::new();
+        lookup.insert("µ-mean".to_string(), -2.5e-4);
+        Artifact {
+            version: 2,
+            rows: vec![
+                Row {
+                    id: "a".to_string(),
+                    score: Some(0.125),
+                    counts: vec![1, 2, 3],
+                    mode: Mode::Careful {
+                        retries: 3,
+                        label: "per-cell".to_string(),
+                    },
+                    scratch: vec![9.0],
+                },
+                Row {
+                    id: "b \"quoted\"".to_string(),
+                    score: None,
+                    counts: vec![],
+                    mode: Mode::Fast,
+                    scratch: vec![],
+                },
+                Row {
+                    id: "c".to_string(),
+                    score: Some(2.0),
+                    counts: vec![42],
+                    mode: Mode::Pair(7, 9),
+                    scratch: vec![],
+                },
+            ],
+            lookup,
+        }
+    }
+
+    #[test]
+    fn typed_round_trip_preserves_every_field_except_skipped_ones() {
+        let original = artifact();
+        for text in [
+            to_string(&original).unwrap(),
+            to_string_pretty(&original).unwrap(),
+        ] {
+            let parsed: Artifact = from_str(&text).unwrap();
+            assert_eq!(parsed.version, original.version);
+            assert_eq!(parsed.lookup, original.lookup);
+            assert_eq!(parsed.rows.len(), original.rows.len());
+            for (p, o) in parsed.rows.iter().zip(&original.rows) {
+                assert_eq!(p.id, o.id);
+                assert_eq!(p.score, o.score);
+                assert_eq!(p.counts, o.counts);
+                assert_eq!(p.mode, o.mode);
+                // `#[serde(skip)]` fields come back as Default, as upstream.
+                assert!(p.scratch.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn typed_round_trip_handles_newtype_and_unit_variants() {
+        for mode in [Mode::Fast, Mode::Wrapped(-0.5), Mode::Pair(1, 2)] {
+            let text = to_string(&mode).unwrap();
+            assert_eq!(from_str::<Mode>(&text).unwrap(), mode);
+        }
+    }
+
+    #[test]
+    fn typed_read_back_rejects_shape_mismatches_with_field_context() {
+        // Wrong root kind.
+        assert!(from_str::<Artifact>("[1, 2]").is_err());
+        // A mandatory field missing entirely.
+        let err = from_str::<Artifact>(r#"{"version": 2, "rows": []}"#).unwrap_err();
+        assert!(
+            err.to_string().contains("lookup"),
+            "error should name the missing field: {err}"
+        );
+        // A field of the wrong type, with the path in the message.
+        let err =
+            from_str::<Artifact>(r#"{"version": "two", "rows": [], "lookup": {}}"#).unwrap_err();
+        assert!(
+            err.to_string().contains("Artifact.version"),
+            "error should carry the field path: {err}"
+        );
+        // An unknown enum variant.
+        let doc = r#"{"id": "x", "score": null, "counts": [], "mode": "Sloppy"}"#;
+        let err = from_str::<Row>(doc).unwrap_err();
+        assert!(err.to_string().contains("Sloppy"), "{err}");
+        // A fractional number where an integer field is declared.
+        let err = from_str::<Row>(r#"{"id": "x", "score": null, "counts": [1.5], "mode": "Fast"}"#)
+            .unwrap_err();
+        assert!(err.to_string().contains("counts"), "{err}");
+        // Absent Option fields read back as None rather than erroring.
+        let row: Row = from_str(r#"{"id": "x", "counts": [], "mode": "Fast"}"#).unwrap();
+        assert_eq!(row.score, None);
     }
 }

@@ -2,11 +2,18 @@
 //! any cell run standalone must be byte-identical to the same cell inside a
 //! sweep, parallel and sequential sweeps must agree byte-for-byte, one
 //! diverging cell must leave every other cell untouched, and the JSON
-//! artifact must round-trip through the `serde_json` shim.
+//! artifact must round-trip **typed** through the `serde_json` shim
+//! (`from_str::<SweepReport>`). The durability layer is pinned here too:
+//! a grid split across shards and merged must equal the unsharded run, a
+//! resumed run must equal a from-scratch run without re-executing completed
+//! cells, and stale artifacts must be rejected.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use panda_surrogate::metrics::{DcrConfig, EvaluationConfig};
 use panda_surrogate::surrogate::sweep::{
-    run_cell, run_sweep, run_sweep_with, NamedGeneratorConfig, SweepGrid, SweepOptions, SweepReport,
+    run_cell, run_sweep, run_sweep_resumable_with, run_sweep_with, NamedGeneratorConfig, ShardSpec,
+    SweepArtifactError, SweepGrid, SweepOptions, SweepReport,
 };
 use panda_surrogate::surrogate::{ExecutionMode, ModelKind, SurrogateError, TrainingBudget};
 
@@ -154,8 +161,6 @@ fn one_diverging_cell_leaves_every_other_cell_untouched() {
 
 #[test]
 fn json_artifact_round_trips_through_the_shim_parser() {
-    use serde_json::ValueExt;
-
     let grid = SweepGrid {
         seeds: vec![71, 72],
         budgets: vec![TrainingBudget::Smoke],
@@ -187,27 +192,212 @@ fn json_artifact_round_trips_through_the_shim_parser() {
     let text = std::fs::read_to_string(&path).expect("read artifact back");
     std::fs::remove_file(&path).ok();
 
-    // The shim parser accepts the artifact and the cell count round-trips.
-    let parsed = serde_json::from_str(&text).expect("re-parse artifact");
-    assert_eq!(
-        parsed
-            .get("cells")
-            .and_then(|c| c.as_array())
-            .map(<[_]>::len),
-        Some(report.total_cells)
-    );
+    // The typed read-back accepts the artifact and is lossless: every
+    // field of every row survives the write → parse trip exactly (f64s
+    // render in shortest-round-trip form), with no `Value` spelunking.
+    let parsed: SweepReport = serde_json::from_str(&text).expect("re-parse artifact");
+    assert_eq!(parsed, report, "typed round-trip drifted");
     assert_eq!(
         SweepReport::validate_artifact(&text).expect("artifact validates"),
         report.total_cells
     );
 
-    // Spot-check one row survived the trip with its values intact.
-    let rows = parsed.get("cells").and_then(|c| c.as_array()).unwrap();
-    let first = &rows[0];
-    assert_eq!(first.get("model").and_then(|v| v.as_str()), Some("SMOTE"));
+    // Spot-check the typed rows directly.
+    assert_eq!(parsed.cells[0].model, "SMOTE");
+    assert_eq!(parsed.cells[0].index, 0);
+    assert!(parsed.cells[0].ok);
+    assert!(!parsed.cells[1].ok);
+    assert!(parsed.cells[1]
+        .error
+        .as_deref()
+        .unwrap()
+        .contains("injected"));
+}
+
+/// A cheap deterministic fitter (echoes the training split) so the
+/// durability tests exercise the full prepare→evaluate→artifact pipeline
+/// without paying for model training.
+fn echo_fitter(
+    _cell: &panda_surrogate::surrogate::sweep::SweepCell,
+    train: &panda_surrogate::tabular::Table,
+) -> Result<panda_surrogate::tabular::Table, SurrogateError> {
+    Ok(train.clone())
+}
+
+/// The small grid the durability tests share: 2 seeds × smoke × 1 variant ×
+/// 2 models = 4 cells.
+fn durability_grid() -> SweepGrid {
+    SweepGrid {
+        seeds: vec![81, 82],
+        budgets: vec![TrainingBudget::Smoke],
+        generators: vec![variant("small", 1_500, 150.0)],
+        models: vec![ModelKind::Smote, ModelKind::TabDdpm],
+    }
+}
+
+#[test]
+fn sharded_runs_merge_into_the_unsharded_report() {
+    let grid = durability_grid();
+    let options = SweepOptions {
+        keep_tables: false,
+        ..test_options()
+    };
+    let full =
+        run_sweep_resumable_with(&grid, &options, None, None, echo_fitter).expect("unsharded run");
+    assert_eq!(full.report.total_cells, 4);
+    assert!(full.report.is_complete());
+    assert_eq!(full.report.shard, None);
+
+    let mut parts = Vec::new();
+    for index in 0..2 {
+        let shard = ShardSpec { index, count: 2 };
+        let summary = run_sweep_resumable_with(&grid, &options, Some(shard), None, echo_fitter)
+            .expect("shard run");
+        assert_eq!(summary.report.total_cells, 2, "round-robin split of 4");
+        assert_eq!(summary.report.shard, Some(shard));
+        assert!(!summary.report.is_complete());
+        summary.report.validate().expect("shard artifact validates");
+        parts.push(summary.report);
+    }
+
+    let merged = SweepReport::merge(&parts).expect("disjoint shards merge");
+    assert!(merged.is_complete());
+    merged.validate().expect("merged artifact validates");
+    // The merged report is byte-identical to the unsharded run modulo
+    // wall-clock: canonical forms agree at the JSON byte level.
     assert_eq!(
-        first.get("wd").and_then(|v| v.as_f64()),
-        report.cells[0].wd,
-        "wd drifted through the JSON round-trip"
+        serde_json::to_string_pretty(&merged.canonical()).unwrap(),
+        serde_json::to_string_pretty(&full.report.canonical()).unwrap(),
+        "merge of 2 shards must reproduce the unsharded artifact"
     );
+    // Overlapping shards are rejected.
+    assert!(matches!(
+        SweepReport::merge(&[parts[0].clone(), parts[0].clone()]).unwrap_err(),
+        SweepArtifactError::OverlappingCell { .. }
+    ));
+}
+
+#[test]
+fn resume_runs_only_the_missing_cells_and_matches_from_scratch() {
+    let grid = durability_grid();
+    let options = SweepOptions {
+        keep_tables: false,
+        ..test_options()
+    };
+    let full = run_sweep_resumable_with(&grid, &options, None, None, echo_fitter)
+        .expect("from-scratch run");
+
+    // Truncate the artifact to drop the last two cells, as the CI resume
+    // smoke does with `sweep --drop-last`.
+    let mut partial = full.report.clone();
+    partial.cells.truncate(2);
+    partial.total_cells = 2;
+    partial.failed_cells = partial.cells.iter().filter(|row| !row.ok).count();
+    partial.validate().expect("truncated artifact stays valid");
+
+    let executed = AtomicUsize::new(0);
+    let resumed = run_sweep_resumable_with(&grid, &options, None, Some(&partial), |cell, train| {
+        executed.fetch_add(1, Ordering::SeqCst);
+        echo_fitter(cell, train)
+    })
+    .expect("resume run");
+    assert_eq!(
+        executed.load(Ordering::SeqCst),
+        2,
+        "only the dropped cells run"
+    );
+    assert_eq!(resumed.runs.len(), 2);
+    assert_eq!(resumed.resumed, 2);
+    assert_eq!(
+        serde_json::to_string_pretty(&resumed.report.canonical()).unwrap(),
+        serde_json::to_string_pretty(&full.report.canonical()).unwrap(),
+        "resumed run must reproduce the from-scratch artifact"
+    );
+}
+
+#[test]
+fn resume_with_zero_remaining_cells_is_a_noop() {
+    let grid = durability_grid();
+    let options = SweepOptions {
+        keep_tables: false,
+        ..test_options()
+    };
+    let full = run_sweep_resumable_with(&grid, &options, None, None, echo_fitter)
+        .expect("from-scratch run");
+    let summary =
+        run_sweep_resumable_with(&grid, &options, None, Some(&full.report), |cell, _train| {
+            panic!("cell {} must not be re-executed", cell.id());
+        })
+        .expect("no-op resume");
+    assert!(summary.runs.is_empty());
+    assert_eq!(summary.resumed, 4);
+    assert_eq!(
+        summary.report.canonical(),
+        full.report.canonical(),
+        "no-op resume must reproduce the prior artifact"
+    );
+}
+
+#[test]
+fn resume_rejects_stale_or_corrupt_artifacts() {
+    let grid = durability_grid();
+    let options = SweepOptions {
+        keep_tables: false,
+        ..test_options()
+    };
+    let full = run_sweep_resumable_with(&grid, &options, None, None, echo_fitter)
+        .expect("from-scratch run");
+    let reject = |prior: &SweepReport| {
+        run_sweep_resumable_with(&grid, &options, None, Some(prior), |cell, _train| {
+            panic!("cell {} must not run from a rejected artifact", cell.id());
+        })
+        .unwrap_err()
+    };
+
+    // A tampered fingerprint (stale artifact from an edited grid).
+    let mut stale = full.report.clone();
+    stale.grid_fingerprint = "ffffffffffffffff".to_string();
+    assert!(matches!(
+        reject(&stale),
+        SweepArtifactError::FingerprintMismatch { .. }
+    ));
+    // An artifact of a genuinely different grid: one more seed.
+    let mut bigger = grid.clone();
+    bigger.seeds.push(83);
+    assert!(matches!(
+        run_sweep_resumable_with(&bigger, &options, None, Some(&full.report), echo_fitter)
+            .unwrap_err(),
+        SweepArtifactError::FingerprintMismatch { .. }
+    ));
+    // Changed evaluation options alone also invalidate the artifact.
+    let no_dcr_cap = SweepOptions {
+        evaluation: EvaluationConfig::fast(),
+        ..test_options()
+    };
+    assert!(matches!(
+        run_sweep_resumable_with(&grid, &no_dcr_cap, None, Some(&full.report), echo_fitter)
+            .unwrap_err(),
+        SweepArtifactError::FingerprintMismatch { .. }
+    ));
+    // A pre-durability schema version.
+    let mut old = full.report.clone();
+    old.schema_version = 1;
+    assert!(matches!(
+        reject(&old),
+        SweepArtifactError::SchemaVersion { found: 1 }
+    ));
+    // A row whose id does not exist in this grid.
+    let mut unknown = full.report.clone();
+    unknown.cells[0].id = "s9999-smoke-small-smote".to_string();
+    assert!(matches!(
+        reject(&unknown),
+        SweepArtifactError::UnknownCell { .. }
+    ));
+    // A row recorded at the wrong index.
+    let mut shifted = full.report.clone();
+    shifted.cells[0].index = 3;
+    assert!(matches!(
+        reject(&shifted),
+        SweepArtifactError::IndexMismatch { .. }
+    ));
 }
