@@ -351,6 +351,28 @@ impl TabularGenerator for CtabGan {
         let activated = mixed_activation(codec.spans(), &raw);
         codec.decode(&activated)
     }
+
+    fn sample_f32(&self, n: usize, seed: u64) -> Result<Table, SurrogateError> {
+        let codec = self
+            .codec
+            .as_ref()
+            .ok_or(SurrogateError::NotFitted("CTABGAN+"))?;
+        let generator = self
+            .generator
+            .as_ref()
+            .expect("generator set when codec is");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Identical noise/condition draws to the f64 path (assembled in f64,
+        // rounded once); the generator forward pass runs in f32. The mixed
+        // activation and decode stay in f64 — they are cheap and reuse the
+        // span-aware softmax unchanged.
+        let z = standard_normal_matrix(n, self.config.latent_dim, &mut rng);
+        let cond = self.sample_condition(codec, n, &mut rng);
+        let g_in = nn::Matrix32::from_f64(&z.hconcat(&cond));
+        let raw = generator.to_f32().infer(&g_in);
+        let activated = mixed_activation(codec.spans(), &raw.to_f64());
+        codec.decode(&activated)
+    }
 }
 
 #[cfg(test)]

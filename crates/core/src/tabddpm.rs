@@ -296,6 +296,68 @@ impl TabularGenerator for TabDdpm {
         }
         codec.decode(&x)
     }
+
+    fn sample_f32(&self, n: usize, seed: u64) -> Result<Table, SurrogateError> {
+        let codec = self
+            .codec
+            .as_ref()
+            .ok_or(SurrogateError::NotFitted("TabDDPM"))?;
+        // Down-convert the fitted denoiser once; every reverse step then
+        // runs its forward pass on the f32 packed kernels (double lanes).
+        let denoiser = self
+            .denoiser
+            .as_ref()
+            .expect("denoiser set when codec is")
+            .to_f32();
+        let width = codec.encoded_width();
+        let timesteps = self.config.timesteps;
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let mut alphas = Vec::with_capacity(timesteps);
+        for t in 0..timesteps {
+            let prev = if t == 0 { 1.0 } else { self.alpha_bar[t - 1] };
+            alphas.push((self.alpha_bar[t] / prev).clamp(1e-5, 0.9999));
+        }
+
+        // Same RNG stream as the f64 path — every draw happens in f64 and is
+        // rounded once — so the two tiers differ only by arithmetic
+        // precision, never by consuming different variates.
+        let mut x = nn::Matrix32::from_f64(&standard_normal_matrix(n, width, &mut rng));
+        let mut input = nn::Matrix32::zeros(n, width + 2);
+        let mut eps_hat = nn::Matrix32::zeros(0, 0);
+        let mut scratch = nn::Matrix32::zeros(0, 0);
+        for t in (0..timesteps).rev() {
+            let mut emb = [0.0f64; 2];
+            Self::write_time_embedding((t + 1) as f64 / timesteps as f64, &mut emb);
+            for r in 0..n {
+                let row = input.row_mut(r);
+                row[..width].copy_from_slice(x.row(r));
+                row[width] = emb[0] as f32;
+                row[width + 1] = emb[1] as f32;
+            }
+            denoiser.infer_into(&input, &mut eps_hat, &mut scratch);
+
+            let alpha = alphas[t];
+            let alpha_bar = self.alpha_bar[t];
+            // Scalar coefficients in f64 (exactly the f64 path's values),
+            // rounded once; the per-element update runs in f32.
+            let coef = ((1.0 - alpha) / (1.0 - alpha_bar).sqrt()) as f32;
+            let inv_sqrt_alpha = (1.0 / alpha.sqrt()) as f32;
+            for (xv, &e) in x.data_mut().iter_mut().zip(eps_hat.data()) {
+                *xv = (*xv - coef * e) * inv_sqrt_alpha;
+            }
+            if t > 0 {
+                let sigma = ((1.0 - alphas[t]) * (1.0 - self.alpha_bar[t - 1]) / (1.0 - alpha_bar))
+                    .max(0.0)
+                    .sqrt() as f32;
+                let z = standard_normal_matrix(n, width, &mut rng);
+                for (xv, &zv) in x.data_mut().iter_mut().zip(z.data()) {
+                    *xv += sigma * zv as f32;
+                }
+            }
+        }
+        codec.decode(&x.to_f64())
+    }
 }
 
 #[cfg(test)]

@@ -48,4 +48,19 @@ pub trait TabularGenerator {
 
     /// Sample `n` synthetic rows with the same schema as the training table.
     fn sample(&self, n: usize, seed: u64) -> Result<Table, SurrogateError>;
+
+    /// Sample `n` rows on the reduced-precision `f32` inference tier.
+    ///
+    /// Models whose sampling path is dominated by MLP inference override
+    /// this to run the network forward passes in `f32` (double the SIMD
+    /// lanes of the packed kernels), drawing the *same* RNG stream as
+    /// [`TabularGenerator::sample`] so the two paths differ only by
+    /// precision. Results are still fully deterministic given the seed, but
+    /// are **not** bit-identical to the `f64` path — the end-to-end tests
+    /// bound the distributional deltas (Wasserstein/JSD) instead. The
+    /// default falls back to the `f64` path, so every generator supports
+    /// the call.
+    fn sample_f32(&self, n: usize, seed: u64) -> Result<Table, SurrogateError> {
+        self.sample(n, seed)
+    }
 }

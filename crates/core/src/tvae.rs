@@ -201,6 +201,21 @@ impl TabularGenerator for Tvae {
         let raw = decoder.infer(&z);
         codec.decode(&raw)
     }
+
+    fn sample_f32(&self, n: usize, seed: u64) -> Result<Table, SurrogateError> {
+        let codec = self
+            .codec
+            .as_ref()
+            .ok_or(SurrogateError::NotFitted("TVAE"))?;
+        let decoder = self.decoder.as_ref().expect("decoder set when codec is");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Same latent draws as the f64 path, rounded once; the decoder
+        // forward pass — the whole cost of TVAE sampling — runs in f32.
+        let z =
+            nn::Matrix32::from_f64(&standard_normal_matrix(n, self.config.latent_dim, &mut rng));
+        let raw = decoder.to_f32().infer(&z);
+        codec.decode(&raw.to_f64())
+    }
 }
 
 #[cfg(test)]

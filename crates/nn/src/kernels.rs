@@ -1,29 +1,46 @@
-//! Two-level matmul kernel architecture behind [`crate::matrix::Matrix`].
+//! Two-level matmul kernel architecture behind [`crate::matrix::Matrix`]
+//! and [`crate::matrix32::Matrix32`].
 //!
 //! **Level 1 — vectorized microkernels.** Every inner kernel is written once,
-//! generically, over a tiny lane abstraction ([`SimdF64`]) with three
-//! implementations: portable scalar, SSE2 (`__m128d`, two lanes) and AVX2
-//! (`__m256d`, four lanes). The concrete instantiations live behind
-//! `#[target_feature]` wrappers and the generic bodies are `#[inline(always)]`,
-//! so each monomorphization compiles as one fully vectorized function; the
-//! tier to run is picked once per process by [`crate::simd::active_tier`].
+//! generically, over a tiny lane abstraction ([`SimdVec`]) whose
+//! implementations cover the full tier × element matrix: portable scalar,
+//! SSE2, AVX2, FMA and AVX-512 registers, each instantiated for `f64` and
+//! `f32` lanes (the `f32` instantiations double the lane count for the
+//! inference tier). The concrete instantiations live behind
+//! `#[target_feature]` wrappers and the generic bodies are
+//! `#[inline(always)]`, so each monomorphization compiles as one fully
+//! vectorized function; the tier to run is picked once per process by
+//! [`crate::simd::active_tier`].
 //!
 //! **Level 2 — cache-blocked panel packing.** Shapes whose `B` operand
 //! exceeds the L1-resident tile ([`use_packed`]) run a blocked driver:
 //! `B` is packed into contiguous `NR`-column panels and `A` into `MR`-row
 //! panels (both zero-padded to full panels), and an `MR×NR` register-tile
 //! microkernel sweeps `KC`-deep stripes so every packed element is read from
-//! L1. The pack buffers are thread-local and grow-only, so a training loop
-//! that calls the packed path repeatedly performs no per-call allocations.
+//! L1. The pack buffers are **per-thread** (thread-local storage keys every
+//! buffer by its owning thread, so pool workers never contend) and
+//! **grow-only without re-zeroing**: packing overwrites exactly the live
+//! region and explicitly zeroes only the padding lanes of partial panels, so
+//! a training loop that calls the packed path repeatedly performs no
+//! per-call allocations *and* no redundant memset of panel bytes it is about
+//! to fill anyway.
 //!
-//! **Numerical contract.** Every kernel — any tier, packed or direct —
-//! accumulates each output element along the inner dimension in ascending
-//! index order, one `mul` + one `add` per term (never FMA), starting from the
-//! value already in the output slot. Results are therefore byte-identical
-//! across tiers, across the packed/direct split, and to the register-tiled
+//! **Numerical contract.** On the bit-exact tiers (scalar/SSE2/AVX2) every
+//! kernel — packed or direct — accumulates each output element along the
+//! inner dimension in ascending index order, one `mul` + one `add` per term
+//! (never FMA), starting from the value already in the output slot. Results
+//! are therefore byte-identical across those tiers, across the
+//! packed/direct split, across thread counts, and to the register-tiled
 //! scalar kernel PR 2 shipped (frozen in `matrix::reference::tiled_matmul`
 //! as the perf baseline); only the documented `±0.0`/non-finite caveat
-//! against the seed reference kernel remains.
+//! against the seed reference kernel remains. The opt-in FMA/AVX-512 tiers
+//! replace the `mul`+`add` pair with a fused multiply-add ([`SimdVec::
+//! mul_acc`]) — one rounding per term instead of two — so they are *not*
+//! bit-equal to the scalar chain and are validated against it within 1e-8
+//! relative tolerance instead (see `tests/simd_kernels.rs`). They remain
+//! deterministic: the accumulation chain per element is still fixed by the
+//! shape alone, so fused results are byte-identical run-to-run and across
+//! thread counts.
 
 use crate::simd::{active_tier, SimdTier};
 use std::cell::RefCell;
@@ -44,121 +61,415 @@ pub(crate) fn use_packed(m: usize, k: usize, n: usize) -> bool {
 }
 
 // ---------------------------------------------------------------------------
+// Element abstraction: the scalar type the kernels are generic over.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Per-thread `A`/`B` pack buffers, grow-only, keyed by owning thread
+    /// via thread-local storage (one pair per element type).
+    static PACK_A_F64: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    static PACK_B_F64: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    static PACK_A_F32: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    static PACK_B_F32: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Scalar element type the kernels are generic over: `f64` for the training
+/// path, `f32` for the inference tier. Besides arithmetic, an element type
+/// knows its lane count per tier, owns its thread-local pack buffers, and
+/// dispatches the concrete `#[target_feature]` kernel instantiations for
+/// the active tier.
+pub(crate) trait Elem: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
+    const ZERO: Self;
+
+    /// Vector lanes per register for this element type on `tier`.
+    fn lanes(tier: SimdTier) -> usize;
+
+    /// `acc + a·b` with separate multiply and add roundings — the edge
+    /// kernels and scalar tails use this on every tier, which is what keeps
+    /// the bit-exact tiers bit-exact.
+    fn mul_add_sep(acc: Self, a: Self, b: Self) -> Self;
+
+    fn with_pack_a<R>(f: impl FnOnce(&mut Vec<Self>) -> R) -> R;
+    fn with_pack_b<R>(f: impl FnOnce(&mut Vec<Self>) -> R) -> R;
+
+    /// Dispatch one strided row-kernel call on `tier`.
+    ///
+    /// # Safety
+    ///
+    /// Same pointer-validity contracts as [`row_kernel_v`]; `tier` must not
+    /// exceed what the host CPU supports.
+    unsafe fn row_kernel(
+        tier: SimdTier,
+        a_base: *const Self,
+        a_stride: usize,
+        depth: usize,
+        b: *const Self,
+        n: usize,
+        out_row: *mut Self,
+    );
+
+    /// Dispatch one packed block-kernel call on `tier`.
+    ///
+    /// # Safety
+    ///
+    /// Same panel/output contracts as [`block_kernel_v`]; `tier` must not
+    /// exceed what the host CPU supports.
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn block_kernel(
+        tier: SimdTier,
+        apack: &[Self],
+        bpack: &[Self],
+        kc: usize,
+        mc: usize,
+        nc: usize,
+        c: *mut Self,
+        ldc: usize,
+    );
+}
+
+impl Elem for f64 {
+    const ZERO: Self = 0.0;
+
+    #[inline(always)]
+    fn lanes(tier: SimdTier) -> usize {
+        tier.lanes()
+    }
+
+    #[inline(always)]
+    fn mul_add_sep(acc: Self, a: Self, b: Self) -> Self {
+        acc + a * b
+    }
+
+    fn with_pack_a<R>(f: impl FnOnce(&mut Vec<Self>) -> R) -> R {
+        PACK_A_F64.with(|buf| f(&mut buf.borrow_mut()))
+    }
+
+    fn with_pack_b<R>(f: impl FnOnce(&mut Vec<Self>) -> R) -> R {
+        PACK_B_F64.with(|buf| f(&mut buf.borrow_mut()))
+    }
+
+    unsafe fn row_kernel(
+        tier: SimdTier,
+        a_base: *const Self,
+        a_stride: usize,
+        depth: usize,
+        b: *const Self,
+        n: usize,
+        out_row: *mut Self,
+    ) {
+        match tier {
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx512 => row_kernel_avx512_f64(a_base, a_stride, depth, b, n, out_row),
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Fma => row_kernel_fma_f64(a_base, a_stride, depth, b, n, out_row),
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx2 => row_kernel_avx2_f64(a_base, a_stride, depth, b, n, out_row),
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Sse2 => row_kernel_v::<x86::Sse2F64>(a_base, a_stride, depth, b, n, out_row),
+            _ => row_kernel_v::<Scalar1<f64>>(a_base, a_stride, depth, b, n, out_row),
+        }
+    }
+
+    unsafe fn block_kernel(
+        tier: SimdTier,
+        apack: &[Self],
+        bpack: &[Self],
+        kc: usize,
+        mc: usize,
+        nc: usize,
+        c: *mut Self,
+        ldc: usize,
+    ) {
+        match tier {
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx512 => block_kernel_avx512_f64(apack, bpack, kc, mc, nc, c, ldc),
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Fma => block_kernel_fma_f64(apack, bpack, kc, mc, nc, c, ldc),
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx2 => block_kernel_avx2_f64(apack, bpack, kc, mc, nc, c, ldc),
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Sse2 => block_kernel_v::<x86::Sse2F64>(apack, bpack, kc, mc, nc, c, ldc),
+            _ => block_kernel_v::<Scalar1<f64>>(apack, bpack, kc, mc, nc, c, ldc),
+        }
+    }
+}
+
+impl Elem for f32 {
+    const ZERO: Self = 0.0;
+
+    #[inline(always)]
+    fn lanes(tier: SimdTier) -> usize {
+        tier.lanes_f32()
+    }
+
+    #[inline(always)]
+    fn mul_add_sep(acc: Self, a: Self, b: Self) -> Self {
+        acc + a * b
+    }
+
+    fn with_pack_a<R>(f: impl FnOnce(&mut Vec<Self>) -> R) -> R {
+        PACK_A_F32.with(|buf| f(&mut buf.borrow_mut()))
+    }
+
+    fn with_pack_b<R>(f: impl FnOnce(&mut Vec<Self>) -> R) -> R {
+        PACK_B_F32.with(|buf| f(&mut buf.borrow_mut()))
+    }
+
+    unsafe fn row_kernel(
+        tier: SimdTier,
+        a_base: *const Self,
+        a_stride: usize,
+        depth: usize,
+        b: *const Self,
+        n: usize,
+        out_row: *mut Self,
+    ) {
+        match tier {
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx512 => row_kernel_avx512_f32(a_base, a_stride, depth, b, n, out_row),
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Fma => row_kernel_fma_f32(a_base, a_stride, depth, b, n, out_row),
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx2 => row_kernel_avx2_f32(a_base, a_stride, depth, b, n, out_row),
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Sse2 => row_kernel_v::<x86::Sse2F32>(a_base, a_stride, depth, b, n, out_row),
+            _ => row_kernel_v::<Scalar1<f32>>(a_base, a_stride, depth, b, n, out_row),
+        }
+    }
+
+    unsafe fn block_kernel(
+        tier: SimdTier,
+        apack: &[Self],
+        bpack: &[Self],
+        kc: usize,
+        mc: usize,
+        nc: usize,
+        c: *mut Self,
+        ldc: usize,
+    ) {
+        match tier {
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx512 => block_kernel_avx512_f32(apack, bpack, kc, mc, nc, c, ldc),
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Fma => block_kernel_fma_f32(apack, bpack, kc, mc, nc, c, ldc),
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx2 => block_kernel_avx2_f32(apack, bpack, kc, mc, nc, c, ldc),
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Sse2 => block_kernel_v::<x86::Sse2F32>(apack, bpack, kc, mc, nc, c, ldc),
+            _ => block_kernel_v::<Scalar1<f32>>(apack, bpack, kc, mc, nc, c, ldc),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Lane abstraction.
 // ---------------------------------------------------------------------------
 
-/// A small fixed number of `f64` lanes with broadcast/load/store/mul/add.
+/// A small fixed number of element lanes with broadcast/load/store and a
+/// multiply-accumulate.
 ///
 /// # Safety
 ///
-/// `load`/`store` dereference raw pointers to `LANES` consecutive `f64`s;
+/// `load`/`store` dereference raw pointers to `LANES` consecutive elements;
 /// callers guarantee validity. Implementations may use `core::arch`
 /// intrinsics that are undefined behaviour on CPUs without the matching
 /// feature; instantiations are only reachable through the runtime-detected
 /// tier dispatch.
-trait SimdF64: Copy {
+trait SimdVec: Copy {
+    type E: Elem;
     /// Lanes per register.
     const LANES: usize;
     /// Broadcast one value to all lanes.
-    unsafe fn splat(v: f64) -> Self;
+    unsafe fn splat(v: Self::E) -> Self;
     /// Unaligned load of `LANES` values.
-    unsafe fn load(ptr: *const f64) -> Self;
+    unsafe fn load(ptr: *const Self::E) -> Self;
     /// Unaligned store of `LANES` values.
-    unsafe fn store(self, ptr: *mut f64);
-    /// Lane-wise product.
-    unsafe fn mul(self, other: Self) -> Self;
-    /// Lane-wise sum.
-    unsafe fn add(self, other: Self) -> Self;
+    unsafe fn store(self, ptr: *mut Self::E);
+    /// `self + a·b` lane-wise. Bit-exact tiers round the multiply and the
+    /// add separately; the FMA/AVX-512 tiers fuse them into one rounding.
+    unsafe fn mul_acc(self, a: Self, b: Self) -> Self;
 }
 
 /// Portable one-lane fallback.
 #[derive(Clone, Copy)]
-struct Scalar1(f64);
+struct Scalar1<E>(E);
 
-impl SimdF64 for Scalar1 {
-    const LANES: usize = 1;
-    #[inline(always)]
-    unsafe fn splat(v: f64) -> Self {
-        Scalar1(v)
-    }
-    #[inline(always)]
-    unsafe fn load(ptr: *const f64) -> Self {
-        Scalar1(*ptr)
-    }
-    #[inline(always)]
-    unsafe fn store(self, ptr: *mut f64) {
-        *ptr = self.0;
-    }
-    #[inline(always)]
-    unsafe fn mul(self, other: Self) -> Self {
-        Scalar1(self.0 * other.0)
-    }
-    #[inline(always)]
-    unsafe fn add(self, other: Self) -> Self {
-        Scalar1(self.0 + other.0)
-    }
+macro_rules! impl_scalar_lane {
+    ($elem:ty) => {
+        impl SimdVec for Scalar1<$elem> {
+            type E = $elem;
+            const LANES: usize = 1;
+            #[inline(always)]
+            unsafe fn splat(v: $elem) -> Self {
+                Scalar1(v)
+            }
+            #[inline(always)]
+            unsafe fn load(ptr: *const $elem) -> Self {
+                Scalar1(*ptr)
+            }
+            #[inline(always)]
+            unsafe fn store(self, ptr: *mut $elem) {
+                *ptr = self.0;
+            }
+            #[inline(always)]
+            unsafe fn mul_acc(self, a: Self, b: Self) -> Self {
+                Scalar1(self.0 + a.0 * b.0)
+            }
+        }
+    };
 }
+
+impl_scalar_lane!(f64);
+impl_scalar_lane!(f32);
 
 #[cfg(target_arch = "x86_64")]
 mod x86 {
-    use super::SimdF64;
+    use super::SimdVec;
     use core::arch::x86_64::*;
 
-    /// Two `f64` lanes in an SSE2 register (x86-64 baseline).
-    #[derive(Clone, Copy)]
-    pub(super) struct Sse2(__m128d);
+    /// Implement a lane type over one x86 register width. `$fma` selects
+    /// the accumulation flavour: `sep` keeps the bit-exact separate
+    /// multiply/add pair, `fused` uses the FMA intrinsic.
+    macro_rules! impl_x86_lane {
+        ($name:ident, $elem:ty, $reg:ty, $lanes:expr, $set1:ident, $loadu:ident,
+         $storeu:ident, sep($mul:ident, $add:ident)) => {
+            #[derive(Clone, Copy)]
+            pub(super) struct $name($reg);
 
-    impl SimdF64 for Sse2 {
-        const LANES: usize = 2;
-        #[inline(always)]
-        unsafe fn splat(v: f64) -> Self {
-            Sse2(_mm_set1_pd(v))
-        }
-        #[inline(always)]
-        unsafe fn load(ptr: *const f64) -> Self {
-            Sse2(_mm_loadu_pd(ptr))
-        }
-        #[inline(always)]
-        unsafe fn store(self, ptr: *mut f64) {
-            _mm_storeu_pd(ptr, self.0);
-        }
-        #[inline(always)]
-        unsafe fn mul(self, other: Self) -> Self {
-            Sse2(_mm_mul_pd(self.0, other.0))
-        }
-        #[inline(always)]
-        unsafe fn add(self, other: Self) -> Self {
-            Sse2(_mm_add_pd(self.0, other.0))
-        }
+            impl SimdVec for $name {
+                type E = $elem;
+                const LANES: usize = $lanes;
+                #[inline(always)]
+                unsafe fn splat(v: $elem) -> Self {
+                    $name($set1(v))
+                }
+                #[inline(always)]
+                unsafe fn load(ptr: *const $elem) -> Self {
+                    $name($loadu(ptr))
+                }
+                #[inline(always)]
+                unsafe fn store(self, ptr: *mut $elem) {
+                    $storeu(ptr, self.0);
+                }
+                #[inline(always)]
+                unsafe fn mul_acc(self, a: Self, b: Self) -> Self {
+                    $name($add(self.0, $mul(a.0, b.0)))
+                }
+            }
+        };
+        ($name:ident, $elem:ty, $reg:ty, $lanes:expr, $set1:ident, $loadu:ident,
+         $storeu:ident, fused($fmadd:ident)) => {
+            #[derive(Clone, Copy)]
+            pub(super) struct $name($reg);
+
+            impl SimdVec for $name {
+                type E = $elem;
+                const LANES: usize = $lanes;
+                #[inline(always)]
+                unsafe fn splat(v: $elem) -> Self {
+                    $name($set1(v))
+                }
+                #[inline(always)]
+                unsafe fn load(ptr: *const $elem) -> Self {
+                    $name($loadu(ptr))
+                }
+                #[inline(always)]
+                unsafe fn store(self, ptr: *mut $elem) {
+                    $storeu(ptr, self.0);
+                }
+                #[inline(always)]
+                unsafe fn mul_acc(self, a: Self, b: Self) -> Self {
+                    $name($fmadd(a.0, b.0, self.0))
+                }
+            }
+        };
     }
 
-    /// Four `f64` lanes in an AVX register (guarded by AVX2 detection).
-    #[derive(Clone, Copy)]
-    pub(super) struct Avx2(__m256d);
+    // f64 lanes: two (SSE2, baseline), four (AVX2 mul+add / FMA fused),
+    // eight (AVX-512 fused).
+    impl_x86_lane!(
+        Sse2F64,
+        f64,
+        __m128d,
+        2,
+        _mm_set1_pd,
+        _mm_loadu_pd,
+        _mm_storeu_pd,
+        sep(_mm_mul_pd, _mm_add_pd)
+    );
+    impl_x86_lane!(
+        Avx2F64,
+        f64,
+        __m256d,
+        4,
+        _mm256_set1_pd,
+        _mm256_loadu_pd,
+        _mm256_storeu_pd,
+        sep(_mm256_mul_pd, _mm256_add_pd)
+    );
+    impl_x86_lane!(
+        FmaF64,
+        f64,
+        __m256d,
+        4,
+        _mm256_set1_pd,
+        _mm256_loadu_pd,
+        _mm256_storeu_pd,
+        fused(_mm256_fmadd_pd)
+    );
+    impl_x86_lane!(
+        Avx512F64,
+        f64,
+        __m512d,
+        8,
+        _mm512_set1_pd,
+        _mm512_loadu_pd,
+        _mm512_storeu_pd,
+        fused(_mm512_fmadd_pd)
+    );
 
-    impl SimdF64 for Avx2 {
-        const LANES: usize = 4;
-        #[inline(always)]
-        unsafe fn splat(v: f64) -> Self {
-            Avx2(_mm256_set1_pd(v))
-        }
-        #[inline(always)]
-        unsafe fn load(ptr: *const f64) -> Self {
-            Avx2(_mm256_loadu_pd(ptr))
-        }
-        #[inline(always)]
-        unsafe fn store(self, ptr: *mut f64) {
-            _mm256_storeu_pd(ptr, self.0);
-        }
-        #[inline(always)]
-        unsafe fn mul(self, other: Self) -> Self {
-            Avx2(_mm256_mul_pd(self.0, other.0))
-        }
-        #[inline(always)]
-        unsafe fn add(self, other: Self) -> Self {
-            Avx2(_mm256_add_pd(self.0, other.0))
-        }
-    }
+    // f32 lanes double every width: four (SSE, baseline), eight (AVX mul+add
+    // / FMA fused), sixteen (AVX-512 fused).
+    impl_x86_lane!(
+        Sse2F32,
+        f32,
+        __m128,
+        4,
+        _mm_set1_ps,
+        _mm_loadu_ps,
+        _mm_storeu_ps,
+        sep(_mm_mul_ps, _mm_add_ps)
+    );
+    impl_x86_lane!(
+        Avx2F32,
+        f32,
+        __m256,
+        8,
+        _mm256_set1_ps,
+        _mm256_loadu_ps,
+        _mm256_storeu_ps,
+        sep(_mm256_mul_ps, _mm256_add_ps)
+    );
+    impl_x86_lane!(
+        FmaF32,
+        f32,
+        __m256,
+        8,
+        _mm256_set1_ps,
+        _mm256_loadu_ps,
+        _mm256_storeu_ps,
+        fused(_mm256_fmadd_ps)
+    );
+    impl_x86_lane!(
+        Avx512F32,
+        f32,
+        __m512,
+        16,
+        _mm512_set1_ps,
+        _mm512_loadu_ps,
+        _mm512_storeu_ps,
+        fused(_mm512_fmadd_ps)
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -171,7 +482,7 @@ mod x86 {
 ///
 /// Four vector accumulators per column tile keep enough independent
 /// add-chains in flight to cover FP latency, and each output element still
-/// accumulates as one ascending-`kk` chain (broadcast-multiply, then add).
+/// accumulates as one ascending-`kk` chain.
 ///
 /// # Safety
 ///
@@ -179,13 +490,13 @@ mod x86 {
 /// reads, `out_row` for `n` reads and writes; intrinsics require the lane
 /// type's CPU feature.
 #[inline(always)]
-unsafe fn row_kernel_v<V: SimdF64>(
-    a_base: *const f64,
+unsafe fn row_kernel_v<V: SimdVec>(
+    a_base: *const V::E,
     a_stride: usize,
     depth: usize,
-    b: *const f64,
+    b: *const V::E,
     n: usize,
-    out_row: *mut f64,
+    out_row: *mut V::E,
 ) {
     let lanes = V::LANES;
     let tile = 4 * lanes;
@@ -198,10 +509,10 @@ unsafe fn row_kernel_v<V: SimdF64>(
         for kk in 0..depth {
             let av = V::splat(*a_base.add(kk * a_stride));
             let brow = b.add(kk * n + j);
-            acc0 = acc0.add(av.mul(V::load(brow)));
-            acc1 = acc1.add(av.mul(V::load(brow.add(lanes))));
-            acc2 = acc2.add(av.mul(V::load(brow.add(2 * lanes))));
-            acc3 = acc3.add(av.mul(V::load(brow.add(3 * lanes))));
+            acc0 = acc0.mul_acc(av, V::load(brow));
+            acc1 = acc1.mul_acc(av, V::load(brow.add(lanes)));
+            acc2 = acc2.mul_acc(av, V::load(brow.add(2 * lanes)));
+            acc3 = acc3.mul_acc(av, V::load(brow.add(3 * lanes)));
         }
         acc0.store(out_row.add(j));
         acc1.store(out_row.add(j + lanes));
@@ -213,7 +524,7 @@ unsafe fn row_kernel_v<V: SimdF64>(
         let mut acc = V::load(out_row.add(j));
         for kk in 0..depth {
             let av = V::splat(*a_base.add(kk * a_stride));
-            acc = acc.add(av.mul(V::load(b.add(kk * n + j))));
+            acc = acc.mul_acc(av, V::load(b.add(kk * n + j)));
         }
         acc.store(out_row.add(j));
         j += lanes;
@@ -221,56 +532,124 @@ unsafe fn row_kernel_v<V: SimdF64>(
     while j < n {
         let mut acc = *out_row.add(j);
         for kk in 0..depth {
-            acc += *a_base.add(kk * a_stride) * *b.add(kk * n + j);
+            acc = V::E::mul_add_sep(acc, *a_base.add(kk * a_stride), *b.add(kk * n + j));
         }
         *out_row.add(j) = acc;
         j += 1;
     }
 }
 
-#[cfg(target_arch = "x86_64")]
-unsafe fn row_kernel_sse2(
-    a_base: *const f64,
-    a_stride: usize,
-    depth: usize,
-    b: *const f64,
-    n: usize,
-    out_row: *mut f64,
-) {
-    // SSE2 is in the x86-64 baseline: no `#[target_feature]` needed.
-    row_kernel_v::<x86::Sse2>(a_base, a_stride, depth, b, n, out_row);
+/// Generate the `#[target_feature]` wrappers for one (tier, element)
+/// instantiation of the row and block kernels.
+macro_rules! kernel_wrappers {
+    ($feature:literal, $lane:ty, $elem:ty, $row:ident, $block:ident) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = $feature)]
+        unsafe fn $row(
+            a_base: *const $elem,
+            a_stride: usize,
+            depth: usize,
+            b: *const $elem,
+            n: usize,
+            out_row: *mut $elem,
+        ) {
+            row_kernel_v::<$lane>(a_base, a_stride, depth, b, n, out_row);
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = $feature)]
+        unsafe fn $block(
+            apack: &[$elem],
+            bpack: &[$elem],
+            kc: usize,
+            mc: usize,
+            nc: usize,
+            c: *mut $elem,
+            ldc: usize,
+        ) {
+            block_kernel_v::<$lane>(apack, bpack, kc, mc, nc, c, ldc);
+        }
+    };
 }
 
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
-unsafe fn row_kernel_avx2(
-    a_base: *const f64,
-    a_stride: usize,
-    depth: usize,
-    b: *const f64,
-    n: usize,
-    out_row: *mut f64,
-) {
-    row_kernel_v::<x86::Avx2>(a_base, a_stride, depth, b, n, out_row);
-}
-
-fn row_kernel_scalar(
-    a_base: *const f64,
-    a_stride: usize,
-    depth: usize,
-    b: *const f64,
-    n: usize,
-    out_row: *mut f64,
-) {
-    // SAFETY: caller contracts forwarded from `strided_row`.
-    unsafe { row_kernel_v::<Scalar1>(a_base, a_stride, depth, b, n, out_row) }
-}
+kernel_wrappers!(
+    "avx2",
+    x86::Avx2F64,
+    f64,
+    row_kernel_avx2_f64,
+    block_kernel_avx2_f64
+);
+kernel_wrappers!(
+    "avx2,fma",
+    x86::FmaF64,
+    f64,
+    row_kernel_fma_f64,
+    block_kernel_fma_f64
+);
+kernel_wrappers!(
+    "avx512f",
+    x86::Avx512F64,
+    f64,
+    row_kernel_avx512_f64,
+    block_kernel_avx512_f64
+);
+kernel_wrappers!(
+    "avx2",
+    x86::Avx2F32,
+    f32,
+    row_kernel_avx2_f32,
+    block_kernel_avx2_f32
+);
+kernel_wrappers!(
+    "avx2,fma",
+    x86::FmaF32,
+    f32,
+    row_kernel_fma_f32,
+    block_kernel_fma_f32
+);
+kernel_wrappers!(
+    "avx512f",
+    x86::Avx512F32,
+    f32,
+    row_kernel_avx512_f32,
+    block_kernel_avx512_f32
+);
 
 /// Dispatch one strided row-kernel call through the active tier.
 ///
 /// `a` supplies the `depth` inner-dimension coefficients starting at
 /// `a_offset` with stride `a_stride`; `b` is the row-major right operand
 /// with `n` columns and `depth` rows; `out_row` is accumulated in place.
+#[inline]
+pub(crate) fn strided_row_elem<E: Elem>(
+    a: &[E],
+    a_offset: usize,
+    a_stride: usize,
+    depth: usize,
+    b: &[E],
+    n: usize,
+    out_row: &mut [E],
+) {
+    debug_assert_eq!(out_row.len(), n);
+    debug_assert!(depth == 0 || a_offset + (depth - 1) * a_stride < a.len());
+    debug_assert!(b.len() >= depth * n);
+    let a_base = unsafe { a.as_ptr().add(a_offset) };
+    // SAFETY: slice extents checked above; the tier is runtime-detected (or
+    // clamped to) a supported feature set.
+    unsafe {
+        E::row_kernel(
+            active_tier(),
+            a_base,
+            a_stride,
+            depth,
+            b.as_ptr(),
+            n,
+            out_row.as_mut_ptr(),
+        )
+    }
+}
+
+/// `f64` alias of [`strided_row_elem`] (the training-path call sites).
 #[inline]
 pub(crate) fn strided_row(
     a: &[f64],
@@ -281,51 +660,39 @@ pub(crate) fn strided_row(
     n: usize,
     out_row: &mut [f64],
 ) {
-    debug_assert_eq!(out_row.len(), n);
-    debug_assert!(depth == 0 || a_offset + (depth - 1) * a_stride < a.len());
-    debug_assert!(b.len() >= depth * n);
-    let a_base = unsafe { a.as_ptr().add(a_offset) };
-    let bp = b.as_ptr();
-    let op = out_row.as_mut_ptr();
-    match active_tier() {
-        #[cfg(target_arch = "x86_64")]
-        SimdTier::Avx2 => unsafe { row_kernel_avx2(a_base, a_stride, depth, bp, n, op) },
-        #[cfg(target_arch = "x86_64")]
-        SimdTier::Sse2 => unsafe { row_kernel_sse2(a_base, a_stride, depth, bp, n, op) },
-        _ => row_kernel_scalar(a_base, a_stride, depth, bp, n, op),
-    }
+    strided_row_elem::<f64>(a, a_offset, a_stride, depth, b, n, out_row);
 }
 
 // ---------------------------------------------------------------------------
 // Level 2: cache-blocked panel packing.
 // ---------------------------------------------------------------------------
 
-thread_local! {
-    /// Per-thread `A` pack buffer (`MR`-row panels), grow-only.
-    static PACK_A: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
-    /// Per-thread `B` pack buffer (`NR`-column panels), grow-only.
-    static PACK_B: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
-}
-
 /// Pack `B[pc..pc+kc, jc..jc+nc]` (row-major, leading dimension `ldb`) into
 /// `NR`-column panels: element `(kk, j)` of panel `jp` lands at
 /// `(jp·kc + kk)·nr + j`. Columns past `nc` are zero-padded so the
 /// microkernel always sees full panels (padded lanes never reach valid
 /// output elements).
+///
+/// The buffer grows monotonically and is **never re-zeroed**: every slot of
+/// the live `panels·kc·nr` region is either copied from `B` or explicitly
+/// written with the padding zero, so stale bytes from a previous (larger)
+/// call can never leak into this product.
 #[allow(clippy::too_many_arguments)]
-fn pack_b(
-    b: &[f64],
+fn pack_b<E: Elem>(
+    b: &[E],
     ldb: usize,
     pc: usize,
     kc: usize,
     jc: usize,
     nc: usize,
     nr: usize,
-    buf: &mut Vec<f64>,
+    buf: &mut Vec<E>,
 ) {
     let panels = nc.div_ceil(nr);
-    buf.clear();
-    buf.resize(panels * kc * nr, 0.0);
+    let need = panels * kc * nr;
+    if buf.len() < need {
+        buf.resize(need, E::ZERO);
+    }
     for jp in 0..panels {
         let cols = nr.min(nc - jp * nr);
         let dst_panel = jp * kc * nr;
@@ -333,18 +700,31 @@ fn pack_b(
             let src = (pc + kk) * ldb + jc + jp * nr;
             let dst = dst_panel + kk * nr;
             buf[dst..dst + cols].copy_from_slice(&b[src..src + cols]);
+            for pad in &mut buf[dst + cols..dst + nr] {
+                *pad = E::ZERO;
+            }
         }
     }
 }
 
 /// Pack `A[ic..ic+mc, pc..pc+kc]` (row-major, leading dimension `lda`) into
 /// `MR`-row panels: element `(r, kk)` of panel `ip` lands at
-/// `(ip·kc + kk)·MR + r`. Rows past `mc` are zero-padded.
-#[allow(clippy::too_many_arguments)]
-fn pack_a(a: &[f64], lda: usize, ic: usize, mc: usize, pc: usize, kc: usize, buf: &mut Vec<f64>) {
+/// `(ip·kc + kk)·MR + r`. Rows past `mc` are zero-padded; like [`pack_b`],
+/// the buffer grows monotonically and only padding slots are zeroed.
+fn pack_a<E: Elem>(
+    a: &[E],
+    lda: usize,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    buf: &mut Vec<E>,
+) {
     let panels = mc.div_ceil(MR);
-    buf.clear();
-    buf.resize(panels * kc * MR, 0.0);
+    let need = panels * kc * MR;
+    if buf.len() < need {
+        buf.resize(need, E::ZERO);
+    }
     for ip in 0..panels {
         let rows = MR.min(mc - ip * MR);
         let dst_panel = ip * kc * MR;
@@ -354,12 +734,19 @@ fn pack_a(a: &[f64], lda: usize, ic: usize, mc: usize, pc: usize, kc: usize, buf
                 buf[dst_panel + kk * MR + r] = a[src_row + kk];
             }
         }
+        if rows < MR {
+            for kk in 0..kc {
+                for r in rows..MR {
+                    buf[dst_panel + kk * MR + r] = E::ZERO;
+                }
+            }
+        }
     }
 }
 
 /// Full `MR × 2·LANES` register-tile microkernel over one packed stripe:
 /// loads the output tile, accumulates `kc` ascending-order terms per element
-/// (broadcast `A`, two `B` vectors, multiply then add), stores the tile back.
+/// (broadcast `A`, two `B` vectors), stores the tile back.
 ///
 /// # Safety
 ///
@@ -367,17 +754,17 @@ fn pack_a(a: &[f64], lda: usize, ic: usize, mc: usize, pc: usize, kc: usize, buf
 /// valid for an `MR × 2·LANES` tile with row stride `ldc`; lane intrinsics
 /// require the matching CPU feature.
 #[inline(always)]
-unsafe fn micro_full<V: SimdF64>(
+unsafe fn micro_full<V: SimdVec>(
     kc: usize,
-    ap: *const f64,
-    bp: *const f64,
-    c: *mut f64,
+    ap: *const V::E,
+    bp: *const V::E,
+    c: *mut V::E,
     ldc: usize,
 ) {
     let lanes = V::LANES;
     let nr = 2 * lanes;
-    let mut acc0 = [V::splat(0.0); MR];
-    let mut acc1 = [V::splat(0.0); MR];
+    let mut acc0 = [V::splat(V::E::ZERO); MR];
+    let mut acc1 = [V::splat(V::E::ZERO); MR];
     for r in 0..MR {
         acc0[r] = V::load(c.add(r * ldc));
         acc1[r] = V::load(c.add(r * ldc + lanes));
@@ -387,8 +774,8 @@ unsafe fn micro_full<V: SimdF64>(
         let b1 = V::load(bp.add(kk * nr + lanes));
         for r in 0..MR {
             let av = V::splat(*ap.add(kk * MR + r));
-            acc0[r] = acc0[r].add(av.mul(b0));
-            acc1[r] = acc1[r].add(av.mul(b1));
+            acc0[r] = acc0[r].mul_acc(av, b0);
+            acc1[r] = acc1[r].mul_acc(av, b1);
         }
     }
     for r in 0..MR {
@@ -398,20 +785,23 @@ unsafe fn micro_full<V: SimdF64>(
 }
 
 /// Scalar edge-tile kernel for partial `MR`/`NR` extents, reading the same
-/// packed panels. Identical ascending-`kk` single-chain accumulation, so
-/// edge tiles match full tiles bit-for-bit.
+/// packed panels. Identical ascending-`kk` single-chain accumulation with
+/// separate multiply/add roundings, so on bit-exact tiers edge tiles match
+/// full tiles bit-for-bit. (Under the fused tiers the edge tiles keep the
+/// separate roundings — which rows/columns are edges is fixed by the shape
+/// alone, so results stay deterministic.)
 ///
 /// # Safety
 ///
 /// Same panel/output validity contracts as [`micro_full`], restricted to
 /// `mr_eff` rows and `nr_eff` columns.
 #[allow(clippy::too_many_arguments)]
-unsafe fn micro_edge(
+unsafe fn micro_edge<E: Elem>(
     kc: usize,
-    ap: *const f64,
-    bp: *const f64,
+    ap: *const E,
+    bp: *const E,
     nr: usize,
-    c: *mut f64,
+    c: *mut E,
     ldc: usize,
     mr_eff: usize,
     nr_eff: usize,
@@ -420,7 +810,7 @@ unsafe fn micro_edge(
         for j in 0..nr_eff {
             let mut acc = *c.add(r * ldc + j);
             for kk in 0..kc {
-                acc += *ap.add(kk * MR + r) * *bp.add(kk * nr + j);
+                acc = E::mul_add_sep(acc, *ap.add(kk * MR + r), *bp.add(kk * nr + j));
             }
             *c.add(r * ldc + j) = acc;
         }
@@ -437,13 +827,13 @@ unsafe fn micro_edge(
 /// `ldc` covering `mc × nc` writable elements; panels must be packed for
 /// this block; lane intrinsics require the matching CPU feature.
 #[inline(always)]
-unsafe fn block_kernel_v<V: SimdF64>(
-    apack: &[f64],
-    bpack: &[f64],
+unsafe fn block_kernel_v<V: SimdVec>(
+    apack: &[V::E],
+    bpack: &[V::E],
     kc: usize,
     mc: usize,
     nc: usize,
-    c: *mut f64,
+    c: *mut V::E,
     ldc: usize,
 ) {
     let nr = 2 * V::LANES;
@@ -459,70 +849,38 @@ unsafe fn block_kernel_v<V: SimdF64>(
             if mr_eff == MR && nr_eff == nr {
                 micro_full::<V>(kc, apanel, bpanel, ctile, ldc);
             } else {
-                micro_edge(kc, apanel, bpanel, nr, ctile, ldc, mr_eff, nr_eff);
+                micro_edge::<V::E>(kc, apanel, bpanel, nr, ctile, ldc, mr_eff, nr_eff);
             }
         }
     }
 }
 
-#[cfg(target_arch = "x86_64")]
-unsafe fn block_kernel_sse2(
-    apack: &[f64],
-    bpack: &[f64],
-    kc: usize,
-    mc: usize,
-    nc: usize,
-    c: *mut f64,
-    ldc: usize,
-) {
-    block_kernel_v::<x86::Sse2>(apack, bpack, kc, mc, nc, c, ldc);
-}
-
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
-unsafe fn block_kernel_avx2(
-    apack: &[f64],
-    bpack: &[f64],
-    kc: usize,
-    mc: usize,
-    nc: usize,
-    c: *mut f64,
-    ldc: usize,
-) {
-    block_kernel_v::<x86::Avx2>(apack, bpack, kc, mc, nc, c, ldc);
-}
-
-/// Pack one `A` block into the thread-local buffer and run the tier's block
-/// kernel over the packed `B` stripe.
+/// Pack one `A` block into the calling thread's buffer and run the tier's
+/// block kernel over the packed `B` stripe.
 #[allow(clippy::too_many_arguments)]
-fn process_row_block(
+fn process_row_block<E: Elem>(
     tier: SimdTier,
-    a: &[f64],
+    a: &[E],
     lda: usize,
     ic: usize,
     mc: usize,
     pc: usize,
     kc: usize,
-    bpack: &[f64],
+    bpack: &[E],
     nc: usize,
-    c_block: &mut [f64],
+    c_block: &mut [E],
     ldc: usize,
     c_col: usize,
 ) {
-    PACK_A.with(|buf| {
-        let mut apack = buf.borrow_mut();
-        pack_a(a, lda, ic, mc, pc, kc, &mut apack);
+    E::with_pack_a(|apack| {
+        pack_a(a, lda, ic, mc, pc, kc, apack);
+        let live = mc.div_ceil(MR) * kc * MR;
         let c = unsafe { c_block.as_mut_ptr().add(c_col) };
         // SAFETY: `c` spans `mc` rows of stride `ldc` inside `c_block`, the
-        // panels were packed for exactly this block, and the tier was
+        // panels were packed for exactly this block (the buffer may be
+        // larger; only the live prefix is passed), and the tier was
         // runtime-detected (or clamped to) a supported feature set.
-        match tier {
-            #[cfg(target_arch = "x86_64")]
-            SimdTier::Avx2 => unsafe { block_kernel_avx2(&apack, bpack, kc, mc, nc, c, ldc) },
-            #[cfg(target_arch = "x86_64")]
-            SimdTier::Sse2 => unsafe { block_kernel_sse2(&apack, bpack, kc, mc, nc, c, ldc) },
-            _ => unsafe { block_kernel_v::<Scalar1>(&apack, bpack, kc, mc, nc, c, ldc) },
-        }
+        unsafe { E::block_kernel(tier, &apack[..live], bpack, kc, mc, nc, c, ldc) }
     });
 }
 
@@ -530,14 +888,15 @@ fn process_row_block(
 /// (row-major `m×n`, pre-seeded with zeros or a broadcast bias). Row blocks
 /// fan out over the rayon pool when `parallel` is set; every output element
 /// is produced by exactly one task with a fixed accumulation chain, so the
-/// parallel and sequential paths are byte-identical.
-pub(crate) fn packed_matmul(
-    a: &[f64],
+/// parallel and sequential paths are byte-identical (on every tier — the
+/// fused tiers differ from *scalar*, not from themselves).
+pub(crate) fn packed_matmul<E: Elem>(
+    a: &[E],
     m: usize,
     k: usize,
-    b: &[f64],
+    b: &[E],
     n: usize,
-    out: &mut [f64],
+    out: &mut [E],
     parallel: bool,
 ) {
     use rayon::prelude::*;
@@ -545,7 +904,7 @@ pub(crate) fn packed_matmul(
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
     let tier = active_tier();
-    let nr = 2 * tier.lanes();
+    let nr = 2 * E::lanes(tier);
     // Row-block height: `MC` alone would hand a single block (and therefore
     // a single thread) any product with `m <= MC`, so when parallel, shrink
     // blocks until every executor gets a few to steal. The height is derived
@@ -566,10 +925,10 @@ pub(crate) fn packed_matmul(
         let mut pc = 0;
         while pc < k {
             let kc = KC.min(k - pc);
-            PACK_B.with(|buf| {
-                let mut bpack_ref = buf.borrow_mut();
-                pack_b(b, n, pc, kc, jc, nc, nr, &mut bpack_ref);
-                let bpack: &[f64] = &bpack_ref;
+            E::with_pack_b(|bpack_buf| {
+                pack_b(b, n, pc, kc, jc, nc, nr, bpack_buf);
+                let live = nc.div_ceil(nr) * kc * nr;
+                let bpack: &[E] = &bpack_buf[..live];
                 if parallel {
                     out.par_chunks_mut(block_rows * n)
                         .enumerate()

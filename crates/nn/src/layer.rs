@@ -1,9 +1,12 @@
-//! Linear layers and activations with manual forward/backward passes.
+//! Linear layers and activations with manual forward/backward passes,
+//! plus the forward-only `f32` mirror ([`LinearLayer32`]) the inference
+//! tier runs on.
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::matrix::Matrix;
+use crate::matrix32::Matrix32;
 
 /// Activation applied element-wise after a linear layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -24,6 +27,26 @@ pub enum Activation {
 impl Activation {
     /// Apply the activation.
     pub fn forward(self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::LeakyRelu => {
+                if x >= 0.0 {
+                    x
+                } else {
+                    0.2 * x
+                }
+            }
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Apply the activation in `f32` (native single-precision transcendental
+    /// ops — not a cast round-trip through [`Activation::forward`], so the
+    /// inference tier never pays `f64` tanh/exp latency). Agreement with the
+    /// `f64` path is covered by the end-to-end distribution-delta tests.
+    pub fn forward_f32(self, x: f32) -> f32 {
         match self {
             Activation::Identity => x,
             Activation::Relu => x.max(0.0),
@@ -193,6 +216,47 @@ impl LinearLayer {
     }
 }
 
+/// Forward-only `f32` mirror of a fitted [`LinearLayer`] — the inference
+/// tier. Built once from the trained `f64` weights
+/// ([`LinearLayer32::from_f64`]); carries no gradients, caches or serde.
+#[derive(Debug, Clone)]
+pub struct LinearLayer32 {
+    /// Weight matrix, shape (in_dim × out_dim), down-converted once.
+    weights: Matrix32,
+    /// Bias vector, length out_dim.
+    bias: Vec<f32>,
+    /// Activation applied after the affine map.
+    activation: Activation,
+}
+
+impl LinearLayer32 {
+    /// Down-convert a fitted layer (round-to-nearest per parameter).
+    pub fn from_f64(layer: &LinearLayer) -> Self {
+        Self {
+            weights: Matrix32::from_f64(&layer.weights),
+            bias: layer.bias.iter().map(|&b| b as f32).collect(),
+            activation: layer.activation,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Inference forward pass into a caller-owned buffer: affine map, bias
+    /// and activation fused into one `f32` kernel pass.
+    pub fn infer_into(&self, input: &Matrix32, out: &mut Matrix32) {
+        let act = self.activation;
+        input.matmul_bias_act_into(&self.weights, &self.bias, |v| act.forward_f32(v), out);
+    }
+}
+
 impl Layer for LinearLayer {
     fn forward(&mut self, input: &Matrix) -> Matrix {
         let mut out = Matrix::default();
@@ -275,6 +339,36 @@ mod tests {
             // And reuse of the cache buffers on a second batch must be clean.
             let x2 = Matrix::randn(3, 6, 1.0, &mut rng);
             assert_eq!(layer.forward(&x2), layer.infer(&x2));
+        }
+    }
+
+    #[test]
+    fn f32_layer_tracks_f64_within_single_precision() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for act in [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::LeakyRelu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+        ] {
+            let mut layer = LinearLayer::new(12, 9, act, &mut rng);
+            for (i, b) in layer.bias.iter_mut().enumerate() {
+                *b = (i as f64 * 0.3).sin();
+            }
+            let layer32 = LinearLayer32::from_f64(&layer);
+            assert_eq!(layer32.in_dim(), 12);
+            assert_eq!(layer32.out_dim(), 9);
+            let x = Matrix::randn(6, 12, 1.0, &mut rng);
+            let want = layer.infer(&x);
+            let mut got = Matrix32::default();
+            layer32.infer_into(&Matrix32::from_f64(&x), &mut got);
+            for (i, (&g, &w)) in got.data().iter().zip(want.data()).enumerate() {
+                assert!(
+                    (g as f64 - w).abs() <= 1e-4 * (1.0 + w.abs()),
+                    "{act:?} element {i}: f32 {g} vs f64 {w}"
+                );
+            }
         }
     }
 

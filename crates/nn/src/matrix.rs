@@ -36,8 +36,9 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Work threshold (output cells × inner dimension) above which matmul runs
-/// in parallel.
-const PAR_THRESHOLD: usize = 64 * 64 * 64;
+/// in parallel (shared with the `f32` inference matrix in
+/// [`crate::matrix32`]).
+pub(crate) const PAR_THRESHOLD: usize = 64 * 64 * 64;
 
 /// Square block edge for the cache-blocked transpose.
 const TRANSPOSE_BLOCK: usize = 32;
@@ -331,6 +332,31 @@ impl Matrix {
                 kernels::strided_row(&self.data, r * k, 1, k, &other.data, n, out_row);
             });
         }
+    }
+
+    /// Bench/test hook: run the cache-blocked packed driver unconditionally
+    /// with an explicit `parallel` flag, bypassing the [`kernels::use_packed`]
+    /// shape split and the work threshold. This is how `perf_report` measures
+    /// the multi-threaded packed legs against their own single-threaded tier
+    /// within one process; it is not part of the stable API.
+    #[doc(hidden)]
+    pub fn matmul_packed_with(&self, other: &Matrix, parallel: bool) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} × {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        kernels::packed_matmul(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+            parallel,
+        );
+        out
     }
 
     /// Sequential matrix product through the direct (unpacked) row kernels —
@@ -698,6 +724,18 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    /// The byte-for-byte pins against the frozen scalar reference only hold
+    /// on the bit-exact tiers; under a forced `SURROGATE_SIMD=fma`/`avx512`
+    /// run those contracts are covered by the tolerance oracle in
+    /// `tests/simd_kernels.rs` instead.
+    fn bit_exact_tier() -> bool {
+        let exact = crate::simd::active_tier().bit_exact();
+        if !exact {
+            eprintln!("skipping byte-identity pin: fused tier active");
+        }
+        exact
+    }
+
     #[test]
     fn matmul_small_known_result() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
@@ -737,7 +775,9 @@ mod tests {
             "parallel and sequential products must be byte-identical"
         );
         // And both must agree exactly with the pre-PR reference kernel.
-        assert_eq!(seq, reference::matmul(&a, &b));
+        if bit_exact_tier() {
+            assert_eq!(seq, reference::matmul(&a, &b));
+        }
     }
 
     #[test]
@@ -745,6 +785,9 @@ mod tests {
         // Odd shapes straddle every unroll/tile boundary: k ∈ {1..5, 127,
         // 128, 129} exercises the 4-wide remainder, n=513 exercises the
         // column-tile seam.
+        if !bit_exact_tier() {
+            return;
+        }
         let mut rng = StdRng::seed_from_u64(7);
         for &(m, k, n) in &[
             (1usize, 1usize, 1usize),
@@ -857,6 +900,9 @@ mod tests {
         // 130x520x130 comfortably crosses the packed threshold (k·n = 67600)
         // and straddles the MR/NR/KC/MC panel seams; the packed driver must
         // still be byte-identical to the seed reference on finite data.
+        if !bit_exact_tier() {
+            return;
+        }
         let mut rng = StdRng::seed_from_u64(47);
         let a = Matrix::randn(130, 520, 1.0, &mut rng);
         let b = Matrix::randn(520, 130, 1.0, &mut rng);

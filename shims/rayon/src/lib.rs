@@ -74,6 +74,20 @@ mod pool {
 
     static POOL: OnceLock<Pool> = OnceLock::new();
 
+    std::thread_local! {
+        /// Stable index of the current pool worker (`0..workers`), `None` on
+        /// every thread the pool did not spawn — including the caller, which
+        /// participates in jobs but is not a worker. Mirrors upstream
+        /// rayon's `current_thread_index` semantics.
+        static WORKER_INDEX: std::cell::Cell<Option<usize>> =
+            const { std::cell::Cell::new(None) };
+    }
+
+    /// The calling thread's pool-worker index, if it is a pool worker.
+    pub(crate) fn current_worker_index() -> Option<usize> {
+        WORKER_INDEX.with(std::cell::Cell::get)
+    }
+
     /// Background workers to spawn: `RAYON_NUM_THREADS` executors when set
     /// to a positive integer (minus the participating caller), otherwise
     /// the detected parallelism (minus the caller).
@@ -101,10 +115,13 @@ mod pool {
             started: Once::new(),
         });
         pool.started.call_once(|| {
-            for _ in 0..pool.workers {
+            for index in 0..pool.workers {
                 // Detached daemon threads: they park on the condvar whenever
                 // no job has chunks left and die with the process.
-                std::thread::spawn(move || worker_loop(POOL.get().expect("pool initialized")));
+                std::thread::spawn(move || {
+                    WORKER_INDEX.with(|slot| slot.set(Some(index)));
+                    worker_loop(POOL.get().expect("pool initialized"))
+                });
             }
         });
         pool
@@ -413,6 +430,16 @@ pub fn current_num_threads() -> usize {
     pool::executors()
 }
 
+/// The current thread's index within the pool, or `None` if the thread is
+/// not a pool worker (the calling thread, even while executing chunks of a
+/// job, is *not* a worker). Worker indices are stable for the life of the
+/// process and lie in `0..current_num_threads() - 1`. Mirrors upstream
+/// rayon's function of the same name; callers use it to key per-thread
+/// scratch space (e.g. the packed-matmul pack buffers) without contention.
+pub fn current_thread_index() -> Option<usize> {
+    pool::current_worker_index()
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -493,6 +520,41 @@ mod tests {
             .collect();
         let expected: Vec<usize> = (0..8).map(|i| (0..64).map(|j| i * j).sum()).collect();
         assert_eq!(totals, expected);
+    }
+
+    #[test]
+    fn thread_index_is_none_on_caller_and_bounded_on_workers() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        // Outside any pool context the calling thread has no index.
+        assert_eq!(crate::current_thread_index(), None);
+        let max_workers = crate::current_num_threads() - 1;
+        let seen: Mutex<HashSet<Option<usize>>> = Mutex::new(HashSet::new());
+        (0..128).into_par_iter().for_each(|_| {
+            let idx = crate::current_thread_index();
+            if let Some(i) = idx {
+                assert!(i < max_workers, "worker index {i} out of range");
+            }
+            seen.lock().unwrap().insert(idx);
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        });
+        // The caller participates in every job, so `None` must appear
+        // whenever it executed at least one chunk; with zero workers it is
+        // the only executor.
+        if max_workers == 0 {
+            assert_eq!(seen.lock().unwrap().len(), 1);
+            assert!(seen.lock().unwrap().contains(&None));
+        }
+        // And the index is stable: re-running must not invent new indices.
+        let before: HashSet<Option<usize>> = seen.lock().unwrap().clone();
+        (0..128).into_par_iter().for_each(|_| {
+            let idx = crate::current_thread_index();
+            assert!(
+                idx.is_none() || idx.is_some_and(|i| i < max_workers),
+                "unstable index {idx:?}"
+            );
+        });
+        assert!(before.len() <= max_workers + 1);
     }
 
     #[test]

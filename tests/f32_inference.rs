@@ -1,0 +1,144 @@
+//! End-to-end validation of the `f32` inference/sampling tier.
+//!
+//! The `f32` path cannot be validated bitwise against `f64` — rounding the
+//! fitted weights once and running every forward pass in single precision
+//! necessarily moves individual values. What the tier *does* promise is
+//! distributional equivalence: each model's `sample_f32` draws the same RNG
+//! stream as `sample`, so the two synthetic tables for one seed are the
+//! same draw at two precisions, and their Wasserstein / Jensen-Shannon
+//! deltas must be tiny. These tests pin those deltas, plus the guarantees
+//! that *are* exact: seed determinism of the f32 path and the default
+//! trait-method passthrough.
+
+use panda_surrogate::metrics::{mean_jsd, mean_wasserstein};
+use panda_surrogate::surrogate::{
+    CtabGan, CtabGanConfig, SmoteConfig, SmoteSampler, SurrogateError, TabDdpm, TabDdpmConfig,
+    TabularGenerator, Tvae, TvaeConfig,
+};
+use panda_surrogate::tabular::{Column, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Two-cluster toy table: (small workload, "BNL") vs (large workload,
+/// "CERN"), the shape the per-model unit tests train on.
+fn toy(n: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        if rng.gen_bool(0.65) {
+            values.push(rng.gen_range(1.0..10.0));
+            labels.push("BNL");
+        } else {
+            values.push(rng.gen_range(80.0..120.0));
+            labels.push("CERN");
+        }
+    }
+    let mut t = Table::new();
+    t.push_column("workload", Column::Numerical(values))
+        .unwrap();
+    t.push_column("site", Column::from_labels(&labels)).unwrap();
+    t
+}
+
+/// Fit `model`, sample both tiers from one seed, and pin the f32 tier's
+/// contract: schema parity, seed determinism, and distributional deltas
+/// within `wd_bound` / `jsd_bound` of the f64 draw.
+fn check_f32_tier<G: TabularGenerator>(mut model: G, train: &Table, wd_bound: f64, jsd_bound: f64) {
+    model.fit(train).unwrap();
+    let n = 400;
+    let hi = model.sample(n, 33).unwrap();
+    let lo = model.sample_f32(n, 33).unwrap();
+    let name = model.name();
+
+    assert_eq!(lo.n_rows(), n, "{name}: row count");
+    assert_eq!(lo.names(), hi.names(), "{name}: schema");
+
+    // Deterministic given the seed, and seed-sensitive.
+    assert_eq!(
+        lo,
+        model.sample_f32(n, 33).unwrap(),
+        "{name}: f32 sampling must be seed-deterministic"
+    );
+    assert_ne!(
+        lo,
+        model.sample_f32(n, 34).unwrap(),
+        "{name}: different seeds must differ"
+    );
+
+    // Distributional deltas between the two precisions of the same draw.
+    let wd = mean_wasserstein(&hi, &lo);
+    assert!(
+        wd <= wd_bound,
+        "{name}: f32 vs f64 Wasserstein delta {wd} exceeds {wd_bound}"
+    );
+    let jsd = mean_jsd(&hi, &lo);
+    assert!(
+        jsd <= jsd_bound,
+        "{name}: f32 vs f64 JSD delta {jsd} exceeds {jsd_bound}"
+    );
+
+    // And the f32 tier must track the training data about as well as the
+    // f64 tier does (no silent fidelity collapse from the precision drop).
+    let fidelity_gap = (mean_wasserstein(train, &lo) - mean_wasserstein(train, &hi)).abs();
+    assert!(
+        fidelity_gap <= wd_bound,
+        "{name}: fidelity gap vs train {fidelity_gap} exceeds {wd_bound}"
+    );
+}
+
+#[test]
+fn tvae_f32_sampling_is_distributionally_equivalent() {
+    // One decoder forward pass: single-precision rounding barely moves the
+    // decoded quantiles.
+    check_f32_tier(Tvae::new(TvaeConfig::fast()), &toy(300, 1), 0.02, 0.05);
+}
+
+#[test]
+fn ctabgan_f32_sampling_is_distributionally_equivalent() {
+    // One generator forward pass + argmax decode; categorical flips are
+    // possible only for rows sitting exactly on a decision boundary.
+    check_f32_tier(
+        CtabGan::new(CtabGanConfig::fast()),
+        &toy(300, 2),
+        0.02,
+        0.05,
+    );
+}
+
+#[test]
+fn tabddpm_f32_sampling_is_distributionally_equivalent() {
+    // The reverse process feeds f32 outputs back through the denoiser for
+    // `timesteps` rounds, so rounding can amplify; the bound is looser but
+    // still pins distributional equivalence.
+    check_f32_tier(
+        TabDdpm::new(TabDdpmConfig::fast()),
+        &toy(300, 3),
+        0.05,
+        0.08,
+    );
+}
+
+#[test]
+fn default_sample_f32_is_the_f64_path() {
+    // Models without an f32 override (SMOTE interpolates rows directly; no
+    // MLP to down-convert) fall back to `sample` — bit-identical tables.
+    let train = toy(200, 4);
+    let mut smote = SmoteSampler::new(SmoteConfig::default());
+    smote.fit(&train).unwrap();
+    assert_eq!(
+        smote.sample_f32(100, 7).unwrap(),
+        smote.sample(100, 7).unwrap()
+    );
+}
+
+#[test]
+fn f32_sampling_before_fit_errors_like_f64() {
+    for result in [
+        TabDdpm::new(TabDdpmConfig::fast()).sample_f32(5, 0),
+        CtabGan::new(CtabGanConfig::fast()).sample_f32(5, 0),
+        Tvae::new(TvaeConfig::fast()).sample_f32(5, 0),
+    ] {
+        assert!(matches!(result, Err(SurrogateError::NotFitted(_))));
+    }
+}
