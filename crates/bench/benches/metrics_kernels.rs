@@ -27,9 +27,11 @@ fn bench_distribution_metrics(c: &mut Criterion) {
     let mut group = c.benchmark_group("metric_kernels_5k_rows");
     group.sample_size(10);
     group.bench_function("mean_wasserstein", |b| {
-        b.iter(|| mean_wasserstein(&real, &synthetic))
+        b.iter(|| mean_wasserstein(&real, &synthetic).unwrap())
     });
-    group.bench_function("mean_jsd", |b| b.iter(|| mean_jsd(&real, &synthetic)));
+    group.bench_function("mean_jsd", |b| {
+        b.iter(|| mean_jsd(&real, &synthetic).unwrap())
+    });
     group.bench_function("association_matrix", |b| {
         b.iter(|| association_matrix(&real))
     });

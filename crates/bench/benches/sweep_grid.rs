@@ -61,6 +61,8 @@ fn bench_artifact_round_trip(c: &mut Criterion) {
             model: cell.model.name().to_string(),
             ok: true,
             error: None,
+            error_kind: None,
+            attempts: 1,
             train_rows: Some(1_000),
             synthetic_rows: Some(1_000),
             wall_ms: 1.0,
@@ -91,9 +93,13 @@ fn bench_artifact_round_trip(c: &mut Criterion) {
     });
     group.bench_function("resume_noop_512_cells", |b| {
         b.iter(|| {
-            run_sweep_resumable_with(&grid, &options, None, Some(&report), |_, train| {
-                Ok(train.clone())
-            })
+            run_sweep_resumable_with(
+                &grid,
+                &options,
+                None,
+                Some(&report),
+                |_, train, _: &surrogate::FitContext| Ok(train.clone()),
+            )
             .unwrap()
         })
     });

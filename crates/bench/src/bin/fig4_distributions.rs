@@ -79,7 +79,8 @@ fn main() {
                 values.to_vec()
             };
             let pmf = histogram_with_range(&values, BINS, min, max).pmf();
-            let wd = wasserstein_1d_normalized(gt, synthetic.numerical(feature).unwrap());
+            let wd = wasserstein_1d_normalized(gt, synthetic.numerical(feature).unwrap())
+                .expect("non-degenerate samples");
             println!("  {:<10} {}  (WD = {:.3})", name, sparkline(&pmf), wd);
             per_model.insert((*name).to_string(), pmf);
         }

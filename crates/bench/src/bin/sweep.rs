@@ -19,13 +19,29 @@
 //! * `--drop-last K IN.json` truncates an artifact (test/CI surgery for the
 //!   resume smoke).
 //!
+//! Fault-tolerance modes (see `surrogate::fault`):
+//!
+//! * `--budget-ms N` / `--max-epochs N` cap every cell's fit, turning a
+//!   runaway fit into a typed `budget` row instead of a hung shard;
+//! * `--retries N` re-runs a failed cell up to N times under deterministic
+//!   per-attempt reseeds (budget trips never retry);
+//! * `--journal PATH` appends every completed cell row to a crash-safe,
+//!   fsync'd journal; `--resume` accepts either a full artifact or such a
+//!   journal (sniffed by its `{"journal_version"` prefix), folding a torn
+//!   tail away, so a SIGKILL'd sweep resumes from its last completed cell;
+//! * `--inject SPEC` deterministically injects faults at named cells
+//!   (`cell3:panic,cell7:delay:200ms,cell9:nan,cell2:budget`) so CI can
+//!   exercise all of the above without timing races.
+//!
 //! Usage:
 //!   sweep [--seeds 2024..2032 | 2024,2025] [--budgets fast,standard]
 //!         [--models tabddpm,smote] [--grid default,tier2_heavy]
 //!         [--rows N] [--days D] [--sample-rows N] [--no-mlef]
 //!         [--sequential] [--quick] [--strict] [--shard I/N]
-//!         [--resume PRIOR.json] [--out PATH] [--canonical-out PATH]
-//!         [--csv PATH]
+//!         [--resume PRIOR.json|JOURNAL.jsonl] [--out PATH]
+//!         [--canonical-out PATH] [--csv PATH] [--retries N]
+//!         [--budget-ms N] [--max-epochs N] [--journal PATH]
+//!         [--inject SPEC]
 //!   sweep --merge A.json B.json … [--allow-partial] [--out PATH]
 //!         [--canonical-out PATH]
 //!   sweep --drop-last K IN.json [--out PATH]
@@ -36,12 +52,15 @@
 //! laptop). `--quick` is the CI smoke grid: 2 seeds × smoke budget × the
 //! `small` preset × all four models = 8 cells at 2500 gross records.
 
+use std::time::Duration;
+
 use metrics::{mean_report, EvaluationConfig, SurrogateReport};
 use surrogate::sweep::{
-    run_sweep_resumable, NamedGeneratorConfig, ShardSpec, SweepCellRow, SweepGrid, SweepOptions,
-    SweepReport,
+    grid_fingerprint, run_sweep_resumable_journaled, JournalHeader, JournalWriter,
+    NamedGeneratorConfig, ShardSpec, SweepCellRow, SweepGrid, SweepOptions, SweepReport,
+    JOURNAL_VERSION,
 };
-use surrogate::{ExecutionMode, ModelKind, TrainingBudget};
+use surrogate::{CellBudget, ExecutionMode, FaultPlan, ModelKind, TrainingBudget};
 
 const USAGE: &str = "\
 sweep: scenario-sweep runtime over the surrogate experiment pipeline
@@ -60,12 +79,25 @@ run mode:
   --strict               exit non-zero if ANY cell fails (default: only when all do)
   --shard I/N            run only cells with index % N == I (round-robin over the
                          axis-major order); merge the N artifacts with --merge
-  --resume PRIOR.json    load completed cells from a prior artifact of the SAME
-                         grid (fingerprint-checked) and run only the rest
+  --resume PRIOR.json    load completed cells from a prior artifact OR a crash
+                         journal of the SAME grid (fingerprint-checked) and run
+                         only the rest; journals may have a torn last line
   --out PATH             JSON artifact path (default SWEEP.json)
   --canonical-out PATH   also write the artifact with wall-clock fields zeroed
                          (the form CI byte-compares across shards/resumes)
   --csv PATH             also write per-cell metrics rows as CSV (cell id in the model column)
+
+fault tolerance:
+  --budget-ms N          per-cell wall-clock budget in milliseconds (N >= 1);
+                         a tripped cell becomes a typed 'budget' row
+  --max-epochs N         per-cell training-epoch cap (0 trips immediately)
+  --retries N            retry failed cells up to N times with deterministic
+                         per-attempt reseeds (budget trips never retry)
+  --journal PATH         append each completed cell row to a crash-safe journal
+                         (fsync'd line-delimited JSON) usable with --resume
+  --inject SPEC          deterministic fault injection at named cells, e.g.
+                         cell3:panic,cell7:delay:200ms,cell9:nan,cell2:budget
+                         (panic/nan accept :K to fail only the first K attempts)
 
 merge mode:
   --merge A.json B.json ...  validate + recombine disjoint shard artifacts
@@ -92,6 +124,11 @@ const VALUE_FLAGS: &[&str] = &[
     "--canonical-out",
     "--csv",
     "--drop-last",
+    "--retries",
+    "--budget-ms",
+    "--max-epochs",
+    "--journal",
+    "--inject",
 ];
 
 /// Exit for malformed command lines (bad flag syntax, unknown names).
@@ -199,6 +236,34 @@ fn dedup_axis<T, K: PartialEq>(what: &str, values: Vec<T>, key: impl Fn(&T) -> K
     unique
 }
 
+/// Parse `--retries N` (any non-negative count; 0 disables retries).
+fn parse_retries(text: &str) -> Result<u32, String> {
+    text.trim()
+        .parse::<u32>()
+        .map_err(|_| format!("bad --retries '{text}' (want a non-negative integer)"))
+}
+
+/// Parse `--budget-ms N` (a wall-clock cap must be at least 1 ms — 0 would
+/// fail every cell before its first epoch; use --max-epochs 0 to express
+/// that deterministically).
+fn parse_budget_ms(text: &str) -> Result<u64, String> {
+    match text.trim().parse::<u64>() {
+        Ok(0) => Err(format!(
+            "bad --budget-ms '{text}' (want >= 1; use --max-epochs 0 for an immediate trip)"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("bad --budget-ms '{text}' (want an integer >= 1)")),
+    }
+}
+
+/// Parse `--max-epochs N` (0 is allowed: the budget trips before the first
+/// epoch, which is how CI exercises the budget path without timing races).
+fn parse_max_epochs(text: &str) -> Result<usize, String> {
+    text.trim()
+        .parse::<usize>()
+        .map_err(|_| format!("bad --max-epochs '{text}' (want a non-negative integer)"))
+}
+
 /// Read an artifact back through the typed `Deserialize` path and check its
 /// structural invariants.
 fn read_report(path: &str) -> SweepReport {
@@ -210,6 +275,26 @@ fn read_report(path: &str) -> SweepReport {
         .validate()
         .unwrap_or_else(|e| runtime_error(&format!("invalid artifact {path}: {e}")));
     report
+}
+
+/// Read a `--resume` prior: either a full JSON artifact or a crash journal.
+/// Journals are sniffed by their `{"journal_version"` header prefix; a torn
+/// trailing line (the mark of a mid-append crash) is folded away by
+/// `SweepReport::recover_journal`.
+fn read_prior(path: &str) -> SweepReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| runtime_error(&format!("cannot read {path}: {e}")));
+    if text.trim_start().starts_with("{\"journal_version\"") {
+        let report = SweepReport::recover_journal(&text)
+            .unwrap_or_else(|e| runtime_error(&format!("cannot recover journal {path}: {e}")));
+        eprintln!(
+            "sweep: recovered {} completed cell(s) from journal {path}",
+            report.total_cells
+        );
+        report
+    } else {
+        read_report(path)
+    }
 }
 
 /// Render an artifact, write it, and prove the written bytes read back
@@ -391,6 +476,13 @@ fn run_main(args: &[String]) {
     } else {
         EvaluationConfig::fast()
     };
+    let budget = CellBudget {
+        wall_clock: value(args, "--budget-ms")
+            .map(|v| parse_budget_ms(&v).unwrap_or_else(|e| usage_error(&e)))
+            .map(Duration::from_millis),
+        max_epochs: value(args, "--max-epochs")
+            .map(|v| parse_max_epochs(&v).unwrap_or_else(|e| usage_error(&e))),
+    };
     let options = SweepOptions {
         mode: if flag(args, "--sequential") {
             ExecutionMode::Sequential
@@ -403,9 +495,18 @@ fn run_main(args: &[String]) {
             Ok(n) if n > 0 => n,
             _ => usage_error(&format!("bad --sample-rows '{v}' (want an integer >= 1)")),
         }),
+        budget,
+        retries: value(args, "--retries")
+            .map(|v| parse_retries(&v).unwrap_or_else(|e| usage_error(&e)))
+            .unwrap_or(0),
+        faults: value(args, "--inject")
+            .map(|v| {
+                FaultPlan::parse(&v).unwrap_or_else(|e| usage_error(&format!("bad --inject: {e}")))
+            })
+            .unwrap_or_else(FaultPlan::none),
     };
     let out_path = value(args, "--out").unwrap_or_else(|| "SWEEP.json".to_string());
-    let prior = value(args, "--resume").map(|path| read_report(&path));
+    let prior = value(args, "--resume").map(|path| read_prior(&path));
 
     if grid.is_empty() {
         usage_error("the grid is empty (every axis needs at least one value)");
@@ -420,8 +521,22 @@ fn run_main(args: &[String]) {
         shard.map(|s| format!(", shard {s}")).unwrap_or_default()
     );
 
-    let summary = run_sweep_resumable(&grid, &options, shard, prior.as_ref())
-        .unwrap_or_else(|e| runtime_error(&format!("cannot resume: {e}")));
+    // The journal is created after the fingerprint is final (grid + options
+    // both settled) so a recovered journal can be matched to its grid.
+    let journal = value(args, "--journal").map(|path| {
+        let header = JournalHeader {
+            journal_version: JOURNAL_VERSION,
+            grid_fingerprint: grid_fingerprint(&grid, &options),
+            grid_cells: grid.len(),
+            shard,
+        };
+        JournalWriter::create(std::path::Path::new(&path), &header)
+            .unwrap_or_else(|e| runtime_error(&format!("cannot create journal {path}: {e}")))
+    });
+
+    let summary =
+        run_sweep_resumable_journaled(&grid, &options, shard, prior.as_ref(), journal.as_ref())
+            .unwrap_or_else(|e| runtime_error(&format!("cannot resume: {e}")));
     let report = &summary.report;
     eprintln!(
         "sweep: executed {} cell(s), resumed {} from the prior artifact",
@@ -431,8 +546,10 @@ fn run_main(args: &[String]) {
     let failed = report.failed_cells;
     for row in report.cells.iter().filter(|row| !row.ok) {
         eprintln!(
-            "warning: cell {} failed: {}",
+            "warning: cell {} failed [{}, {} attempt(s)]: {}",
             row.id,
+            row.error_kind.as_deref().unwrap_or("unknown"),
+            row.attempts,
             row.error.as_deref().unwrap_or("unknown error")
         );
     }
@@ -581,5 +698,62 @@ mod tests {
     fn dedup_axis_keeps_first_occurrences_in_order() {
         let deduped = dedup_axis("--seeds", vec![3u64, 1, 3, 2, 1], |s| *s);
         assert_eq!(deduped, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn retries_parser_accepts_counts_and_rejects_garbage() {
+        assert_eq!(parse_retries("0").unwrap(), 0);
+        assert_eq!(parse_retries(" 3 ").unwrap(), 3);
+        for bad in ["", "-1", "two", "1.5"] {
+            assert!(
+                parse_retries(bad).unwrap_err().contains("--retries"),
+                "{bad:?} must be rejected with the flag name"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_ms_parser_requires_a_positive_cap() {
+        assert_eq!(parse_budget_ms("250").unwrap(), 250);
+        assert_eq!(parse_budget_ms(" 1 ").unwrap(), 1);
+        for bad in ["0", "", "-5", "fast", "1.5"] {
+            assert!(
+                parse_budget_ms(bad).unwrap_err().contains("--budget-ms"),
+                "{bad:?} must be rejected with the flag name"
+            );
+        }
+    }
+
+    #[test]
+    fn max_epochs_parser_allows_zero_for_immediate_trips() {
+        assert_eq!(parse_max_epochs("0").unwrap(), 0);
+        assert_eq!(parse_max_epochs("40").unwrap(), 40);
+        for bad in ["", "-1", "many"] {
+            assert!(
+                parse_max_epochs(bad).unwrap_err().contains("--max-epochs"),
+                "{bad:?} must be rejected with the flag name"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_flag_values_are_consumed_not_treated_as_positionals() {
+        let argv = args(&[
+            "--inject",
+            "cell0:panic",
+            "--retries",
+            "2",
+            "--journal",
+            "j.jsonl",
+            "--budget-ms",
+            "100",
+            "--max-epochs",
+            "5",
+            "in.json",
+        ]);
+        assert_eq!(positionals(&argv), args(&["in.json"]));
+        assert_eq!(value(&argv, "--inject").as_deref(), Some("cell0:panic"));
+        assert_eq!(value(&argv, "--retries").as_deref(), Some("2"));
+        assert_eq!(value(&argv, "--journal").as_deref(), Some("j.jsonl"));
     }
 }

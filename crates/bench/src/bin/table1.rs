@@ -38,7 +38,8 @@ fn main() {
 
     println!("\n{}", SurrogateReport::table_header());
     for (name, synthetic) in fits.successes() {
-        let report = evaluate_surrogate(name, &data.train, &data.test, synthetic, &evaluation);
+        let report = evaluate_surrogate(name, &data.train, &data.test, synthetic, &evaluation)
+            .expect("synthetic table is evaluable");
         println!("{}", report.table_row());
         reports.push(report);
     }

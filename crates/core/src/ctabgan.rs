@@ -27,6 +27,7 @@ use serde::{Deserialize, Serialize};
 use tabular::{FeatureKind, Table};
 
 use crate::codec::TableCodec;
+use crate::fault::FitControl;
 use crate::mixed::{mixed_activation, mixed_activation_backward, mixed_activation_into};
 use crate::traits::{SurrogateError, TabularGenerator};
 
@@ -167,6 +168,14 @@ impl TabularGenerator for CtabGan {
     }
 
     fn fit(&mut self, train: &Table) -> Result<(), SurrogateError> {
+        self.fit_with_control(train, &FitControl::unlimited())
+    }
+
+    fn fit_with_control(
+        &mut self,
+        train: &Table,
+        control: &FitControl,
+    ) -> Result<(), SurrogateError> {
         let codec = TableCodec::fit(train)?;
         let data = codec.encode(train)?;
         let width = codec.encoded_width();
@@ -250,7 +259,8 @@ impl TabularGenerator for CtabGan {
             d_targets.set(r, 0, 1.0);
         }
 
-        for _epoch in 0..cfg.epochs {
+        for epoch in 0..cfg.epochs {
+            control.check_epoch(epoch)?;
             let mut d_loss_sum = 0.0;
             let mut g_loss_sum = 0.0;
             for _ in 0..steps_per_epoch {
@@ -324,10 +334,12 @@ impl TabularGenerator for CtabGan {
                 generator.clip_gradients(5.0);
                 generator.apply_gradients(&mut adam, 20, lr);
             }
-            self.loss_history.push((
-                g_loss_sum / steps_per_epoch as f64,
-                d_loss_sum / (steps_per_epoch * cfg.discriminator_steps.max(1)) as f64,
-            ));
+            let g_mean = g_loss_sum / steps_per_epoch as f64;
+            let d_mean = d_loss_sum / (steps_per_epoch * cfg.discriminator_steps.max(1)) as f64;
+            if !g_mean.is_finite() || !d_mean.is_finite() {
+                return Err(SurrogateError::NonFiniteLoss { epoch });
+            }
+            self.loss_history.push((g_mean, d_mean));
         }
 
         self.codec = Some(codec);
@@ -455,5 +467,35 @@ mod tests {
             gan.sample(5, 0),
             Err(SurrogateError::NotFitted(_))
         ));
+    }
+
+    #[test]
+    fn budget_cancels_fit_and_nan_lr_is_detected() {
+        use crate::fault::CellBudget;
+        use std::time::Instant;
+
+        let train = toy(200, 8);
+        let mut gan = CtabGan::new(CtabGanConfig::fast());
+        let control = CellBudget {
+            max_epochs: Some(2),
+            wall_clock: None,
+        }
+        .control_from(Instant::now());
+        assert_eq!(
+            gan.fit_with_control(&train, &control),
+            Err(SurrogateError::BudgetExceeded {
+                completed_epochs: 2
+            })
+        );
+        assert_eq!(gan.loss_history.len(), 2);
+
+        let mut diverging = CtabGan::new(CtabGanConfig {
+            learning_rate: f64::NAN,
+            ..CtabGanConfig::fast()
+        });
+        assert_eq!(
+            diverging.fit(&train),
+            Err(SurrogateError::NonFiniteLoss { epoch: 0 })
+        );
     }
 }

@@ -17,11 +17,14 @@
 //!   any failures into an [`ExperimentError`] for callers that need
 //!   all-or-nothing semantics.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use rayon::prelude::*;
 
 use pandasim::{records_to_table, FilterFunnel, GeneratorConfig, WorkloadGenerator};
 use tabular::{train_test_split, SplitOptions, Table};
 
+use crate::fault::panic_message;
 use crate::pipeline::{fit_and_sample, ModelKind, TrainingBudget};
 use crate::traits::SurrogateError;
 
@@ -250,25 +253,26 @@ impl FitReport {
 /// Fit the requested models through an arbitrary fitter. This is the
 /// orchestration core that [`fit_all`] wraps: tests inject failing fitters
 /// here to exercise the error-aggregation path.
+///
+/// Each fit runs under [`catch_unwind`], so a panicking model is lowered to
+/// a per-model [`SurrogateError::Panicked`] outcome instead of poisoning the
+/// work queue (under rayon a propagated panic would abort every sibling
+/// fit).
 pub fn fit_models_with<F>(kinds: &[ModelKind], mode: ExecutionMode, fitter: F) -> FitReport
 where
     F: Fn(ModelKind) -> Result<Table, SurrogateError> + Sync,
 {
+    let run_one = |kind: ModelKind| ModelRun {
+        kind,
+        outcome: catch_unwind(AssertUnwindSafe(|| fitter(kind))).unwrap_or_else(|payload| {
+            Err(SurrogateError::Panicked {
+                message: panic_message(payload),
+            })
+        }),
+    };
     let runs = match mode {
-        ExecutionMode::Parallel => kinds
-            .par_iter()
-            .map(|&kind| ModelRun {
-                kind,
-                outcome: fitter(kind),
-            })
-            .collect(),
-        ExecutionMode::Sequential => kinds
-            .iter()
-            .map(|&kind| ModelRun {
-                kind,
-                outcome: fitter(kind),
-            })
-            .collect(),
+        ExecutionMode::Parallel => kinds.par_iter().map(|&kind| run_one(kind)).collect(),
+        ExecutionMode::Sequential => kinds.iter().map(|&kind| run_one(kind)).collect(),
     };
     FitReport { runs }
 }
@@ -390,5 +394,28 @@ mod tests {
         let error = report.into_tables().unwrap_err();
         assert_eq!(error.failures.len(), 1);
         assert!(error.to_string().contains("CTABGAN+"));
+    }
+
+    #[test]
+    fn panicking_fitter_is_isolated_to_its_own_model() {
+        for mode in [ExecutionMode::Sequential, ExecutionMode::Parallel] {
+            let report = fit_models_with(&ModelKind::ALL, mode, |kind| {
+                if kind == ModelKind::TabDdpm {
+                    panic!("injected panic in {}", kind.name());
+                }
+                Ok(Table::new())
+            });
+            assert_eq!(report.successes().count(), 3, "{mode:?}");
+            let failures: Vec<(ModelKind, &SurrogateError)> = report.failures().collect();
+            assert_eq!(failures.len(), 1, "{mode:?}");
+            assert_eq!(failures[0].0, ModelKind::TabDdpm);
+            assert_eq!(
+                failures[0].1,
+                &SurrogateError::Panicked {
+                    message: "injected panic in TabDDPM".to_string()
+                },
+                "{mode:?}"
+            );
+        }
     }
 }

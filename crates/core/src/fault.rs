@@ -1,0 +1,430 @@
+//! Fault-tolerance primitives for the sweep runtime.
+//!
+//! Three concerns live here, all deliberately independent of the executor so
+//! the model crates can depend on them without pulling in sweep machinery:
+//!
+//! * **Budgets** — [`CellBudget`] caps a single cell's fit by wall-clock
+//!   and/or epoch count. It lowers to a [`FitControl`] cancellation token
+//!   that the model epoch loops check once per epoch (zero cost on the hot
+//!   path), turning a runaway fit into a typed
+//!   [`SurrogateError::BudgetExceeded`] instead of a hung shard.
+//! * **Deterministic reseeding** — [`derive_attempt_seed`] folds a retry
+//!   attempt index into a cell's seed so bounded retries are reproducible:
+//!   attempt 0 uses the cell seed unchanged (retry-free sweeps stay
+//!   byte-identical to older artifacts) and attempt `k > 0` derives a fresh,
+//!   well-mixed stream.
+//! * **Fault injection** — [`FaultPlan`] parses `--inject` specs like
+//!   `cell3:panic,cell7:delay:200ms,cell9:nan` into per-cell faults the
+//!   executor applies at named cells, so panic capture, retry, and budget
+//!   paths are exercised in CI deterministically, without timing races.
+
+use std::any::Any;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use crate::traits::SurrogateError;
+
+/// Resource limits for one sweep cell's fit.
+///
+/// The default is unlimited on both axes, which keeps budget-free sweeps
+/// byte-identical to pre-budget artifacts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellBudget {
+    /// Maximum wall-clock time for the fit, measured from cell start.
+    pub wall_clock: Option<Duration>,
+    /// Maximum number of training epochs across the fit.
+    pub max_epochs: Option<usize>,
+}
+
+impl CellBudget {
+    /// A budget with no limits.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// True when neither axis is limited.
+    pub fn is_unlimited(&self) -> bool {
+        self.wall_clock.is_none() && self.max_epochs.is_none()
+    }
+
+    /// Lower this budget into the cancellation token handed to a fit that
+    /// started at `start`.
+    pub fn control_from(&self, start: Instant) -> FitControl {
+        FitControl {
+            deadline: self.wall_clock.map(|limit| start + limit),
+            max_epochs: self.max_epochs,
+        }
+    }
+}
+
+/// Cooperative cancellation token threaded into model epoch loops.
+///
+/// Checked once per epoch via [`FitControl::check_epoch`]; a fit that trips
+/// either limit returns [`SurrogateError::BudgetExceeded`] carrying the
+/// number of epochs it actually completed.
+#[derive(Debug, Clone, Copy)]
+pub struct FitControl {
+    /// Absolute deadline; `None` means no wall-clock limit.
+    pub deadline: Option<Instant>,
+    /// Epoch cap; `None` means no epoch limit.
+    pub max_epochs: Option<usize>,
+}
+
+impl FitControl {
+    /// A token that never cancels — the default for standalone fits.
+    pub fn unlimited() -> Self {
+        Self {
+            deadline: None,
+            max_epochs: None,
+        }
+    }
+
+    /// Called at the top of epoch `epoch` (0-based). Returns
+    /// `Err(BudgetExceeded { completed_epochs: epoch })` once a limit is
+    /// reached; the count is honest because epochs `0..epoch` finished.
+    pub fn check_epoch(&self, epoch: usize) -> Result<(), SurrogateError> {
+        if let Some(max) = self.max_epochs {
+            if epoch >= max {
+                return Err(SurrogateError::BudgetExceeded {
+                    completed_epochs: epoch,
+                });
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(SurrogateError::BudgetExceeded {
+                    completed_epochs: epoch,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Derive the RNG seed for retry attempt `attempt` of a cell seeded with
+/// `seed`. Attempt 0 is the seed unchanged — a retry-free sweep is
+/// byte-identical to one run without retry support — and later attempts are
+/// splitmix64-style mixes so each retry draws an independent stream.
+pub fn derive_attempt_seed(seed: u64, attempt: u32) -> u64 {
+    if attempt == 0 {
+        return seed;
+    }
+    let mut z = seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Render a panic payload as a message string.
+///
+/// `panic!("...")` payloads are `&str` or `String`; anything else gets a
+/// stable placeholder so the row is still serializable.
+pub fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// What to inject at a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside the fit. `fail_attempts: Some(k)` fails only the first
+    /// `k` attempts (so retries can be tested); `None` fails every attempt.
+    Panic { fail_attempts: Option<u32> },
+    /// Simulate a diverged fit (non-finite loss at epoch 0). Same attempt
+    /// semantics as `Panic`.
+    Nan { fail_attempts: Option<u32> },
+    /// Sleep before the fit — exercises wall-clock accounting.
+    Delay { ms: u64 },
+    /// Run the fit under an already-expired budget, tripping
+    /// `BudgetExceeded` deterministically without any timing dependence.
+    Budget,
+}
+
+impl FaultKind {
+    /// Does this fault fire on retry attempt `attempt` (0-based)?
+    pub fn applies(&self, attempt: u32) -> bool {
+        match self {
+            FaultKind::Panic { fail_attempts } | FaultKind::Nan { fail_attempts } => {
+                fail_attempts.is_none_or(|k| attempt < k)
+            }
+            FaultKind::Delay { .. } | FaultKind::Budget => true,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Panic {
+                fail_attempts: None,
+            } => write!(f, "panic"),
+            FaultKind::Panic {
+                fail_attempts: Some(k),
+            } => write!(f, "panic:{k}"),
+            FaultKind::Nan {
+                fail_attempts: None,
+            } => write!(f, "nan"),
+            FaultKind::Nan {
+                fail_attempts: Some(k),
+            } => write!(f, "nan:{k}"),
+            FaultKind::Delay { ms } => write!(f, "delay:{ms}ms"),
+            FaultKind::Budget => write!(f, "budget"),
+        }
+    }
+}
+
+/// One injected fault, addressed by flat cell index in axis-major order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Flat index of the target cell within the expanded grid.
+    pub cell: usize,
+    /// What to inject there.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell{}:{}", self.cell, self.kind)
+    }
+}
+
+/// A deterministic set of faults to inject into a sweep, parsed from specs
+/// like `cell3:panic,cell7:delay:200ms,cell9:nan,cell2:budget`.
+///
+/// The empty plan (the default) injects nothing and adds nothing to the
+/// fingerprint, so fault-free sweeps are unaffected.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The plan that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when no faults are planned.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The planned faults, in spec order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// The fault planned for the cell at flat index `index`, if any.
+    pub fn for_cell(&self, index: usize) -> Option<&Fault> {
+        self.faults.iter().find(|f| f.cell == index)
+    }
+
+    /// Parse a comma-separated fault spec. Each entry is
+    /// `cell<N>:panic[:K]`, `cell<N>:nan[:K]`, `cell<N>:delay:<MS>ms`, or
+    /// `cell<N>:budget`, where `K` bounds the failing attempts. Duplicate
+    /// cell indices and empty specs are rejected.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut faults: Vec<Fault> = Vec::new();
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                return Err(format!("empty fault entry in spec '{spec}'"));
+            }
+            let fault = Self::parse_entry(entry)?;
+            if faults.iter().any(|f| f.cell == fault.cell) {
+                return Err(format!("duplicate fault for cell{}", fault.cell));
+            }
+            faults.push(fault);
+        }
+        if faults.is_empty() {
+            return Err("empty fault spec".to_string());
+        }
+        Ok(Self { faults })
+    }
+
+    fn parse_entry(entry: &str) -> Result<Fault, String> {
+        let mut parts = entry.split(':');
+        let cell_part = parts.next().unwrap_or_default();
+        let cell = cell_part
+            .strip_prefix("cell")
+            .and_then(|n| n.parse::<usize>().ok())
+            .ok_or_else(|| format!("fault entry '{entry}' must start with 'cell<INDEX>:'"))?;
+        let kind_part = parts
+            .next()
+            .ok_or_else(|| format!("fault entry '{entry}' is missing a fault kind"))?;
+        let arg = parts.next();
+        if parts.next().is_some() {
+            return Err(format!("fault entry '{entry}' has too many ':' segments"));
+        }
+        let kind = match (kind_part, arg) {
+            ("panic", None) => FaultKind::Panic {
+                fail_attempts: None,
+            },
+            ("panic", Some(k)) => FaultKind::Panic {
+                fail_attempts: Some(parse_attempts(entry, k)?),
+            },
+            ("nan", None) => FaultKind::Nan {
+                fail_attempts: None,
+            },
+            ("nan", Some(k)) => FaultKind::Nan {
+                fail_attempts: Some(parse_attempts(entry, k)?),
+            },
+            ("delay", Some(ms)) => {
+                let digits = ms.strip_suffix("ms").ok_or_else(|| {
+                    format!("delay in '{entry}' must end in 'ms' (e.g. delay:200ms)")
+                })?;
+                let ms = digits.parse::<u64>().map_err(|_| {
+                    format!("delay in '{entry}' must be a whole number of milliseconds")
+                })?;
+                FaultKind::Delay { ms }
+            }
+            ("delay", None) => {
+                return Err(format!(
+                    "delay in '{entry}' needs a duration (e.g. delay:200ms)"
+                ))
+            }
+            ("budget", None) => FaultKind::Budget,
+            ("budget", Some(_)) => {
+                return Err(format!("budget fault in '{entry}' takes no argument"))
+            }
+            (other, _) => {
+                return Err(format!(
+                    "unknown fault kind '{other}' in '{entry}' \
+                     (expected panic, nan, delay or budget)"
+                ))
+            }
+        };
+        Ok(Fault { cell, kind })
+    }
+}
+
+fn parse_attempts(entry: &str, k: &str) -> Result<u32, String> {
+    k.parse::<u32>()
+        .map_err(|_| format!("attempt count in '{entry}' must be a non-negative integer"))
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{fault}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_round_trips_through_display() {
+        let spec = "cell3:panic,cell7:delay:200ms,cell9:nan,cell2:budget,cell5:panic:2";
+        let plan = FaultPlan::parse(spec).unwrap();
+        assert_eq!(plan.to_string(), spec);
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+        assert_eq!(plan.faults().len(), 5);
+        assert_eq!(
+            plan.for_cell(7).map(|f| f.kind),
+            Some(FaultKind::Delay { ms: 200 })
+        );
+        assert_eq!(plan.for_cell(4), None);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_messages() {
+        for spec in [
+            "",
+            "cell3",
+            "cell3:",
+            "3:panic",
+            "cellx:panic",
+            "cell3:explode",
+            "cell3:delay",
+            "cell3:delay:200",
+            "cell3:delay:fastms",
+            "cell3:budget:1",
+            "cell3:panic,cell3:nan",
+            "cell3:panic,,cell4:nan",
+            "cell3:panic:many",
+            "cell1:panic:1:2",
+        ] {
+            assert!(
+                FaultPlan::parse(spec).is_err(),
+                "accepted bad spec {spec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn attempt_bounded_faults_stop_applying() {
+        let plan =
+            FaultPlan::parse("cell0:panic:1,cell1:nan:2,cell2:panic,cell3:delay:5ms").unwrap();
+        let kind = |i: usize| plan.for_cell(i).unwrap().kind;
+        assert!(kind(0).applies(0) && !kind(0).applies(1));
+        assert!(kind(1).applies(1) && !kind(1).applies(2));
+        assert!(kind(2).applies(0) && kind(2).applies(7));
+        assert!(kind(3).applies(3), "delay applies on every attempt");
+    }
+
+    #[test]
+    fn attempt_zero_seed_is_unchanged_and_later_attempts_differ() {
+        for seed in [0u64, 1, 2024, u64::MAX] {
+            assert_eq!(derive_attempt_seed(seed, 0), seed);
+            let a1 = derive_attempt_seed(seed, 1);
+            let a2 = derive_attempt_seed(seed, 2);
+            assert_ne!(a1, seed);
+            assert_ne!(a1, a2);
+            // Deterministic: same inputs, same derived seed.
+            assert_eq!(a1, derive_attempt_seed(seed, 1));
+        }
+    }
+
+    #[test]
+    fn fit_control_trips_on_epoch_and_deadline() {
+        let unlimited = FitControl::unlimited();
+        assert!(unlimited.check_epoch(1_000_000).is_ok());
+
+        let capped = CellBudget {
+            max_epochs: Some(3),
+            wall_clock: None,
+        }
+        .control_from(Instant::now());
+        assert!(capped.check_epoch(2).is_ok());
+        assert_eq!(
+            capped.check_epoch(3),
+            Err(SurrogateError::BudgetExceeded {
+                completed_epochs: 3
+            })
+        );
+
+        let expired = CellBudget {
+            wall_clock: Some(Duration::ZERO),
+            max_epochs: None,
+        }
+        .control_from(Instant::now());
+        assert_eq!(
+            expired.check_epoch(0),
+            Err(SurrogateError::BudgetExceeded {
+                completed_epochs: 0
+            })
+        );
+    }
+
+    #[test]
+    fn budget_unlimited_reports_itself() {
+        assert!(CellBudget::unlimited().is_unlimited());
+        assert!(!CellBudget {
+            max_epochs: Some(1),
+            ..CellBudget::default()
+        }
+        .is_unlimited());
+    }
+}

@@ -34,6 +34,7 @@
 pub mod codec;
 pub mod ctabgan;
 pub mod experiment;
+pub mod fault;
 pub mod mixed;
 pub mod pipeline;
 pub mod smote;
@@ -49,12 +50,19 @@ pub use experiment::{
     sample_all_models, ExecutionMode, ExperimentError, ExperimentOptions, FitReport, ModelRun,
     PreparedData,
 };
-pub use pipeline::{build_model, fit_and_sample, ModelKind, TrainingBudget};
+pub use fault::{
+    derive_attempt_seed, panic_message, CellBudget, Fault, FaultKind, FaultPlan, FitControl,
+};
+pub use pipeline::{
+    build_model, fit_and_sample, fit_and_sample_controlled, ModelKind, TrainingBudget,
+};
 pub use smote::{SmoteConfig, SmoteSampler};
 pub use sweep::{
-    grid_fingerprint, run_cell, run_sweep, run_sweep_resumable, run_sweep_resumable_with,
-    run_sweep_with, CellRun, CellSuccess, NamedGeneratorConfig, ShardSpec, SweepArtifactError,
-    SweepCell, SweepCellRow, SweepGrid, SweepOptions, SweepOutcome, SweepReport, SweepRunSummary,
+    grid_fingerprint, run_cell, run_sweep, run_sweep_resumable, run_sweep_resumable_journaled,
+    run_sweep_resumable_observed, run_sweep_resumable_with, run_sweep_with, CellError, CellRun,
+    CellSuccess, FitContext, JournalHeader, JournalWriter, NamedGeneratorConfig, ShardSpec,
+    SweepArtifactError, SweepCell, SweepCellRow, SweepGrid, SweepOptions, SweepOutcome,
+    SweepReport, SweepRunSummary, JOURNAL_VERSION,
 };
 pub use tabddpm::{TabDdpm, TabDdpmConfig};
 pub use traits::{SurrogateError, TabularGenerator};

@@ -26,6 +26,7 @@ use tabular::Table;
 use tabular::FeatureKind;
 
 use crate::codec::{ColumnSpan, TableCodec};
+use crate::fault::FitControl;
 use crate::traits::{SurrogateError, TabularGenerator};
 
 /// TabDDPM hyper-parameters.
@@ -166,6 +167,14 @@ impl TabularGenerator for TabDdpm {
     }
 
     fn fit(&mut self, train: &Table) -> Result<(), SurrogateError> {
+        self.fit_with_control(train, &FitControl::unlimited())
+    }
+
+    fn fit_with_control(
+        &mut self,
+        train: &Table,
+        control: &FitControl,
+    ) -> Result<(), SurrogateError> {
         let codec = TableCodec::fit(train)?;
         let mut data = codec.encode(train)?;
         center_categorical_blocks(&mut data, codec.spans());
@@ -203,7 +212,8 @@ impl TabularGenerator for TabDdpm {
         let mut noise = Matrix::zeros(batch, width);
         let mut input = Matrix::zeros(batch, width + 2);
 
-        for _epoch in 0..cfg.epochs {
+        for epoch in 0..cfg.epochs {
+            control.check_epoch(epoch)?;
             let mut epoch_loss = 0.0;
             for _ in 0..steps_per_epoch {
                 let lr = schedule.lr_at(step);
@@ -239,7 +249,11 @@ impl TabularGenerator for TabDdpm {
                 denoiser.clip_gradients(5.0);
                 denoiser.apply_gradients(&mut adam, 0, lr);
             }
-            self.loss_history.push(epoch_loss / steps_per_epoch as f64);
+            let mean_loss = epoch_loss / steps_per_epoch as f64;
+            if !mean_loss.is_finite() {
+                return Err(SurrogateError::NonFiniteLoss { epoch });
+            }
+            self.loss_history.push(mean_loss);
         }
 
         self.codec = Some(codec);
@@ -445,5 +459,35 @@ mod tests {
             model.sample(5, 0),
             Err(SurrogateError::NotFitted(_))
         ));
+    }
+
+    #[test]
+    fn budget_cancels_fit_and_nan_lr_is_detected() {
+        use crate::fault::CellBudget;
+        use std::time::Instant;
+
+        let train = toy(200, 7);
+        let mut model = TabDdpm::new(TabDdpmConfig::fast());
+        let control = CellBudget {
+            max_epochs: Some(1),
+            wall_clock: None,
+        }
+        .control_from(Instant::now());
+        assert_eq!(
+            model.fit_with_control(&train, &control),
+            Err(SurrogateError::BudgetExceeded {
+                completed_epochs: 1
+            })
+        );
+        assert_eq!(model.loss_history.len(), 1);
+
+        let mut diverging = TabDdpm::new(TabDdpmConfig {
+            learning_rate: f64::NAN,
+            ..TabDdpmConfig::fast()
+        });
+        assert_eq!(
+            diverging.fit(&train),
+            Err(SurrogateError::NonFiniteLoss { epoch: 0 })
+        );
     }
 }

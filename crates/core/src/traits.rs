@@ -4,6 +4,8 @@ use std::fmt;
 
 use tabular::{Table, TabularError};
 
+use crate::fault::FitControl;
+
 /// Errors raised while fitting or sampling a surrogate model.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SurrogateError {
@@ -13,6 +15,23 @@ pub enum SurrogateError {
     InvalidTrainingData(String),
     /// An underlying tabular operation failed.
     Tabular(TabularError),
+    /// The fit was cancelled by its [`crate::fault::CellBudget`] after
+    /// completing this many epochs.
+    BudgetExceeded {
+        /// Epochs that finished before the budget tripped.
+        completed_epochs: usize,
+    },
+    /// Training diverged: the mean loss of this epoch was NaN or infinite.
+    NonFiniteLoss {
+        /// 0-based epoch whose mean loss was non-finite.
+        epoch: usize,
+    },
+    /// The fit panicked; the panic was captured and lowered to this error so
+    /// one poisoned model never takes down a parallel run.
+    Panicked {
+        /// The panic payload, rendered as a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for SurrogateError {
@@ -23,6 +42,15 @@ impl fmt::Display for SurrogateError {
                 write!(f, "invalid training data: {msg}")
             }
             SurrogateError::Tabular(e) => write!(f, "tabular error: {e}"),
+            SurrogateError::BudgetExceeded { completed_epochs } => {
+                write!(f, "budget exceeded after {completed_epochs} epochs")
+            }
+            SurrogateError::NonFiniteLoss { epoch } => {
+                write!(f, "non-finite training loss at epoch {epoch}")
+            }
+            SurrogateError::Panicked { message } => {
+                write!(f, "fit panicked: {message}")
+            }
         }
     }
 }
@@ -45,6 +73,23 @@ pub trait TabularGenerator {
 
     /// Fit the model to a training table.
     fn fit(&mut self, train: &Table) -> Result<(), SurrogateError>;
+
+    /// Fit under a cooperative cancellation token.
+    ///
+    /// Models with epoch loops override this to call
+    /// [`FitControl::check_epoch`] once per epoch, so a
+    /// [`crate::fault::CellBudget`] can stop a runaway fit with a typed
+    /// [`SurrogateError::BudgetExceeded`]. The default ignores the token —
+    /// correct for near-instant fits like SMOTE, where a budget is a
+    /// documented no-op.
+    fn fit_with_control(
+        &mut self,
+        train: &Table,
+        control: &FitControl,
+    ) -> Result<(), SurrogateError> {
+        let _ = control;
+        self.fit(train)
+    }
 
     /// Sample `n` synthetic rows with the same schema as the training table.
     fn sample(&self, n: usize, seed: u64) -> Result<Table, SurrogateError>;

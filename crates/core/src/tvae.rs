@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 use tabular::Table;
 
 use crate::codec::TableCodec;
+use crate::fault::FitControl;
 use crate::mixed::mixed_reconstruction_loss;
 use crate::traits::{SurrogateError, TabularGenerator};
 
@@ -102,6 +103,14 @@ impl TabularGenerator for Tvae {
     }
 
     fn fit(&mut self, train: &Table) -> Result<(), SurrogateError> {
+        self.fit_with_control(train, &FitControl::unlimited())
+    }
+
+    fn fit_with_control(
+        &mut self,
+        train: &Table,
+        control: &FitControl,
+    ) -> Result<(), SurrogateError> {
         let codec = TableCodec::fit(train)?;
         let data = codec.encode(train)?;
         let width = codec.encoded_width();
@@ -138,7 +147,8 @@ impl TabularGenerator for Tvae {
         let mut x = Matrix::zeros(batch, width);
         let mut eps = Matrix::zeros(batch, cfg.latent_dim);
 
-        for _epoch in 0..cfg.epochs {
+        for epoch in 0..cfg.epochs {
+            control.check_epoch(epoch)?;
             indices.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
             for chunk in indices.chunks(batch) {
@@ -181,7 +191,11 @@ impl TabularGenerator for Tvae {
                 encoder.apply_gradients(&mut adam, 0, lr);
                 decoder.apply_gradients(&mut adam, 1, lr);
             }
-            self.loss_history.push(epoch_loss / steps_per_epoch as f64);
+            let mean_loss = epoch_loss / steps_per_epoch as f64;
+            if !mean_loss.is_finite() {
+                return Err(SurrogateError::NonFiniteLoss { epoch });
+            }
+            self.loss_history.push(mean_loss);
         }
 
         self.codec = Some(codec);
@@ -299,5 +313,55 @@ mod tests {
         for &v in synthetic.numerical("workload").unwrap() {
             assert!(v >= min - 1e-9 && v <= max + 1e-9);
         }
+    }
+
+    #[test]
+    fn budget_cancels_fit_with_typed_error() {
+        use crate::fault::CellBudget;
+        use std::time::{Duration, Instant};
+
+        let train = toy(200, 5);
+
+        // Epoch cap: fit stops at the cap and reports honest progress.
+        let mut model = Tvae::new(TvaeConfig::fast());
+        let control = CellBudget {
+            max_epochs: Some(2),
+            wall_clock: None,
+        }
+        .control_from(Instant::now());
+        assert_eq!(
+            model.fit_with_control(&train, &control),
+            Err(SurrogateError::BudgetExceeded {
+                completed_epochs: 2
+            })
+        );
+        assert_eq!(model.loss_history.len(), 2);
+
+        // Already-expired wall clock: cancelled before the first epoch.
+        let mut model = Tvae::new(TvaeConfig::fast());
+        let expired = CellBudget {
+            wall_clock: Some(Duration::ZERO),
+            max_epochs: None,
+        }
+        .control_from(Instant::now());
+        assert_eq!(
+            model.fit_with_control(&train, &expired),
+            Err(SurrogateError::BudgetExceeded {
+                completed_epochs: 0
+            })
+        );
+    }
+
+    #[test]
+    fn non_finite_loss_is_detected() {
+        let train = toy(300, 6);
+        let mut model = Tvae::new(TvaeConfig {
+            learning_rate: f64::NAN,
+            ..TvaeConfig::fast()
+        });
+        assert_eq!(
+            model.fit(&train),
+            Err(SurrogateError::NonFiniteLoss { epoch: 0 })
+        );
     }
 }

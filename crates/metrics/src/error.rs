@@ -1,0 +1,49 @@
+//! Typed errors for the metric kernels.
+//!
+//! The kernels used to `assert!` on degenerate inputs (empty samples, a
+//! synthetic table sharing no columns with the reference), which turned one
+//! bad synthetic table into a process-wide panic. Each degenerate input is
+//! now a [`MetricError`] variant, so callers — the sweep runtime above all —
+//! can confine the failure to the cell that produced it.
+
+use std::fmt;
+
+/// Why a metric could not be computed from the given inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricError {
+    /// A sample slice was empty.
+    EmptySample,
+    /// A sample contained no finite values.
+    NoFiniteSamples,
+    /// The reference table has no numerical columns to compare.
+    NoNumericalColumns,
+    /// The synthetic table shares no numerical columns with the reference.
+    NoSharedNumericalColumns,
+    /// The reference table has no categorical columns to compare.
+    NoCategoricalColumns,
+    /// The synthetic table shares no categorical columns with the reference.
+    NoSharedCategoricalColumns,
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::EmptySample => write!(f, "empty sample"),
+            MetricError::NoFiniteSamples => write!(f, "no finite samples"),
+            MetricError::NoNumericalColumns => {
+                write!(f, "no numerical columns to compare")
+            }
+            MetricError::NoSharedNumericalColumns => {
+                write!(f, "synthetic table shares no numerical columns")
+            }
+            MetricError::NoCategoricalColumns => {
+                write!(f, "no categorical columns to compare")
+            }
+            MetricError::NoSharedCategoricalColumns => {
+                write!(f, "synthetic table shares no categorical columns")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}

@@ -4,6 +4,8 @@ use std::collections::BTreeMap;
 
 use tabular::{Column, Table};
 
+use crate::error::MetricError;
+
 /// Jensen–Shannon divergence (natural log, so bounded by ln 2) between two
 /// discrete distributions given as `(label, probability)` maps. Labels absent
 /// from one distribution are treated as probability zero.
@@ -57,11 +59,15 @@ pub fn column_jsd(real: &Table, synthetic: &Table, name: &str) -> f64 {
 }
 
 /// Mean JSD across all categorical columns shared by the two tables — the
-/// "JSD" column of the paper's Table I.
-pub fn mean_jsd(real: &Table, synthetic: &Table) -> f64 {
+/// "JSD" column of the paper's Table I. Degenerate table pairs (no
+/// categorical columns, or none shared) come back as a typed
+/// [`MetricError`] instead of a panic.
+pub fn mean_jsd(real: &Table, synthetic: &Table) -> Result<f64, MetricError> {
     let schema = real.schema();
     let cats = schema.categorical_names();
-    assert!(!cats.is_empty(), "no categorical columns to compare");
+    if cats.is_empty() {
+        return Err(MetricError::NoCategoricalColumns);
+    }
     let mut total = 0.0;
     let mut count = 0usize;
     for name in cats {
@@ -70,8 +76,10 @@ pub fn mean_jsd(real: &Table, synthetic: &Table) -> f64 {
             count += 1;
         }
     }
-    assert!(count > 0, "synthetic table shares no categorical columns");
-    total / count as f64
+    if count == 0 {
+        return Err(MetricError::NoSharedCategoricalColumns);
+    }
+    Ok(total / count as f64)
 }
 
 #[cfg(test)]
@@ -119,13 +127,13 @@ mod tests {
         real.push_column("s", Column::from_labels(&["x", "x", "y", "z"]))
             .unwrap();
         let synthetic_same = real.clone();
-        assert!(mean_jsd(&real, &synthetic_same) < 1e-12);
+        assert!(mean_jsd(&real, &synthetic_same).unwrap() < 1e-12);
 
         let mut skewed = Table::new();
         skewed
             .push_column("s", Column::from_labels(&["x", "x", "x", "x"]))
             .unwrap();
-        assert!(mean_jsd(&real, &skewed) > 0.05);
+        assert!(mean_jsd(&real, &skewed).unwrap() > 0.05);
     }
 
     #[test]
@@ -137,6 +145,30 @@ mod tests {
         synthetic
             .push_column("s", Column::from_labels(&["a", "weird", "weird"]))
             .unwrap();
-        assert!(mean_jsd(&real, &synthetic) > 0.2);
+        assert!(mean_jsd(&real, &synthetic).unwrap() > 0.2);
+    }
+
+    #[test]
+    fn degenerate_tables_yield_typed_errors() {
+        let mut numeric_only = Table::new();
+        numeric_only
+            .push_column("x", Column::Numerical(vec![1.0, 2.0]))
+            .unwrap();
+        assert_eq!(
+            mean_jsd(&numeric_only, &numeric_only),
+            Err(MetricError::NoCategoricalColumns)
+        );
+
+        let mut real = Table::new();
+        real.push_column("s", Column::from_labels(&["a", "b"]))
+            .unwrap();
+        let mut disjoint = Table::new();
+        disjoint
+            .push_column("t", Column::from_labels(&["a", "b"]))
+            .unwrap();
+        assert_eq!(
+            mean_jsd(&real, &disjoint),
+            Err(MetricError::NoSharedCategoricalColumns)
+        );
     }
 }

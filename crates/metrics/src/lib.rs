@@ -20,6 +20,7 @@
 
 pub mod correlation;
 pub mod dcr;
+pub mod error;
 pub mod jsd;
 pub mod mlef;
 pub mod report;
@@ -29,6 +30,7 @@ pub use correlation::{
     association_matrix, correlation_ratio, diff_corr, pearson, theils_u, AssociationMatrix,
 };
 pub use dcr::{distance_to_closest_record, DcrConfig};
+pub use error::MetricError;
 pub use jsd::column_jsd;
 pub use jsd::{jensen_shannon_divergence, mean_jsd};
 pub use mlef::{diff_mlef, mlef_mse, MlefConfig};

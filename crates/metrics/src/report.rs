@@ -5,6 +5,7 @@ use tabular::Table;
 
 use crate::correlation::diff_corr;
 use crate::dcr::{distance_to_closest_record, DcrConfig};
+use crate::error::MetricError;
 use crate::jsd::mean_jsd;
 use crate::mlef::{mlef_mse, MlefConfig};
 use crate::wasserstein::mean_wasserstein;
@@ -125,16 +126,19 @@ pub fn mean_report(model: &str, reports: &[SurrogateReport]) -> Option<Surrogate
 }
 
 /// Evaluate a synthetic table against the real train/test split, producing
-/// one Table-I row.
+/// one Table-I row. A degenerate synthetic table (empty, or sharing no
+/// columns with the reference) comes back as a typed [`MetricError`] instead
+/// of a panic, so callers like the sweep runtime can confine the failure to
+/// the cell that produced it.
 pub fn evaluate_surrogate(
     model_name: &str,
     train: &Table,
     test: &Table,
     synthetic: &Table,
     config: &EvaluationConfig,
-) -> SurrogateReport {
-    let wd = mean_wasserstein(train, synthetic);
-    let jsd = mean_jsd(train, synthetic);
+) -> Result<SurrogateReport, MetricError> {
+    let wd = mean_wasserstein(train, synthetic)?;
+    let jsd = mean_jsd(train, synthetic)?;
     let corr = diff_corr(train, synthetic);
     let dcr = distance_to_closest_record(train, synthetic, config.dcr);
     let diff_mlef = config.mlef.as_ref().map(|mlef_config| {
@@ -142,14 +146,14 @@ pub fn evaluate_surrogate(
         let synth = mlef_mse(synthetic, test, mlef_config);
         synth - base
     });
-    SurrogateReport {
+    Ok(SurrogateReport {
         model: model_name.to_string(),
         wd,
         jsd,
         diff_corr: corr,
         dcr,
         diff_mlef,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -186,7 +190,8 @@ mod tests {
     fn perfect_copy_scores_perfectly_except_privacy() {
         let train = toy(400, 1);
         let test = toy(150, 2);
-        let report = evaluate_surrogate("copy", &train, &test, &train, &EvaluationConfig::fast());
+        let report =
+            evaluate_surrogate("copy", &train, &test, &train, &EvaluationConfig::fast()).unwrap();
         assert!(report.wd < 1e-9);
         assert!(report.jsd < 1e-9);
         assert!(report.diff_corr < 1e-9);
@@ -206,8 +211,8 @@ mod tests {
             v.reverse();
         }
         let cfg = EvaluationConfig::fast();
-        let good = evaluate_surrogate("fresh", &train, &test, &fresh, &cfg);
-        let bad = evaluate_surrogate("noise", &train, &test, &noise, &cfg);
+        let good = evaluate_surrogate("fresh", &train, &test, &fresh, &cfg).unwrap();
+        let bad = evaluate_surrogate("noise", &train, &test, &noise, &cfg).unwrap();
         assert!(good.diff_corr < bad.diff_corr);
         assert!(good.diff_mlef.unwrap() < bad.diff_mlef.unwrap());
         // The fresh draw does not copy training rows.
@@ -277,7 +282,25 @@ mod tests {
             &test,
             &train,
             &EvaluationConfig::without_mlef(),
-        );
+        )
+        .unwrap();
         assert!(report.diff_mlef.is_none());
+    }
+
+    #[test]
+    fn empty_synthetic_table_yields_typed_error() {
+        let train = toy(100, 8);
+        let test = toy(40, 9);
+        let empty = Table::new();
+        assert_eq!(
+            evaluate_surrogate(
+                "empty",
+                &train,
+                &test,
+                &empty,
+                &EvaluationConfig::without_mlef()
+            ),
+            Err(MetricError::NoSharedNumericalColumns)
+        );
     }
 }

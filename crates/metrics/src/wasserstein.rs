@@ -2,16 +2,24 @@
 
 use tabular::Table;
 
+use crate::error::MetricError;
+
 /// Exact 1-D Wasserstein-1 distance between two empirical distributions.
 ///
 /// Computed as the L1 distance between the two empirical quantile functions,
 /// which for sorted samples reduces to an interleaved CDF sweep. Handles
-/// samples of different sizes.
-pub fn wasserstein_1d(a: &[f64], b: &[f64]) -> f64 {
-    assert!(!a.is_empty() && !b.is_empty(), "empty sample");
+/// samples of different sizes. Degenerate inputs (an empty sample, or one
+/// with no finite values) come back as a typed [`MetricError`] instead of a
+/// panic, so one bad synthetic table stays confined to its caller.
+pub fn wasserstein_1d(a: &[f64], b: &[f64]) -> Result<f64, MetricError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(MetricError::EmptySample);
+    }
     let mut xs: Vec<f64> = a.iter().copied().filter(|v| v.is_finite()).collect();
     let mut ys: Vec<f64> = b.iter().copied().filter(|v| v.is_finite()).collect();
-    assert!(!xs.is_empty() && !ys.is_empty(), "no finite samples");
+    if xs.is_empty() || ys.is_empty() {
+        return Err(MetricError::NoFiniteSamples);
+    }
     xs.sort_by(|p, q| p.partial_cmp(q).expect("finite"));
     ys.sort_by(|p, q| p.partial_cmp(q).expect("finite"));
 
@@ -38,14 +46,14 @@ pub fn wasserstein_1d(a: &[f64], b: &[f64]) -> f64 {
             j += 1;
         }
     }
-    distance
+    Ok(distance)
 }
 
 /// Wasserstein distance after min-max normalising both samples with the
 /// range of the *reference* sample `a`, so distances are comparable across
 /// features with wildly different scales (bytes vs. days). This is the value
 /// aggregated into the paper's "WD" column.
-pub fn wasserstein_1d_normalized(a: &[f64], b: &[f64]) -> f64 {
+pub fn wasserstein_1d_normalized(a: &[f64], b: &[f64]) -> Result<f64, MetricError> {
     let min = a
         .iter()
         .copied()
@@ -68,21 +76,25 @@ pub fn wasserstein_1d_normalized(a: &[f64], b: &[f64]) -> f64 {
 
 /// Mean normalised Wasserstein distance across all shared numerical columns
 /// of two tables.
-pub fn mean_wasserstein(real: &Table, synthetic: &Table) -> f64 {
+pub fn mean_wasserstein(real: &Table, synthetic: &Table) -> Result<f64, MetricError> {
     let schema = real.schema();
     let numeric = schema.numerical_names();
-    assert!(!numeric.is_empty(), "no numerical columns to compare");
+    if numeric.is_empty() {
+        return Err(MetricError::NoNumericalColumns);
+    }
     let mut total = 0.0;
     let mut count = 0usize;
     for name in numeric {
         let (Ok(a), Ok(b)) = (real.numerical(name), synthetic.numerical(name)) else {
             continue;
         };
-        total += wasserstein_1d_normalized(a, b);
+        total += wasserstein_1d_normalized(a, b)?;
         count += 1;
     }
-    assert!(count > 0, "synthetic table shares no numerical columns");
-    total / count as f64
+    if count == 0 {
+        return Err(MetricError::NoSharedNumericalColumns);
+    }
+    Ok(total / count as f64)
 }
 
 #[cfg(test)]
@@ -93,14 +105,14 @@ mod tests {
     #[test]
     fn identical_samples_have_zero_distance() {
         let a = vec![1.0, 2.0, 3.0, 4.0];
-        assert!(wasserstein_1d(&a, &a) < 1e-12);
+        assert!(wasserstein_1d(&a, &a).unwrap() < 1e-12);
     }
 
     #[test]
     fn shifted_point_masses_have_distance_equal_to_shift() {
         let a = vec![0.0; 100];
         let b = vec![2.5; 100];
-        assert!((wasserstein_1d(&a, &b) - 2.5).abs() < 1e-9);
+        assert!((wasserstein_1d(&a, &b).unwrap() - 2.5).abs() < 1e-9);
     }
 
     #[test]
@@ -108,14 +120,16 @@ mod tests {
         // U[0,1] vs U[1,2] has W1 = 1.
         let a: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
         let b: Vec<f64> = a.iter().map(|v| v + 1.0).collect();
-        assert!((wasserstein_1d(&a, &b) - 1.0).abs() < 0.01);
+        assert!((wasserstein_1d(&a, &b).unwrap() - 1.0).abs() < 0.01);
     }
 
     #[test]
     fn distance_is_symmetric() {
         let a = vec![0.0, 1.0, 2.0, 5.0, 9.0];
         let b = vec![0.5, 1.5, 3.0, 3.5];
-        assert!((wasserstein_1d(&a, &b) - wasserstein_1d(&b, &a)).abs() < 1e-9);
+        let ab = wasserstein_1d(&a, &b).unwrap();
+        let ba = wasserstein_1d(&b, &a).unwrap();
+        assert!((ab - ba).abs() < 1e-9);
     }
 
     #[test]
@@ -124,7 +138,7 @@ mod tests {
         let a = vec![0.0, 1.0, 2.0];
         let near: Vec<f64> = a.iter().map(|v| v + 0.5).collect();
         let far: Vec<f64> = a.iter().map(|v| v + 5.0).collect();
-        assert!(wasserstein_1d(&a, &far) > wasserstein_1d(&a, &near));
+        assert!(wasserstein_1d(&a, &far).unwrap() > wasserstein_1d(&a, &near).unwrap());
     }
 
     #[test]
@@ -133,8 +147,8 @@ mod tests {
         let b = vec![5.0, 15.0, 25.0, 35.0];
         let a_big: Vec<f64> = a.iter().map(|v| v * 1e9).collect();
         let b_big: Vec<f64> = b.iter().map(|v| v * 1e9).collect();
-        let d_small = wasserstein_1d_normalized(&a, &b);
-        let d_big = wasserstein_1d_normalized(&a_big, &b_big);
+        let d_small = wasserstein_1d_normalized(&a, &b).unwrap();
+        let d_big = wasserstein_1d_normalized(&a_big, &b_big).unwrap();
         assert!((d_small - d_big).abs() < 1e-9);
     }
 
@@ -146,7 +160,7 @@ mod tests {
         real.push_column("y", Column::Numerical(vec![10.0, 11.0, 12.0, 13.0]))
             .unwrap();
         let synthetic = real.clone();
-        assert!(mean_wasserstein(&real, &synthetic) < 1e-12);
+        assert!(mean_wasserstein(&real, &synthetic).unwrap() < 1e-12);
 
         let mut shifted = Table::new();
         shifted
@@ -155,12 +169,40 @@ mod tests {
         shifted
             .push_column("y", Column::Numerical(vec![10.0, 11.0, 12.0, 13.0]))
             .unwrap();
-        assert!(mean_wasserstein(&real, &shifted) > 0.1);
+        assert!(mean_wasserstein(&real, &shifted).unwrap() > 0.1);
     }
 
     #[test]
-    #[should_panic(expected = "empty sample")]
-    fn empty_sample_panics() {
-        let _ = wasserstein_1d(&[], &[1.0]);
+    fn degenerate_inputs_yield_typed_errors() {
+        assert_eq!(wasserstein_1d(&[], &[1.0]), Err(MetricError::EmptySample));
+        assert_eq!(wasserstein_1d(&[1.0], &[]), Err(MetricError::EmptySample));
+        assert_eq!(
+            wasserstein_1d(&[f64::NAN], &[1.0]),
+            Err(MetricError::NoFiniteSamples)
+        );
+    }
+
+    #[test]
+    fn disjoint_tables_yield_typed_errors() {
+        let mut real = Table::new();
+        real.push_column("x", Column::Numerical(vec![0.0, 1.0]))
+            .unwrap();
+        let mut synthetic = Table::new();
+        synthetic
+            .push_column("z", Column::Numerical(vec![0.0, 1.0]))
+            .unwrap();
+        assert_eq!(
+            mean_wasserstein(&real, &synthetic),
+            Err(MetricError::NoSharedNumericalColumns)
+        );
+
+        let mut labels_only = Table::new();
+        labels_only
+            .push_column("site", Column::from_labels(&["BNL", "CERN"]))
+            .unwrap();
+        assert_eq!(
+            mean_wasserstein(&labels_only, &labels_only),
+            Err(MetricError::NoNumericalColumns)
+        );
     }
 }

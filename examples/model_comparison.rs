@@ -36,7 +36,8 @@ fn main() {
             &data.test,
             synthetic,
             &EvaluationConfig::fast(),
-        );
+        )
+        .expect("synthetic table is evaluable");
         println!("{}", report.table_row());
         reports.push(report);
     }

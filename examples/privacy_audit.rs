@@ -43,7 +43,7 @@ fn main() {
         smote.fit(&train).expect("SMOTE fits");
         let synthetic = smote.sample(n_synthetic, 3).expect("SMOTE samples");
         let dcr = distance_to_closest_record(&train, &synthetic, dcr_config);
-        let wd = mean_wasserstein(&train, &synthetic);
+        let wd = mean_wasserstein(&train, &synthetic).expect("comparable tables");
         println!(
             "{:<24} {:>10.4} {:>12.4}",
             format!("SMOTE (k = {k})"),
@@ -58,7 +58,7 @@ fn main() {
     ddpm.fit(&train).expect("TabDDPM fits");
     let synthetic = ddpm.sample(n_synthetic, 3).expect("TabDDPM samples");
     let dcr = distance_to_closest_record(&train, &synthetic, dcr_config);
-    let wd = mean_wasserstein(&train, &synthetic);
+    let wd = mean_wasserstein(&train, &synthetic).expect("comparable tables");
     println!("{:<24} {:>10.4} {:>12.4}", "TabDDPM (fast)", dcr, wd);
 
     println!("\nreading the table: SMOTE rows sit almost on top of real records (tiny DCR),");

@@ -69,7 +69,8 @@ fn main() {
         test,
         &synthetic,
         &EvaluationConfig::fast(),
-    );
+    )
+    .expect("synthetic table is evaluable");
     println!(
         "\n{}",
         panda_surrogate::metrics::SurrogateReport::table_header()

@@ -61,7 +61,7 @@ fn smote_neighbourhood_size_trades_privacy_for_fidelity() {
         smote.fit(&train).unwrap();
         let synthetic = smote.sample(1_000, 5).unwrap();
         let dcr = distance_to_closest_record(&train, &synthetic, dcr_config);
-        let wd = mean_wasserstein(&train, &synthetic);
+        let wd = mean_wasserstein(&train, &synthetic).unwrap();
         // Fidelity stays high for any k. Re-pinned (2026-07, PR 4) from the
         // seed-era `wd < 0.15` against the bit-exact kernels: measured WD is
         // 0.0082 (k=1) / 0.0102 (k=15) at this seed, so 0.03 is a ~3x margin
@@ -88,7 +88,7 @@ fn tabddpm_with_more_timesteps_is_at_least_as_faithful() {
         });
         model.fit(&train).unwrap();
         let synthetic = model.sample(1_500, 9).unwrap();
-        wd_by_steps.push((timesteps, mean_wasserstein(&train, &synthetic)));
+        wd_by_steps.push((timesteps, mean_wasserstein(&train, &synthetic).unwrap()));
     }
     // A 3-step reverse process is a very coarse sampler; 20 steps must not
     // be meaningfully worse. Re-pinned (2026-07, PR 4) from the seed-era

@@ -71,7 +71,8 @@ fn every_model_produces_schema_compatible_synthetic_data() {
 #[test]
 fn copying_the_training_data_is_detected_as_a_privacy_failure() {
     let (train, test) = prepared(3_000, 3);
-    let report = evaluate_surrogate("copy", &train, &test, &train, &EvaluationConfig::fast());
+    let report =
+        evaluate_surrogate("copy", &train, &test, &train, &EvaluationConfig::fast()).unwrap();
     // Perfect fidelity on every distributional metric…
     assert!(report.wd < 1e-9);
     assert!(report.jsd < 1e-9);
@@ -113,8 +114,8 @@ fn smote_is_more_faithful_but_less_private_than_a_marginal_shuffle() {
     };
 
     let config = EvaluationConfig::fast();
-    let smote_report = evaluate_surrogate("SMOTE", &train, &test, &smote, &config);
-    let shuffled_report = evaluate_surrogate("shuffle", &train, &test, &shuffled, &config);
+    let smote_report = evaluate_surrogate("SMOTE", &train, &test, &smote, &config).unwrap();
+    let shuffled_report = evaluate_surrogate("shuffle", &train, &test, &shuffled, &config).unwrap();
 
     // Absolute fidelity pins, added with the PR 4 test-hardening pass: the
     // relational assertions below stay green even if *both* surrogates

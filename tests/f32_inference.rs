@@ -67,12 +67,12 @@ fn check_f32_tier<G: TabularGenerator>(mut model: G, train: &Table, wd_bound: f6
     );
 
     // Distributional deltas between the two precisions of the same draw.
-    let wd = mean_wasserstein(&hi, &lo);
+    let wd = mean_wasserstein(&hi, &lo).unwrap();
     assert!(
         wd <= wd_bound,
         "{name}: f32 vs f64 Wasserstein delta {wd} exceeds {wd_bound}"
     );
-    let jsd = mean_jsd(&hi, &lo);
+    let jsd = mean_jsd(&hi, &lo).unwrap();
     assert!(
         jsd <= jsd_bound,
         "{name}: f32 vs f64 JSD delta {jsd} exceeds {jsd_bound}"
@@ -80,7 +80,8 @@ fn check_f32_tier<G: TabularGenerator>(mut model: G, train: &Table, wd_bound: f6
 
     // And the f32 tier must track the training data about as well as the
     // f64 tier does (no silent fidelity collapse from the precision drop).
-    let fidelity_gap = (mean_wasserstein(train, &lo) - mean_wasserstein(train, &hi)).abs();
+    let fidelity_gap =
+        (mean_wasserstein(train, &lo).unwrap() - mean_wasserstein(train, &hi).unwrap()).abs();
     assert!(
         fidelity_gap <= wd_bound,
         "{name}: fidelity gap vs train {fidelity_gap} exceeds {wd_bound}"

@@ -12,8 +12,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use panda_surrogate::metrics::{DcrConfig, EvaluationConfig};
 use panda_surrogate::surrogate::sweep::{
-    run_cell, run_sweep, run_sweep_resumable_with, run_sweep_with, NamedGeneratorConfig, ShardSpec,
-    SweepArtifactError, SweepGrid, SweepOptions, SweepReport,
+    run_cell, run_sweep, run_sweep_resumable_with, run_sweep_with, FitContext,
+    NamedGeneratorConfig, ShardSpec, SweepArtifactError, SweepGrid, SweepOptions, SweepReport,
 };
 use panda_surrogate::surrogate::{ExecutionMode, ModelKind, SurrogateError, TrainingBudget};
 
@@ -121,7 +121,7 @@ fn one_diverging_cell_leaves_every_other_cell_untouched() {
     let clean = run_sweep(&grid, &options);
     let poisoned_id = clean.runs[1].cell.id();
 
-    let poisoned = run_sweep_with(&grid, &options, |cell, train| {
+    let poisoned = run_sweep_with(&grid, &options, |cell, train, _: &FitContext| {
         if cell.id() == poisoned_id {
             // Stand-in for a diverging fit.
             Err(SurrogateError::InvalidTrainingData(
@@ -169,7 +169,7 @@ fn json_artifact_round_trips_through_the_shim_parser() {
     };
     // Inject one failure so both row shapes (passing and failing) are
     // exercised by the round-trip.
-    let outcome = run_sweep_with(&grid, &test_options(), |cell, train| {
+    let outcome = run_sweep_with(&grid, &test_options(), |cell, train, _: &FitContext| {
         if cell.seed == 72 {
             Err(SurrogateError::NotFitted("injected"))
         } else {
@@ -220,6 +220,7 @@ fn json_artifact_round_trips_through_the_shim_parser() {
 fn echo_fitter(
     _cell: &panda_surrogate::surrogate::sweep::SweepCell,
     train: &panda_surrogate::tabular::Table,
+    _ctx: &FitContext,
 ) -> Result<panda_surrogate::tabular::Table, SurrogateError> {
     Ok(train.clone())
 }
@@ -296,10 +297,16 @@ fn resume_runs_only_the_missing_cells_and_matches_from_scratch() {
     partial.validate().expect("truncated artifact stays valid");
 
     let executed = AtomicUsize::new(0);
-    let resumed = run_sweep_resumable_with(&grid, &options, None, Some(&partial), |cell, train| {
-        executed.fetch_add(1, Ordering::SeqCst);
-        echo_fitter(cell, train)
-    })
+    let resumed = run_sweep_resumable_with(
+        &grid,
+        &options,
+        None,
+        Some(&partial),
+        |cell, train, ctx: &FitContext| {
+            executed.fetch_add(1, Ordering::SeqCst);
+            echo_fitter(cell, train, ctx)
+        },
+    )
     .expect("resume run");
     assert_eq!(
         executed.load(Ordering::SeqCst),
@@ -324,11 +331,16 @@ fn resume_with_zero_remaining_cells_is_a_noop() {
     };
     let full = run_sweep_resumable_with(&grid, &options, None, None, echo_fitter)
         .expect("from-scratch run");
-    let summary =
-        run_sweep_resumable_with(&grid, &options, None, Some(&full.report), |cell, _train| {
+    let summary = run_sweep_resumable_with(
+        &grid,
+        &options,
+        None,
+        Some(&full.report),
+        |cell, _train, _: &FitContext| -> Result<panda_surrogate::tabular::Table, SurrogateError> {
             panic!("cell {} must not be re-executed", cell.id());
-        })
-        .expect("no-op resume");
+        },
+    )
+    .expect("no-op resume");
     assert!(summary.runs.is_empty());
     assert_eq!(summary.resumed, 4);
     assert_eq!(
@@ -348,9 +360,18 @@ fn resume_rejects_stale_or_corrupt_artifacts() {
     let full = run_sweep_resumable_with(&grid, &options, None, None, echo_fitter)
         .expect("from-scratch run");
     let reject = |prior: &SweepReport| {
-        run_sweep_resumable_with(&grid, &options, None, Some(prior), |cell, _train| {
-            panic!("cell {} must not run from a rejected artifact", cell.id());
-        })
+        run_sweep_resumable_with(
+            &grid,
+            &options,
+            None,
+            Some(prior),
+            |cell,
+             _train,
+             _: &FitContext|
+             -> Result<panda_surrogate::tabular::Table, SurrogateError> {
+                panic!("cell {} must not run from a rejected artifact", cell.id());
+            },
+        )
         .unwrap_err()
     };
 
@@ -400,4 +421,167 @@ fn resume_rejects_stale_or_corrupt_artifacts() {
         reject(&shifted),
         SweepArtifactError::IndexMismatch { .. }
     ));
+}
+
+/// Kill-mid-run simulation: a journaled sweep is truncated mid-row (as a
+/// SIGKILL during an append would leave it), recovered, and resumed — and
+/// the resumed artifact is canonically byte-identical to the uninterrupted
+/// run.
+#[test]
+fn torn_journal_recovers_and_resumes_into_the_uninterrupted_artifact() {
+    use panda_surrogate::surrogate::sweep::{
+        grid_fingerprint, run_sweep_resumable, run_sweep_resumable_journaled, JournalHeader,
+        JournalWriter, JOURNAL_VERSION,
+    };
+
+    let grid = durability_grid();
+    let options = SweepOptions {
+        keep_tables: false,
+        ..test_options()
+    };
+    let path = std::env::temp_dir().join(format!(
+        "panda_surrogate_torn_journal_{}.jsonl",
+        std::process::id()
+    ));
+    let header = JournalHeader {
+        journal_version: JOURNAL_VERSION,
+        grid_fingerprint: grid_fingerprint(&grid, &options),
+        grid_cells: grid.len(),
+        shard: None,
+    };
+    let writer = JournalWriter::create(&path, &header).expect("create journal");
+    let full = run_sweep_resumable_journaled(&grid, &options, None, None, Some(&writer))
+        .expect("journaled run");
+    let text = std::fs::read_to_string(&path).expect("read journal");
+    std::fs::remove_file(&path).ok();
+
+    // The intact journal already recovers into the full artifact.
+    let recovered = SweepReport::recover_journal(&text).expect("recover intact journal");
+    assert_eq!(
+        serde_json::to_string_pretty(&recovered.canonical()).unwrap(),
+        serde_json::to_string_pretty(&full.report.canonical()).unwrap(),
+        "intact journal must recover the full artifact"
+    );
+
+    // Tear the journal mid-way through its fourth line (header + 2 complete
+    // rows + half of row 3), as a crash during an append would.
+    let newlines: Vec<usize> = text
+        .char_indices()
+        .filter(|&(_, c)| c == '\n')
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(newlines.len(), 5, "header + 4 rows, newline-terminated");
+    let row3_start = newlines[2] + 1;
+    let row3_end = newlines[3];
+    let torn = &text[..row3_start + (row3_end - row3_start) / 2];
+    let prior = SweepReport::recover_journal(torn).expect("recover torn journal");
+    assert_eq!(prior.total_cells, 2, "the torn row is dropped");
+
+    // Resuming from the recovered prior reproduces the uninterrupted run.
+    let resumed =
+        run_sweep_resumable(&grid, &options, None, Some(&prior)).expect("resume from journal");
+    assert_eq!(resumed.resumed, 2);
+    assert_eq!(resumed.runs.len(), 2);
+    assert_eq!(
+        serde_json::to_string_pretty(&resumed.report.canonical()).unwrap(),
+        serde_json::to_string_pretty(&full.report.canonical()).unwrap(),
+        "journal-recovered resume must equal the uninterrupted artifact"
+    );
+}
+
+/// Failed rows produced by injected faults (typed error_kind, attempts)
+/// survive sharding, merging, and resuming unchanged.
+#[test]
+fn fault_rows_survive_shard_merge_and_resume_round_trips() {
+    let grid = durability_grid();
+    let options = SweepOptions {
+        keep_tables: false,
+        faults: panda_surrogate::surrogate::FaultPlan::parse("cell1:panic,cell3:budget")
+            .expect("valid plan"),
+        ..test_options()
+    };
+    // A cooperative fitter: polls the budget control like a real epoch
+    // loop, then echoes the training split.
+    let cooperative = |_cell: &panda_surrogate::surrogate::sweep::SweepCell,
+                       train: &panda_surrogate::tabular::Table,
+                       ctx: &FitContext|
+     -> Result<panda_surrogate::tabular::Table, SurrogateError> {
+        ctx.control.check_epoch(0)?;
+        Ok(train.clone())
+    };
+
+    let full =
+        run_sweep_resumable_with(&grid, &options, None, None, cooperative).expect("unsharded run");
+    assert_eq!(full.report.failed_cells, 2);
+    let kinds: Vec<Option<&str>> = full
+        .report
+        .cells
+        .iter()
+        .map(|row| row.error_kind.as_deref())
+        .collect();
+    assert_eq!(kinds, vec![None, Some("panic"), None, Some("budget")]);
+    assert!(full.report.cells.iter().all(|row| row.attempts == 1));
+    full.report
+        .validate()
+        .expect("artifact with failed rows validates");
+
+    // Shard → merge reproduces the unsharded artifact, failed rows intact.
+    let mut parts = Vec::new();
+    for index in 0..2 {
+        let shard = ShardSpec { index, count: 2 };
+        let summary = run_sweep_resumable_with(&grid, &options, Some(shard), None, cooperative)
+            .expect("shard run");
+        parts.push(summary.report);
+    }
+    let merged = SweepReport::merge(&parts).expect("shards merge");
+    assert_eq!(
+        serde_json::to_string_pretty(&merged.canonical()).unwrap(),
+        serde_json::to_string_pretty(&full.report.canonical()).unwrap(),
+        "failed rows must survive the shard/merge round trip"
+    );
+
+    // Resume: drop the two failed rows, rerun only them, equal artifact.
+    let mut partial = full.report.clone();
+    partial.cells.retain(|row| row.ok);
+    partial.total_cells = partial.cells.len();
+    partial.failed_cells = 0;
+    let resumed = run_sweep_resumable_with(&grid, &options, None, Some(&partial), cooperative)
+        .expect("resume over failed cells");
+    assert_eq!(resumed.resumed, 2);
+    assert_eq!(
+        serde_json::to_string_pretty(&resumed.report.canonical()).unwrap(),
+        serde_json::to_string_pretty(&full.report.canonical()).unwrap(),
+        "re-running the failed cells must reproduce their typed rows"
+    );
+}
+
+/// Retried sweeps stay end-to-end deterministic through the real model
+/// pipeline: an attempt-bounded fault fails the first attempt, the retry
+/// succeeds under its derived seed, and two identical runs agree
+/// canonically, byte for byte.
+#[test]
+fn retried_cells_are_deterministic_through_the_real_pipeline() {
+    let grid = SweepGrid {
+        seeds: vec![81, 82],
+        budgets: vec![TrainingBudget::Smoke],
+        generators: vec![variant("small", 1_500, 150.0)],
+        models: vec![ModelKind::Smote],
+    };
+    let options = SweepOptions {
+        keep_tables: false,
+        retries: 1,
+        faults: panda_surrogate::surrogate::FaultPlan::parse("cell0:nan:1").expect("valid plan"),
+        ..test_options()
+    };
+    let first = run_sweep(&grid, &options);
+    let second = run_sweep(&grid, &options);
+    let report = first.report();
+    assert_eq!(report.failed_cells, 0, "the retry must recover the cell");
+    assert_eq!(report.cells[0].attempts, 2);
+    assert_eq!(report.cells[1].attempts, 1);
+    assert_eq!(
+        serde_json::to_string_pretty(&report.canonical()).unwrap(),
+        serde_json::to_string_pretty(&second.report().canonical()).unwrap(),
+        "same grid, options and fault plan must reproduce the same artifact"
+    );
 }
