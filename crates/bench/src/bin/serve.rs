@@ -1,0 +1,598 @@
+//! Supervised serving loop over a checkpoint directory: the "replace the
+//! simulator" half of the paper, run as a long-lived process.
+//!
+//! `serve` loads every crash-safe checkpoint artifact a `sweep
+//! --checkpoint-dir` run persisted into a model registry keyed by
+//! (model, preset, seed, budget), then answers JSON-line requests on
+//! stdin with JSON-line responses on stdout. The loop is *supervised*:
+//! every failure mode is a typed response, never a dead process —
+//!
+//! * **Degraded startup** — corrupt or stale checkpoints are quarantined
+//!   (reported on stderr with their typed `CheckpointError`) and the
+//!   registry serves the rest; stray `*.tmp` files from a write killed
+//!   mid-save are skipped by construction.
+//! * **Load shedding** — requests queue into a bounded channel
+//!   (`--queue-depth`); when it is full the request is shed immediately
+//!   with a typed `overload` response instead of growing an unbounded
+//!   backlog.
+//! * **Deadlines** — `--deadline-ms` bounds each request's time from
+//!   arrival; an overrun answers `deadline` instead of blocking the queue.
+//! * **Panic capture** — a panicking handler answers `panic`; the worker
+//!   and the process survive.
+//!
+//! `--inject` drives all of the above deterministically in CI (see
+//! `surrogate::fault::ServeFaultPlan`): `load:corrupt` quarantines the
+//! first checkpoint, `request:delay:100ms` charges every request a
+//! processing delay (combined with `--virtual-clock` it burns no real
+//! time), `request:panic` panics in the handler, and `queue:hold` makes
+//! the worker hold its first request until a later one has been shed, so
+//! the overload path is testable without timing races.
+//!
+//! Protocol (one JSON object per line; unknown fields rejected):
+//!   {"id":1,"op":"health"}
+//!   {"id":2,"op":"list"}
+//!   {"id":3,"op":"sample","model":"tabddpm","preset":"small","seed":2024,
+//!    "budget":"smoke","rows":64,"sample_seed":7}
+//! Sample responses carry the row count and an FNV-1a digest of the
+//! canonical table rendering, so two loads of one checkpoint can be
+//! checked for byte-identical sampling without shipping the table.
+
+use std::io::BufRead;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use surrogate::artifact_io::fnv1a_hex;
+use surrogate::checkpoint::{
+    Checkpoint, CheckpointError, CheckpointRegistry, QuarantinedCheckpoint,
+};
+use surrogate::fault::panic_message;
+use surrogate::{FaultClock, ModelKind, ServeFaultPlan, TrainingBudget};
+
+const USAGE: &str = "\
+serve: supervised serving loop over crash-safe model checkpoints
+
+  --checkpoints DIR      checkpoint directory to load (required); corrupt
+                         entries are quarantined, not fatal, and stray *.tmp
+                         staging files are ignored
+  --queue-depth N        bounded request queue depth, N >= 1 (default 64);
+                         a full queue sheds requests with a typed 'overload'
+                         response
+  --deadline-ms N        per-request deadline from arrival, N >= 1; overruns
+                         answer 'deadline' (default: none)
+  --inject SPEC          deterministic fault injection, e.g.
+                         load:corrupt,request:delay:100ms,request:panic,queue:hold
+  --virtual-clock        injected request delays charge the deadline clock
+                         without sleeping
+
+Requests are JSON lines on stdin, responses JSON lines on stdout:
+  {\"id\":1,\"op\":\"health\"}
+  {\"id\":2,\"op\":\"list\"}
+  {\"id\":3,\"op\":\"sample\",\"model\":\"tabddpm\",\"preset\":\"small\",
+   \"seed\":2024,\"budget\":\"smoke\",\"rows\":64,\"sample_seed\":7}
+";
+
+/// Exit for malformed command lines.
+fn usage_error(message: &str) -> ! {
+    eprintln!("serve: {message}");
+    eprintln!("serve: run with --help for usage");
+    std::process::exit(2);
+}
+
+/// Exit for runtime failures (unreadable checkpoint directory).
+fn runtime_error(message: &str) -> ! {
+    eprintln!("serve: {message}");
+    std::process::exit(1);
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Parse `--queue-depth N` (at least 1 — a zero-depth queue would shed
+/// every request).
+fn parse_queue_depth(text: &str) -> Result<usize, String> {
+    match text.trim().parse::<usize>() {
+        Ok(0) => Err(format!("bad --queue-depth '{text}' (want >= 1)")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("bad --queue-depth '{text}' (want an integer >= 1)")),
+    }
+}
+
+/// Parse `--deadline-ms N` (at least 1 — a zero deadline would fail every
+/// request before any work happens).
+fn parse_deadline_ms(text: &str) -> Result<u64, String> {
+    match text.trim().parse::<u64>() {
+        Ok(0) => Err(format!("bad --deadline-ms '{text}' (want >= 1)")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("bad --deadline-ms '{text}' (want an integer >= 1)")),
+    }
+}
+
+/// One request line. Every selector field is optional: `sample` matches
+/// registry entries against the fields that are present and requires the
+/// match to be unique.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Request {
+    /// Caller-chosen correlation id, echoed in the response.
+    id: Option<u64>,
+    /// `health`, `list`, or `sample`.
+    op: String,
+    /// Model-kind selector (e.g. `tabddpm`; parsed case-insensitively).
+    model: Option<String>,
+    /// Generator-preset selector.
+    preset: Option<String>,
+    /// Seed-axis selector.
+    seed: Option<u64>,
+    /// Training-budget selector.
+    budget: Option<String>,
+    /// Synthetic rows to sample (default 32).
+    rows: Option<usize>,
+    /// Sampling seed (default: the checkpoint seed + 1, matching how the
+    /// sweep samples after fitting).
+    sample_seed: Option<u64>,
+}
+
+/// One response line. `status` is the typed outcome CI greps for: `ok`,
+/// `bad_request`, `not_found`, `ambiguous`, `overload`, `deadline`,
+/// `panic`, or `error`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Response {
+    /// The request's correlation id (absent for unparseable requests).
+    id: Option<u64>,
+    /// Whether the request was served.
+    ok: bool,
+    /// Typed outcome, stable for tooling.
+    status: String,
+    /// Human-readable explanation for non-`ok` outcomes.
+    detail: Option<String>,
+    /// The registry key that served a `sample` request.
+    key: Option<String>,
+    /// Rows sampled.
+    rows: Option<usize>,
+    /// FNV-1a digest of the canonical rendering of the sampled table.
+    digest: Option<String>,
+    /// `list`/`health`: the loadable registry keys / their count.
+    models: Option<Vec<String>>,
+    /// `health`: quarantined artifact count.
+    quarantined: Option<usize>,
+}
+
+impl Response {
+    fn failure(id: Option<u64>, status: &str, detail: String) -> Self {
+        Response {
+            id,
+            ok: false,
+            status: status.to_string(),
+            detail: Some(detail),
+            key: None,
+            rows: None,
+            digest: None,
+            models: None,
+            quarantined: None,
+        }
+    }
+
+    fn emit(&self) {
+        // One println! per response: the line (payload + newline) is
+        // written under a single stdout lock, so worker and shedding
+        // responses never interleave mid-line.
+        println!(
+            "{}",
+            serde_json::to_string(self).expect("response serializes")
+        );
+    }
+}
+
+/// Match `sample` selectors against the registry. Every present field must
+/// match; the result must be a single entry.
+fn select<'a>(
+    entries: &'a [Checkpoint],
+    request: &Request,
+) -> Result<&'a Checkpoint, (String, String)> {
+    let model = match request.model.as_deref() {
+        Some(name) => Some(
+            ModelKind::parse(name)
+                .ok_or_else(|| ("bad_request".to_string(), format!("unknown model '{name}'")))?,
+        ),
+        None => None,
+    };
+    let budget = match request.budget.as_deref() {
+        Some(name) => Some(TrainingBudget::parse(name).ok_or_else(|| {
+            (
+                "bad_request".to_string(),
+                format!("unknown budget '{name}'"),
+            )
+        })?),
+        None => None,
+    };
+    let matches: Vec<&Checkpoint> = entries
+        .iter()
+        .filter(|c| model.is_none_or(|m| c.model == m))
+        .filter(|c| budget.is_none_or(|b| c.budget == b))
+        .filter(|c| request.preset.as_deref().is_none_or(|p| c.preset == p))
+        .filter(|c| request.seed.is_none_or(|s| c.seed == s))
+        .collect();
+    match matches.as_slice() {
+        [] => Err((
+            "not_found".to_string(),
+            "no checkpoint matches the request selectors".to_string(),
+        )),
+        [one] => Ok(one),
+        many => Err((
+            "ambiguous".to_string(),
+            format!(
+                "{} checkpoints match; add selectors (e.g. {})",
+                many.len(),
+                many[0].key()
+            ),
+        )),
+    }
+}
+
+/// Handle one request against the registry (deadline/panic/shed handling
+/// live in the caller). Only this part runs under `catch_unwind`.
+fn handle(registry: &CheckpointRegistry, request: &Request) -> Response {
+    match request.op.as_str() {
+        "health" => Response {
+            id: request.id,
+            ok: true,
+            status: if registry.is_degraded() {
+                "degraded".to_string()
+            } else {
+                "ok".to_string()
+            },
+            detail: None,
+            key: None,
+            rows: None,
+            digest: None,
+            models: Some(registry.entries.iter().map(Checkpoint::key).collect()),
+            quarantined: Some(registry.quarantined.len()),
+        },
+        "list" => Response {
+            id: request.id,
+            ok: true,
+            status: "ok".to_string(),
+            detail: None,
+            key: None,
+            rows: None,
+            digest: None,
+            models: Some(registry.entries.iter().map(Checkpoint::key).collect()),
+            quarantined: None,
+        },
+        "sample" => match select(&registry.entries, request) {
+            Err((status, detail)) => Response::failure(request.id, &status, detail),
+            Ok(checkpoint) => {
+                let rows = request.rows.unwrap_or(32);
+                let seed = request
+                    .sample_seed
+                    .unwrap_or_else(|| checkpoint.seed.wrapping_add(1));
+                match checkpoint.sample(rows, seed) {
+                    Err(e) => Response::failure(request.id, "error", e.to_string()),
+                    Ok(table) => {
+                        let rendered = serde_json::to_string(&table).expect("table serializes");
+                        Response {
+                            id: request.id,
+                            ok: true,
+                            status: "ok".to_string(),
+                            detail: None,
+                            key: Some(checkpoint.key()),
+                            rows: Some(table.n_rows()),
+                            digest: Some(fnv1a_hex(rendered.as_bytes())),
+                            models: None,
+                            quarantined: None,
+                        }
+                    }
+                }
+            }
+        },
+        other => Response::failure(
+            request.id,
+            "bad_request",
+            format!("unknown op '{other}' (expected health, list or sample)"),
+        ),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
+    let dir = value(&args, "--checkpoints")
+        .unwrap_or_else(|| usage_error("--checkpoints DIR is required"));
+    let queue_depth = value(&args, "--queue-depth")
+        .map(|v| parse_queue_depth(&v).unwrap_or_else(|e| usage_error(&e)))
+        .unwrap_or(64);
+    let deadline_ms = value(&args, "--deadline-ms")
+        .map(|v| parse_deadline_ms(&v).unwrap_or_else(|e| usage_error(&e)));
+    let faults = value(&args, "--inject")
+        .map(|v| {
+            ServeFaultPlan::parse(&v).unwrap_or_else(|e| usage_error(&format!("bad --inject: {e}")))
+        })
+        .unwrap_or_else(ServeFaultPlan::none);
+    let clock = if flag(&args, "--virtual-clock") {
+        FaultClock::Virtual
+    } else {
+        FaultClock::Real
+    };
+
+    let mut registry = CheckpointRegistry::load_dir(Path::new(&dir))
+        .unwrap_or_else(|e| runtime_error(&format!("cannot load checkpoints: {e}")));
+    if faults.load_corrupt() && !registry.entries.is_empty() {
+        // Deterministic startup-corruption drill: treat the first
+        // (alphabetically) loadable checkpoint as corrupt.
+        let first = registry.entries.remove(0);
+        registry.quarantined.push(QuarantinedCheckpoint {
+            file: first.file_name(),
+            error: CheckpointError::Malformed {
+                section: "payload",
+                reason: "injected corruption (load:corrupt)".to_string(),
+            },
+        });
+    }
+    eprintln!(
+        "serve: loaded {} checkpoint(s) from {dir} ({} quarantined, {} temp file(s) ignored)",
+        registry.entries.len(),
+        registry.quarantined.len(),
+        registry.ignored_temp
+    );
+    for q in &registry.quarantined {
+        eprintln!("serve: quarantined {}: {}", q.file, q.error);
+    }
+    if registry.is_degraded() {
+        eprintln!(
+            "serve: DEGRADED: serving {} of {} model(s)",
+            registry.entries.len(),
+            registry.entries.len() + registry.quarantined.len()
+        );
+    }
+    if registry.entries.is_empty() && registry.quarantined.is_empty() {
+        runtime_error(&format!("no checkpoints in {dir}"));
+    }
+    eprintln!(
+        "serve: ready (queue depth {queue_depth}, deadline {})",
+        deadline_ms.map_or_else(|| "none".to_string(), |ms| format!("{ms}ms"))
+    );
+
+    let shed = Arc::new(AtomicUsize::new(0));
+    let (tx, rx) = sync_channel::<(Request, Instant)>(queue_depth);
+    let worker = {
+        let shed = Arc::clone(&shed);
+        let faults = faults.clone();
+        std::thread::spawn(move || {
+            let mut held = !faults.queue_hold();
+            for (request, arrival) in rx {
+                if !held {
+                    // queue:hold — park on the first request until at least
+                    // one later request has been shed (bounded by a real
+                    // timeout so a mis-written test cannot hang the loop).
+                    let give_up = Instant::now() + Duration::from_secs(10);
+                    while shed.load(Ordering::SeqCst) == 0 && Instant::now() < give_up {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    held = true;
+                }
+                // Injected processing delay burns on the configured clock;
+                // under --virtual-clock it only charges the deadline below.
+                let virtual_ms = match faults.request_delay_ms() {
+                    Some(ms) => clock.delay_ms(ms),
+                    None => 0.0,
+                };
+                if let Some(limit) = deadline_ms {
+                    let elapsed_ms = arrival.elapsed().as_secs_f64() * 1e3 + virtual_ms;
+                    if elapsed_ms >= limit as f64 {
+                        Response::failure(
+                            request.id,
+                            "deadline",
+                            format!("request exceeded its {limit}ms deadline ({elapsed_ms:.0}ms)"),
+                        )
+                        .emit();
+                        continue;
+                    }
+                }
+                let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if faults.request_panic() {
+                        panic!("injected fault: panic in request handler");
+                    }
+                    handle(&registry, &request)
+                }))
+                .unwrap_or_else(|payload| {
+                    Response::failure(request.id, "panic", panic_message(payload))
+                });
+                response.emit();
+            }
+        })
+    };
+
+    let stdin = std::io::stdin();
+    let mut received = 0usize;
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => runtime_error(&format!("cannot read stdin: {e}")),
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        received += 1;
+        let request: Request = match serde_json::from_str(&line) {
+            Ok(request) => request,
+            Err(e) => {
+                Response::failure(None, "bad_request", format!("unparseable request: {e}")).emit();
+                continue;
+            }
+        };
+        let id = request.id;
+        if let Err(e) = tx.try_send((request, Instant::now())) {
+            match e {
+                TrySendError::Full(_) => {
+                    shed.fetch_add(1, Ordering::SeqCst);
+                    Response::failure(
+                        id,
+                        "overload",
+                        format!("queue full (depth {queue_depth}), request shed"),
+                    )
+                    .emit();
+                }
+                TrySendError::Disconnected(_) => {
+                    runtime_error("worker thread died");
+                }
+            }
+        }
+    }
+    drop(tx);
+    worker
+        .join()
+        .unwrap_or_else(|_| runtime_error("worker thread panicked outside the capture boundary"));
+    eprintln!(
+        "serve: shutdown after {received} request(s), {} shed",
+        shed.load(Ordering::SeqCst)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_depth_parser_requires_a_positive_depth() {
+        assert_eq!(parse_queue_depth("64").unwrap(), 64);
+        assert_eq!(parse_queue_depth(" 1 ").unwrap(), 1);
+        for bad in ["0", "", "-3", "deep", "1.5"] {
+            assert!(
+                parse_queue_depth(bad)
+                    .unwrap_err()
+                    .contains("--queue-depth"),
+                "{bad:?} must be rejected with the flag name"
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_parser_requires_a_positive_deadline() {
+        assert_eq!(parse_deadline_ms("50").unwrap(), 50);
+        for bad in ["0", "", "-1", "soon"] {
+            assert!(
+                parse_deadline_ms(bad)
+                    .unwrap_err()
+                    .contains("--deadline-ms"),
+                "{bad:?} must be rejected with the flag name"
+            );
+        }
+    }
+
+    #[test]
+    fn requests_parse_with_optional_selectors() {
+        let full: Request = serde_json::from_str(
+            r#"{"id":3,"op":"sample","model":"tabddpm","preset":"small","seed":2024,
+                "budget":"smoke","rows":64,"sample_seed":7}"#,
+        )
+        .unwrap();
+        assert_eq!(full.id, Some(3));
+        assert_eq!(full.op, "sample");
+        assert_eq!(full.rows, Some(64));
+
+        let bare: Request = serde_json::from_str(r#"{"op":"health"}"#).unwrap();
+        assert_eq!(bare.id, None);
+        assert_eq!(bare.model, None);
+
+        assert!(serde_json::from_str::<Request>(r#"{"id":1}"#).is_err());
+        assert!(serde_json::from_str::<Request>("not json").is_err());
+    }
+
+    #[test]
+    fn selection_requires_a_unique_match() {
+        use surrogate::build_payload;
+        let entries: Vec<Checkpoint> = [
+            (ModelKind::Smote, 2024),
+            (ModelKind::Smote, 2025),
+            (ModelKind::TabDdpm, 2024),
+        ]
+        .iter()
+        .map(|&(kind, seed)| {
+            Checkpoint::new(
+                "small",
+                seed,
+                TrainingBudget::Smoke,
+                build_payload(kind, TrainingBudget::Smoke, seed),
+            )
+        })
+        .collect();
+        let request = |model: Option<&str>, seed: Option<u64>| Request {
+            id: None,
+            op: "sample".to_string(),
+            model: model.map(str::to_string),
+            preset: None,
+            seed,
+            budget: None,
+            rows: None,
+            sample_seed: None,
+        };
+
+        let unique = select(&entries, &request(Some("tabddpm"), None)).unwrap();
+        assert_eq!(unique.key(), "s2024-smoke-small-tabddpm");
+        let unique = select(&entries, &request(Some("smote"), Some(2025))).unwrap();
+        assert_eq!(unique.seed, 2025);
+
+        let (status, _) = select(&entries, &request(Some("smote"), None)).unwrap_err();
+        assert_eq!(status, "ambiguous");
+        let (status, _) = select(&entries, &request(Some("tvae"), None)).unwrap_err();
+        assert_eq!(status, "not_found");
+        let (status, _) = select(&entries, &request(Some("mystery"), None)).unwrap_err();
+        assert_eq!(status, "bad_request");
+    }
+
+    #[test]
+    fn unknown_ops_and_unfitted_models_answer_typed_failures() {
+        use surrogate::build_payload;
+        let registry = CheckpointRegistry {
+            entries: vec![Checkpoint::new(
+                "small",
+                2024,
+                TrainingBudget::Smoke,
+                build_payload(ModelKind::Smote, TrainingBudget::Smoke, 2024),
+            )],
+            quarantined: Vec::new(),
+            ignored_temp: 0,
+        };
+        let request = |op: &str| Request {
+            id: Some(9),
+            op: op.to_string(),
+            model: None,
+            preset: None,
+            seed: None,
+            budget: None,
+            rows: None,
+            sample_seed: None,
+        };
+
+        let response = handle(&registry, &request("explode"));
+        assert!(!response.ok);
+        assert_eq!(response.status, "bad_request");
+        assert_eq!(response.id, Some(9));
+
+        // The registry's only checkpoint is unfitted, so sampling fails as
+        // a typed 'error' response, not a crash.
+        let response = handle(&registry, &request("sample"));
+        assert!(!response.ok);
+        assert_eq!(response.status, "error");
+
+        let response = handle(&registry, &request("health"));
+        assert!(response.ok);
+        assert_eq!(response.status, "ok");
+        assert_eq!(response.models.as_deref().map(<[String]>::len), Some(1));
+        assert_eq!(response.quarantined, Some(0));
+    }
+}

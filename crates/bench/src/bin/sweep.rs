@@ -31,7 +31,13 @@
 //!   tail away, so a SIGKILL'd sweep resumes from its last completed cell;
 //! * `--inject SPEC` deterministically injects faults at named cells
 //!   (`cell3:panic,cell7:delay:200ms,cell9:nan,cell2:budget`) so CI can
-//!   exercise all of the above without timing races.
+//!   exercise all of the above without timing races;
+//! * `--virtual-clock` makes injected delay faults charge their duration to
+//!   the cell's wall-clock accounting without actually sleeping, so a fault
+//!   matrix with seconds of injected delay finishes in milliseconds;
+//! * `--checkpoint-dir DIR` persists every cell whose fit succeeds as a
+//!   crash-safe checkpoint artifact (`<cell-id>.ckpt`, written atomically)
+//!   that `serve` loads into its model registry.
 //!
 //! Usage:
 //!   sweep [--seeds 2024..2032 | 2024,2025] [--budgets fast,standard]
@@ -52,15 +58,16 @@
 //! laptop). `--quick` is the CI smoke grid: 2 seeds × smoke budget × the
 //! `small` preset × all four models = 8 cells at 2500 gross records.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use metrics::{mean_report, EvaluationConfig, SurrogateReport};
 use surrogate::sweep::{
-    grid_fingerprint, run_sweep_resumable_journaled, JournalHeader, JournalWriter,
+    grid_fingerprint, run_sweep_resumable_durable, JournalHeader, JournalWriter,
     NamedGeneratorConfig, ShardSpec, SweepCellRow, SweepGrid, SweepOptions, SweepReport,
     JOURNAL_VERSION,
 };
-use surrogate::{CellBudget, ExecutionMode, FaultPlan, ModelKind, TrainingBudget};
+use surrogate::{CellBudget, ExecutionMode, FaultClock, FaultPlan, ModelKind, TrainingBudget};
 
 const USAGE: &str = "\
 sweep: scenario-sweep runtime over the surrogate experiment pipeline
@@ -98,6 +105,12 @@ fault tolerance:
   --inject SPEC          deterministic fault injection at named cells, e.g.
                          cell3:panic,cell7:delay:200ms,cell9:nan,cell2:budget
                          (panic/nan accept :K to fail only the first K attempts)
+  --virtual-clock        charge injected delays to wall-clock accounting
+                         without sleeping (keeps fault matrices fast in CI)
+  --checkpoint-dir DIR   persist each fitted cell as a crash-safe checkpoint
+                         artifact (<cell-id>.ckpt, atomic temp+fsync+rename)
+                         in DIR; created if missing, must be a writable
+                         directory (not an existing file)
 
 merge mode:
   --merge A.json B.json ...  validate + recombine disjoint shard artifacts
@@ -129,6 +142,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--max-epochs",
     "--journal",
     "--inject",
+    "--checkpoint-dir",
 ];
 
 /// Exit for malformed command lines (bad flag syntax, unknown names).
@@ -262,6 +276,31 @@ fn parse_max_epochs(text: &str) -> Result<usize, String> {
     text.trim()
         .parse::<usize>()
         .map_err(|_| format!("bad --max-epochs '{text}' (want a non-negative integer)"))
+}
+
+/// Validate `--checkpoint-dir DIR` up front, before any cell burns compute:
+/// the path must not collide with an existing non-directory, is created if
+/// missing, and must actually accept writes (probed with a throwaway file).
+/// Failing any of these is a usage error — finding out after an hour-long
+/// sweep that every checkpoint save failed would defeat the flag's purpose.
+fn parse_checkpoint_dir(text: &str) -> Result<PathBuf, String> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Err("bad --checkpoint-dir '' (want a directory path)".to_string());
+    }
+    let dir = PathBuf::from(trimmed);
+    if dir.exists() && !dir.is_dir() {
+        return Err(format!(
+            "bad --checkpoint-dir '{trimmed}': collides with an existing non-directory"
+        ));
+    }
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| format!("bad --checkpoint-dir '{trimmed}': cannot create: {e}"))?;
+    let probe = dir.join(".sweep-write-probe.tmp");
+    std::fs::write(&probe, b"probe\n")
+        .map_err(|e| format!("bad --checkpoint-dir '{trimmed}': not writable: {e}"))?;
+    let _ = std::fs::remove_file(&probe);
+    Ok(dir)
 }
 
 /// Read an artifact back through the typed `Deserialize` path and check its
@@ -504,7 +543,14 @@ fn run_main(args: &[String]) {
                 FaultPlan::parse(&v).unwrap_or_else(|e| usage_error(&format!("bad --inject: {e}")))
             })
             .unwrap_or_else(FaultPlan::none),
+        clock: if flag(args, "--virtual-clock") {
+            FaultClock::Virtual
+        } else {
+            FaultClock::Real
+        },
     };
+    let checkpoint_dir = value(args, "--checkpoint-dir")
+        .map(|v| parse_checkpoint_dir(&v).unwrap_or_else(|e| usage_error(&e)));
     let out_path = value(args, "--out").unwrap_or_else(|| "SWEEP.json".to_string());
     let prior = value(args, "--resume").map(|path| read_prior(&path));
 
@@ -534,10 +580,30 @@ fn run_main(args: &[String]) {
             .unwrap_or_else(|e| runtime_error(&format!("cannot create journal {path}: {e}")))
     });
 
-    let summary =
-        run_sweep_resumable_journaled(&grid, &options, shard, prior.as_ref(), journal.as_ref())
-            .unwrap_or_else(|e| runtime_error(&format!("cannot resume: {e}")));
+    let summary = run_sweep_resumable_durable(
+        &grid,
+        &options,
+        shard,
+        prior.as_ref(),
+        journal.as_ref(),
+        checkpoint_dir.as_deref(),
+    )
+    .unwrap_or_else(|e| runtime_error(&format!("cannot resume: {e}")));
     let report = &summary.report;
+    if let Some(dir) = &checkpoint_dir {
+        let saved = std::fs::read_dir(dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter(|e| e.file_name().to_string_lossy().ends_with(".ckpt"))
+                    .count()
+            })
+            .unwrap_or(0);
+        eprintln!(
+            "sweep: checkpoint dir {} holds {saved} artifact(s)",
+            dir.display()
+        );
+    }
     eprintln!(
         "sweep: executed {} cell(s), resumed {} from the prior artifact",
         summary.runs.len(),
@@ -734,6 +800,40 @@ mod tests {
                 "{bad:?} must be rejected with the flag name"
             );
         }
+    }
+
+    #[test]
+    fn checkpoint_dir_parser_creates_and_probes_the_directory() {
+        let base =
+            std::env::temp_dir().join(format!("panda_sweep_ckpt_dir_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+
+        // A nested, not-yet-existing path is created.
+        let nested = base.join("deep/ckpts");
+        let dir = parse_checkpoint_dir(nested.to_str().unwrap()).unwrap();
+        assert!(dir.is_dir());
+        assert!(
+            !dir.join(".sweep-write-probe.tmp").exists(),
+            "probe file must be cleaned up"
+        );
+        // Re-validating an existing directory is fine.
+        assert!(parse_checkpoint_dir(nested.to_str().unwrap()).is_ok());
+
+        // Colliding with an existing file is rejected, mentioning the flag.
+        let file = base.join("artifact.json");
+        std::fs::write(&file, b"{}\n").unwrap();
+        let err = parse_checkpoint_dir(file.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("--checkpoint-dir"), "{err}");
+        assert!(err.contains("non-directory"), "{err}");
+
+        assert!(parse_checkpoint_dir("")
+            .unwrap_err()
+            .contains("--checkpoint-dir"));
+        assert!(parse_checkpoint_dir("   ")
+            .unwrap_err()
+            .contains("--checkpoint-dir"));
+
+        std::fs::remove_dir_all(&base).unwrap();
     }
 
     #[test]

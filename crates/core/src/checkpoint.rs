@@ -1,0 +1,741 @@
+//! Crash-safe model checkpoints: fitted generators as versioned,
+//! fingerprinted, atomically written artifacts.
+//!
+//! The paper's premise is "train a surrogate once, then replace expensive
+//! simulation forever" — which requires a fitted model to outlive its
+//! process. A [`Checkpoint`] bundles a fitted [`CheckpointPayload`] (any of
+//! the four generators, serialized in full: codec, network weights, noise
+//! schedules, neighbour lists) with the identity that produced it (model
+//! kind, generator preset, seed, [`TrainingBudget`]) into a two-line
+//! artifact:
+//!
+//! ```text
+//! {"checkpoint_version":1,"model":"TabDDPM","preset":"small","seed":2024,"budget":"smoke","fingerprint":"…"}
+//! {"TabDdpm":{…fitted state…}}
+//! ```
+//!
+//! Three durability properties hold, mirroring the sweep journal
+//! (`crate::artifact_io` is the shared implementation, so they cannot
+//! drift):
+//!
+//! * **Atomic writes** — [`Checkpoint::save`] stages into a `*.tmp` sibling,
+//!   fsyncs and renames, so a crash mid-save leaves either the previous
+//!   checkpoint or a stray temp file that directory scans skip — never a
+//!   torn artifact.
+//! * **Typed rejection** — [`Checkpoint::load`] rejects truncation at *any*
+//!   byte offset, bit flips (via the FNV-1a content fingerprint over the
+//!   header metadata and payload bytes), stale `checkpoint_version`s and
+//!   header/payload model mismatches, each as a [`CheckpointError`] naming
+//!   the offending section.
+//! * **Lossless round-trip** — every float survives render → parse
+//!   bit-for-bit (the `serde_json` shim emits shortest-round-trip literals
+//!   and preserves `-0.0`), so a reloaded generator's `sample()` is
+//!   byte-identical to the fitted in-memory generator's.
+//!
+//! [`CheckpointRegistry::load_dir`] scans a checkpoint directory the way
+//! the `serve` binary does at startup: corrupt entries are quarantined and
+//! reported, never fatal, so one damaged file degrades the registry instead
+//! of taking it down.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+use tabular::Table;
+
+use crate::artifact_io::{self, Fnv1a, RowError, TailPolicy, TEMP_SUFFIX};
+use crate::ctabgan::CtabGan;
+use crate::pipeline::{ModelKind, TrainingBudget};
+use crate::smote::SmoteSampler;
+use crate::tabddpm::TabDdpm;
+use crate::traits::{SurrogateError, TabularGenerator};
+use crate::tvae::Tvae;
+
+/// Version of the checkpoint artifact format. Bumped when the header or
+/// payload framing changes incompatibly; loaders reject other versions.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// File extension of checkpoint artifacts (`<key>.ckpt`).
+pub const CHECKPOINT_EXTENSION: &str = "ckpt";
+
+/// First line of a checkpoint artifact. `checkpoint_version` is serialized
+/// first, so every checkpoint begins with the literal bytes
+/// `{"checkpoint_version"` — a cheap sniff for tooling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointHeader {
+    /// Artifact format version ([`CHECKPOINT_VERSION`]).
+    pub checkpoint_version: u32,
+    /// Model kind name as in the paper's tables (e.g. `"TabDDPM"`).
+    pub model: String,
+    /// Generator preset the training data came from.
+    pub preset: String,
+    /// Seed axis value the model was fitted under.
+    pub seed: u64,
+    /// Training budget name (`smoke` / `standard` / `full`).
+    pub budget: String,
+    /// FNV-1a content fingerprint over the header metadata tokens and the
+    /// raw payload line, so a bit flip anywhere that survives JSON parsing
+    /// still fails the load.
+    pub fingerprint: String,
+}
+
+/// A fitted generator in serializable form: the concrete model behind a
+/// checkpoint. An enum (not `Box<dyn TabularGenerator>`) so the payload
+/// round-trips typed through the serde shim.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum CheckpointPayload {
+    /// A (possibly fitted) TVAE.
+    Tvae(Tvae),
+    /// A (possibly fitted) CTABGAN+.
+    CtabGan(CtabGan),
+    /// A (possibly fitted) SMOTE sampler.
+    Smote(SmoteSampler),
+    /// A (possibly fitted) TabDDPM.
+    TabDdpm(TabDdpm),
+}
+
+impl CheckpointPayload {
+    /// Which model kind this payload holds.
+    pub fn kind(&self) -> ModelKind {
+        match self {
+            CheckpointPayload::Tvae(_) => ModelKind::Tvae,
+            CheckpointPayload::CtabGan(_) => ModelKind::CtabGan,
+            CheckpointPayload::Smote(_) => ModelKind::Smote,
+            CheckpointPayload::TabDdpm(_) => ModelKind::TabDdpm,
+        }
+    }
+
+    /// The payload as the common generator interface.
+    pub fn generator(&self) -> &dyn TabularGenerator {
+        match self {
+            CheckpointPayload::Tvae(model) => model,
+            CheckpointPayload::CtabGan(model) => model,
+            CheckpointPayload::Smote(model) => model,
+            CheckpointPayload::TabDdpm(model) => model,
+        }
+    }
+
+    /// Mutable access for fitting.
+    pub fn generator_mut(&mut self) -> &mut dyn TabularGenerator {
+        match self {
+            CheckpointPayload::Tvae(model) => model,
+            CheckpointPayload::CtabGan(model) => model,
+            CheckpointPayload::Smote(model) => model,
+            CheckpointPayload::TabDdpm(model) => model,
+        }
+    }
+
+    /// Box the payload as a trait object (what
+    /// [`crate::pipeline::build_model`] returns).
+    pub fn into_generator(self) -> Box<dyn TabularGenerator> {
+        match self {
+            CheckpointPayload::Tvae(model) => Box::new(model),
+            CheckpointPayload::CtabGan(model) => Box::new(model),
+            CheckpointPayload::Smote(model) => Box::new(model),
+            CheckpointPayload::TabDdpm(model) => Box::new(model),
+        }
+    }
+}
+
+/// Why a checkpoint failed to save or load. Every variant names the
+/// offending section via [`CheckpointError::section`], so callers (and CI
+/// greps) can tell corruption modes apart without string matching.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// Reading or writing the file itself failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error, rendered.
+        error: String,
+    },
+    /// A section is missing outright: an empty file, a header with no
+    /// payload line, or a file that does not end in a newline — atomic
+    /// writes always land one, so its absence marks external truncation.
+    Truncated {
+        /// `"header"` or `"payload"`.
+        section: &'static str,
+    },
+    /// A section is present but unparseable.
+    Malformed {
+        /// `"header"` or `"payload"`.
+        section: &'static str,
+        /// The parse failure, rendered.
+        reason: String,
+    },
+    /// The artifact was written by an incompatible format version.
+    SchemaVersion {
+        /// The `checkpoint_version` found in the header.
+        found: u32,
+    },
+    /// The header names a model or budget this build does not know.
+    UnknownName {
+        /// `"model"` or `"budget"`.
+        field: &'static str,
+        /// The unknown name.
+        name: String,
+    },
+    /// The content fingerprint does not match the header's — a bit flip or
+    /// edit somewhere in the metadata or payload.
+    FingerprintMismatch {
+        /// Fingerprint recorded in the header.
+        expected: String,
+        /// Fingerprint recomputed from the file's content.
+        found: String,
+    },
+    /// The header's model kind disagrees with the payload's variant.
+    KindMismatch {
+        /// Model kind named by the header.
+        header: String,
+        /// Model kind actually held by the payload.
+        payload: String,
+    },
+    /// Two files in one directory resolve to the same registry key.
+    DuplicateKey {
+        /// The colliding (model, preset, seed, budget) key.
+        key: String,
+    },
+}
+
+impl CheckpointError {
+    /// The artifact section this error is about: `"file"`, `"header"`,
+    /// `"payload"`, `"fingerprint"` or `"registry"`.
+    pub fn section(&self) -> &'static str {
+        match self {
+            CheckpointError::Io { .. } => "file",
+            CheckpointError::Truncated { section } | CheckpointError::Malformed { section, .. } => {
+                section
+            }
+            CheckpointError::SchemaVersion { .. } | CheckpointError::UnknownName { .. } => "header",
+            CheckpointError::FingerprintMismatch { .. } => "fingerprint",
+            CheckpointError::KindMismatch { .. } => "payload",
+            CheckpointError::DuplicateKey { .. } => "registry",
+        }
+    }
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, error } => write!(f, "checkpoint io {path}: {error}"),
+            CheckpointError::Truncated { section } => {
+                write!(f, "checkpoint truncated: {section} section missing")
+            }
+            CheckpointError::Malformed { section, reason } => {
+                write!(f, "checkpoint {section} section malformed: {reason}")
+            }
+            CheckpointError::SchemaVersion { found } => write!(
+                f,
+                "unsupported checkpoint_version {found} (expected {CHECKPOINT_VERSION})"
+            ),
+            CheckpointError::UnknownName { field, name } => {
+                write!(f, "checkpoint header names unknown {field} '{name}'")
+            }
+            CheckpointError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "checkpoint fingerprint mismatch: header says {expected}, content hashes to {found}"
+            ),
+            CheckpointError::KindMismatch { header, payload } => write!(
+                f,
+                "checkpoint header says model {header} but payload holds {payload}"
+            ),
+            CheckpointError::DuplicateKey { key } => {
+                write!(f, "duplicate checkpoint for key {key}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// FNV-1a over the identity metadata and the raw payload line,
+/// length-prefixed per token like `sweep::grid_fingerprint`. Covering the
+/// metadata means a flipped header field (seed, preset, …) fails the load
+/// even though the payload bytes are intact.
+fn content_fingerprint(
+    model: ModelKind,
+    preset: &str,
+    seed: u64,
+    budget: TrainingBudget,
+    payload_line: &str,
+) -> String {
+    let mut hash = Fnv1a::new();
+    hash.feed_token(&format!("model:{}", model.name()));
+    hash.feed_token(&format!("preset:{preset}"));
+    hash.feed_token(&format!("seed:{seed}"));
+    hash.feed_token(&format!("budget:{}", budget.name()));
+    hash.feed_token(payload_line);
+    hash.finish_hex()
+}
+
+/// A fitted model plus the identity that produced it — the in-memory form
+/// of one checkpoint artifact.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Model kind (always agrees with `payload.kind()`).
+    pub model: ModelKind,
+    /// Generator preset the training data came from.
+    pub preset: String,
+    /// Seed axis value the model was fitted under.
+    pub seed: u64,
+    /// Training budget the fit ran under.
+    pub budget: TrainingBudget,
+    /// The fitted model itself.
+    pub payload: CheckpointPayload,
+}
+
+impl Checkpoint {
+    /// Bundle a fitted payload with its identity.
+    pub fn new(
+        preset: &str,
+        seed: u64,
+        budget: TrainingBudget,
+        payload: CheckpointPayload,
+    ) -> Self {
+        Self {
+            model: payload.kind(),
+            preset: preset.to_string(),
+            seed,
+            budget,
+            payload,
+        }
+    }
+
+    /// Registry key, same shape as a sweep cell id:
+    /// `s2024-smoke-small-tabddpm`.
+    pub fn key(&self) -> String {
+        let model: String = self
+            .model
+            .name()
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        format!(
+            "s{}-{}-{}-{model}",
+            self.seed,
+            self.budget.name(),
+            self.preset
+        )
+    }
+
+    /// The file name this checkpoint saves under in a checkpoint directory.
+    pub fn file_name(&self) -> String {
+        format!("{}.{CHECKPOINT_EXTENSION}", self.key())
+    }
+
+    /// Render the two-line artifact (header, payload, trailing newline).
+    pub fn render(&self) -> String {
+        let payload_line =
+            serde_json::to_string(&self.payload).expect("checkpoint payload serializes");
+        let header = CheckpointHeader {
+            checkpoint_version: CHECKPOINT_VERSION,
+            model: self.model.name().to_string(),
+            preset: self.preset.clone(),
+            seed: self.seed,
+            budget: self.budget.name().to_string(),
+            fingerprint: content_fingerprint(
+                self.model,
+                &self.preset,
+                self.seed,
+                self.budget,
+                &payload_line,
+            ),
+        };
+        let header_line = serde_json::to_string(&header).expect("checkpoint header serializes");
+        format!("{header_line}\n{payload_line}\n")
+    }
+
+    /// Parse and fully validate a rendered artifact. Every corruption mode
+    /// is a typed [`CheckpointError`]: truncation at any byte offset
+    /// (missing trailing newline, missing payload line, torn JSON), bit
+    /// flips (fingerprint), stale versions, unknown or mismatched model
+    /// kinds.
+    pub fn parse(text: &str) -> Result<Self, CheckpointError> {
+        if !text.ends_with('\n') {
+            // Atomic writes always land a trailing newline; a file without
+            // one was truncated after the fact.
+            return Err(CheckpointError::Truncated {
+                section: if text.contains('\n') {
+                    "payload"
+                } else {
+                    "header"
+                },
+            });
+        }
+        let mut lines = text.split('\n');
+        let header_line = lines.next().unwrap_or_default();
+        let header: CheckpointHeader =
+            serde_json::from_str(header_line).map_err(|e| CheckpointError::Malformed {
+                section: "header",
+                reason: e.to_string(),
+            })?;
+        if header.checkpoint_version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::SchemaVersion {
+                found: header.checkpoint_version,
+            });
+        }
+        let model =
+            ModelKind::parse(&header.model).ok_or_else(|| CheckpointError::UnknownName {
+                field: "model",
+                name: header.model.clone(),
+            })?;
+        let budget =
+            TrainingBudget::parse(&header.budget).ok_or_else(|| CheckpointError::UnknownName {
+                field: "budget",
+                name: header.budget.clone(),
+            })?;
+        // Strict tail policy: checkpoints are written atomically, so unlike
+        // the append-only journal there is no torn tail to forgive.
+        let rest: Vec<&str> = lines.collect();
+        let parsed = artifact_io::parse_log_rows(&rest, 2, TailPolicy::Strict, |line| {
+            let found = content_fingerprint(model, &header.preset, header.seed, budget, line);
+            if found != header.fingerprint {
+                return Err(CheckpointError::FingerprintMismatch {
+                    expected: header.fingerprint.clone(),
+                    found,
+                });
+            }
+            serde_json::from_str::<CheckpointPayload>(line).map_err(|e| {
+                CheckpointError::Malformed {
+                    section: "payload",
+                    reason: e.to_string(),
+                }
+            })
+        })
+        .map_err(|e| match e {
+            RowError::Empty { .. } => CheckpointError::Truncated { section: "payload" },
+            RowError::Parse { error, .. } => error,
+        })?;
+        let mut rows = parsed.rows;
+        let payload = match rows.len() {
+            0 => return Err(CheckpointError::Truncated { section: "payload" }),
+            1 => rows.remove(0),
+            n => {
+                return Err(CheckpointError::Malformed {
+                    section: "payload",
+                    reason: format!("{n} payload lines (expected 1)"),
+                })
+            }
+        };
+        if payload.kind() != model {
+            return Err(CheckpointError::KindMismatch {
+                header: model.name().to_string(),
+                payload: payload.kind().name().to_string(),
+            });
+        }
+        Ok(Checkpoint {
+            model,
+            preset: header.preset,
+            seed: header.seed,
+            budget,
+            payload,
+        })
+    }
+
+    /// Atomically write the artifact to `path` (temp + fsync + rename).
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        artifact_io::atomic_write(path, self.render().as_bytes()).map_err(|e| CheckpointError::Io {
+            path: path.display().to_string(),
+            error: e.to_string(),
+        })
+    }
+
+    /// Save under the canonical [`Checkpoint::file_name`] inside `dir`.
+    pub fn save_to_dir(&self, dir: &Path) -> Result<PathBuf, CheckpointError> {
+        let path = dir.join(self.file_name());
+        self.save(&path)?;
+        Ok(path)
+    }
+
+    /// Read and validate the artifact at `path`.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let text = std::fs::read_to_string(path).map_err(|e| CheckpointError::Io {
+            path: path.display().to_string(),
+            error: e.to_string(),
+        })?;
+        Self::parse(&text)
+    }
+
+    /// Sample from the checkpointed model (see
+    /// [`TabularGenerator::sample`]).
+    pub fn sample(&self, n: usize, seed: u64) -> Result<Table, SurrogateError> {
+        self.payload.generator().sample(n, seed)
+    }
+}
+
+/// One unusable file found while scanning a checkpoint directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedCheckpoint {
+    /// File name within the scanned directory.
+    pub file: String,
+    /// Why the file could not be loaded.
+    pub error: CheckpointError,
+}
+
+/// What a checkpoint-directory scan produced: the loadable models plus
+/// every file that had to be quarantined. Corruption is *reported*, never
+/// fatal — the registry degrades instead of refusing to start, which is
+/// what the `serve` binary builds on.
+#[derive(Debug, Default)]
+pub struct CheckpointRegistry {
+    /// Successfully loaded checkpoints, sorted by [`Checkpoint::key`].
+    pub entries: Vec<Checkpoint>,
+    /// Files that failed to load, with their typed errors, in name order.
+    pub quarantined: Vec<QuarantinedCheckpoint>,
+    /// Stray `*.tmp` staging files skipped (the residue of a write killed
+    /// between staging and rename — harmless by construction).
+    pub ignored_temp: usize,
+}
+
+impl CheckpointRegistry {
+    /// Scan `dir` for `*.ckpt` artifacts. Only an unreadable directory is
+    /// an error; unloadable files are quarantined, `*.tmp` files skipped,
+    /// and two files resolving to one key quarantine the later one.
+    pub fn load_dir(dir: &Path) -> Result<Self, CheckpointError> {
+        let entries = std::fs::read_dir(dir).map_err(|e| CheckpointError::Io {
+            path: dir.display().to_string(),
+            error: e.to_string(),
+        })?;
+        let mut names: Vec<String> = entries
+            .filter_map(|entry| entry.ok())
+            .map(|entry| entry.file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        let mut registry = CheckpointRegistry::default();
+        for name in names {
+            if name.ends_with(TEMP_SUFFIX) {
+                registry.ignored_temp += 1;
+                continue;
+            }
+            if !name.ends_with(&format!(".{CHECKPOINT_EXTENSION}")) {
+                continue;
+            }
+            match Checkpoint::load(&dir.join(&name)) {
+                Ok(checkpoint) => {
+                    let key = checkpoint.key();
+                    if registry.entries.iter().any(|c| c.key() == key) {
+                        registry.quarantined.push(QuarantinedCheckpoint {
+                            file: name,
+                            error: CheckpointError::DuplicateKey { key },
+                        });
+                    } else {
+                        registry.entries.push(checkpoint);
+                    }
+                }
+                Err(error) => registry
+                    .quarantined
+                    .push(QuarantinedCheckpoint { file: name, error }),
+            }
+        }
+        registry.entries.sort_by_key(Checkpoint::key);
+        Ok(registry)
+    }
+
+    /// True when at least one file had to be quarantined — the registry is
+    /// serving a subset of what the directory holds.
+    pub fn is_degraded(&self) -> bool {
+        !self.quarantined.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::build_payload;
+
+    fn unfitted(kind: ModelKind) -> Checkpoint {
+        Checkpoint::new(
+            "small",
+            2024,
+            TrainingBudget::Smoke,
+            build_payload(kind, TrainingBudget::Smoke, 2024),
+        )
+    }
+
+    #[test]
+    fn keys_match_sweep_cell_id_shape() {
+        assert_eq!(
+            unfitted(ModelKind::TabDdpm).key(),
+            "s2024-smoke-small-tabddpm"
+        );
+        assert_eq!(
+            unfitted(ModelKind::CtabGan).key(),
+            "s2024-smoke-small-ctabgan"
+        );
+        assert_eq!(
+            unfitted(ModelKind::Tvae).file_name(),
+            "s2024-smoke-small-tvae.ckpt"
+        );
+    }
+
+    #[test]
+    fn render_parse_round_trips_every_model_kind() {
+        for kind in ModelKind::ALL {
+            let checkpoint = unfitted(kind);
+            let text = checkpoint.render();
+            assert!(text.starts_with("{\"checkpoint_version\""), "sniffable");
+            assert!(text.ends_with('\n'));
+            let loaded = Checkpoint::parse(&text).unwrap_or_else(|e| {
+                panic!("{} round trip failed: {e}", kind.name());
+            });
+            assert_eq!(loaded.model, kind);
+            assert_eq!(loaded.preset, "small");
+            assert_eq!(loaded.seed, 2024);
+            assert_eq!(loaded.budget, TrainingBudget::Smoke);
+            assert_eq!(loaded.render(), text, "re-render is byte-identical");
+        }
+    }
+
+    #[test]
+    fn missing_trailing_newline_is_truncation() {
+        let text = unfitted(ModelKind::Smote).render();
+        let err = Checkpoint::parse(text.trim_end()).unwrap_err();
+        assert_eq!(err, CheckpointError::Truncated { section: "payload" });
+        // Truncated inside the header line: no newline at all.
+        let err = Checkpoint::parse(&text[..10]).unwrap_err();
+        assert_eq!(err, CheckpointError::Truncated { section: "header" });
+        assert_eq!(err.section(), "header");
+        // Header line only (cut exactly after its newline): payload missing.
+        let cut = text.find('\n').unwrap() + 1;
+        let err = Checkpoint::parse(&text[..cut]).unwrap_err();
+        assert_eq!(err, CheckpointError::Truncated { section: "payload" });
+    }
+
+    #[test]
+    fn stale_schema_version_is_rejected() {
+        let text = unfitted(ModelKind::Smote)
+            .render()
+            .replace("{\"checkpoint_version\":1", "{\"checkpoint_version\":99");
+        assert_eq!(
+            Checkpoint::parse(&text).unwrap_err(),
+            CheckpointError::SchemaVersion { found: 99 }
+        );
+    }
+
+    #[test]
+    fn header_metadata_edits_trip_the_fingerprint() {
+        // Flip the seed in the header: the payload bytes are intact but the
+        // fingerprint covers the metadata too.
+        let text = unfitted(ModelKind::Smote)
+            .render()
+            .replace("\"seed\":2024", "\"seed\":2025");
+        let err = Checkpoint::parse(&text).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::FingerprintMismatch { .. }),
+            "{err:?}"
+        );
+        assert_eq!(err.section(), "fingerprint");
+    }
+
+    #[test]
+    fn unknown_model_and_budget_names_are_typed() {
+        let base = unfitted(ModelKind::Smote).render();
+        let err = Checkpoint::parse(&base.replace("\"SMOTE\"", "\"MYSTERY\"")).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::UnknownName {
+                field: "model",
+                name: "MYSTERY".to_string()
+            }
+        );
+        let err = Checkpoint::parse(&base.replace("\"smoke\"", "\"warp\"")).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::UnknownName {
+                field: "budget",
+                name: "warp".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn header_payload_kind_disagreement_is_rejected() {
+        // Forge a checkpoint whose header says TVAE but whose payload is
+        // SMOTE. The render is self-consistent (fingerprint included), so
+        // only the kind check can catch it.
+        let mut forged = unfitted(ModelKind::Smote);
+        forged.model = ModelKind::Tvae;
+        let err = Checkpoint::parse(&forged.render()).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::KindMismatch {
+                header: "TVAE".to_string(),
+                payload: "SMOTE".to_string()
+            }
+        );
+        assert_eq!(err.section(), "payload");
+    }
+
+    #[test]
+    fn extra_payload_lines_are_rejected() {
+        let text = unfitted(ModelKind::Smote).render();
+        let doubled = {
+            let payload = text.lines().nth(1).unwrap();
+            format!("{}{payload}\n", text)
+        };
+        let err = Checkpoint::parse(&doubled).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::Malformed {
+                section: "payload",
+                reason: "2 payload lines (expected 1)".to_string()
+            }
+        );
+        // A *different* trailing line fails the fingerprint instead.
+        let err = Checkpoint::parse(&format!("{text}{{}}\n")).unwrap_err();
+        assert!(matches!(err, CheckpointError::FingerprintMismatch { .. }));
+    }
+
+    #[test]
+    fn load_dir_quarantines_without_failing() {
+        let dir = std::env::temp_dir().join(format!(
+            "panda_surrogate_ckpt_registry_test_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let good = unfitted(ModelKind::Smote);
+        good.save_to_dir(&dir).unwrap();
+        unfitted(ModelKind::Tvae).save_to_dir(&dir).unwrap();
+        // A corrupt artifact, a stray temp file (kill -9 residue) and an
+        // unrelated file.
+        std::fs::write(dir.join("broken.ckpt"), &good.render().as_bytes()[..40]).unwrap();
+        std::fs::write(dir.join("partial.ckpt.tmp"), b"{\"checkpoint_ver").unwrap();
+        std::fs::write(dir.join("notes.txt"), b"not a checkpoint\n").unwrap();
+        // A duplicate key under a different file name.
+        good.save(&dir.join("copy-of-smote.ckpt")).unwrap();
+
+        let registry = CheckpointRegistry::load_dir(&dir).unwrap();
+        assert_eq!(registry.entries.len(), 2);
+        assert_eq!(
+            registry
+                .entries
+                .iter()
+                .map(Checkpoint::key)
+                .collect::<Vec<_>>(),
+            vec!["s2024-smoke-small-smote", "s2024-smoke-small-tvae"]
+        );
+        assert_eq!(registry.ignored_temp, 1);
+        assert!(registry.is_degraded());
+        assert_eq!(registry.quarantined.len(), 2);
+        assert_eq!(registry.quarantined[0].file, "broken.ckpt");
+        assert_eq!(registry.quarantined[0].error.section(), "header");
+        assert_eq!(registry.quarantined[1].file, "s2024-smoke-small-smote.ckpt");
+        assert_eq!(
+            registry.quarantined[1].error,
+            CheckpointError::DuplicateKey {
+                key: "s2024-smoke-small-smote".to_string()
+            }
+        );
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_dir_on_a_missing_directory_is_io() {
+        let err = CheckpointRegistry::load_dir(Path::new("/nonexistent/ckpts")).unwrap_err();
+        assert_eq!(err.section(), "file");
+    }
+}

@@ -86,7 +86,11 @@ impl CtabGanConfig {
 }
 
 /// The CTABGAN+ surrogate model.
-#[derive(Debug, Clone)]
+///
+/// Serializable in full (config, fitted codec/generator state, conditioning
+/// marginals, loss history) so a fitted model checkpoints and reloads with
+/// byte-identical sampling.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CtabGan {
     config: CtabGanConfig,
     codec: Option<TableCodec>,

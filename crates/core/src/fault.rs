@@ -129,6 +129,40 @@ pub fn panic_message(payload: Box<dyn Any + Send>) -> String {
     }
 }
 
+/// How injected delays burn time: for real, or on a virtual clock.
+///
+/// Delay faults exist to exercise wall-clock accounting and deadline paths,
+/// not to make CI sleep. Under [`FaultClock::Virtual`] a delay charges its
+/// duration to the caller's wall-clock accounting and returns immediately,
+/// so a fault matrix with seconds of injected delay still finishes in
+/// milliseconds — deterministically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FaultClock {
+    /// Delays really sleep (the default; matches pre-virtual-clock
+    /// behaviour).
+    #[default]
+    Real,
+    /// Delays return immediately and report their duration as virtual
+    /// elapsed milliseconds for the caller to account.
+    Virtual,
+}
+
+impl FaultClock {
+    /// Burn an injected delay of `ms` milliseconds. Returns the virtual
+    /// milliseconds the caller must add to its wall-clock accounting: 0
+    /// under [`FaultClock::Real`] (the sleep already happened for real),
+    /// `ms` under [`FaultClock::Virtual`] (nothing slept).
+    pub fn delay_ms(self, ms: u64) -> f64 {
+        match self {
+            FaultClock::Real => {
+                std::thread::sleep(Duration::from_millis(ms));
+                0.0
+            }
+            FaultClock::Virtual => ms as f64,
+        }
+    }
+}
+
 /// What to inject at a cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
@@ -320,6 +354,140 @@ impl fmt::Display for FaultPlan {
     }
 }
 
+/// What to inject into the serving loop (`bench --bin serve`). Unlike sweep
+/// faults these are not addressed by cell — they target serving stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeFaultKind {
+    /// Treat the first (alphabetically) loadable checkpoint as corrupt at
+    /// startup, forcing the registry into degraded mode deterministically.
+    LoadCorrupt,
+    /// Charge every request `ms` milliseconds of processing delay before it
+    /// is answered — exercises per-request deadlines.
+    RequestDelay { ms: u64 },
+    /// Panic inside request handling — exercises panic capture and the
+    /// typed panic response.
+    RequestPanic,
+    /// The worker holds its first request until at least one later request
+    /// has been shed for overload — makes queue-full shedding testable
+    /// without timing races.
+    QueueHold,
+}
+
+impl fmt::Display for ServeFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeFaultKind::LoadCorrupt => write!(f, "load:corrupt"),
+            ServeFaultKind::RequestDelay { ms } => write!(f, "request:delay:{ms}ms"),
+            ServeFaultKind::RequestPanic => write!(f, "request:panic"),
+            ServeFaultKind::QueueHold => write!(f, "queue:hold"),
+        }
+    }
+}
+
+/// Faults to inject into the serving loop, parsed from specs like
+/// `load:corrupt,request:delay:100ms,request:panic,queue:hold`. Each stage
+/// fault may appear at most once; the empty plan injects nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeFaultPlan {
+    faults: Vec<ServeFaultKind>,
+}
+
+impl ServeFaultPlan {
+    /// The plan that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The planned faults, in spec order.
+    pub fn faults(&self) -> &[ServeFaultKind] {
+        &self.faults
+    }
+
+    /// Whether checkpoint loading should treat one entry as corrupt.
+    pub fn load_corrupt(&self) -> bool {
+        self.faults.contains(&ServeFaultKind::LoadCorrupt)
+    }
+
+    /// The injected per-request delay, if any.
+    pub fn request_delay_ms(&self) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            ServeFaultKind::RequestDelay { ms } => Some(*ms),
+            _ => None,
+        })
+    }
+
+    /// Whether request handling should panic.
+    pub fn request_panic(&self) -> bool {
+        self.faults.contains(&ServeFaultKind::RequestPanic)
+    }
+
+    /// Whether the worker should hold its first request until a shed.
+    pub fn queue_hold(&self) -> bool {
+        self.faults.contains(&ServeFaultKind::QueueHold)
+    }
+
+    /// Parse a comma-separated serve fault spec. Entries are
+    /// `load:corrupt`, `request:delay:<MS>ms`, `request:panic`, or
+    /// `queue:hold`; duplicates of one stage fault and empty specs are
+    /// rejected.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut faults: Vec<ServeFaultKind> = Vec::new();
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                return Err(format!("empty serve fault entry in spec '{spec}'"));
+            }
+            let fault = Self::parse_entry(entry)?;
+            let same_stage =
+                |f: &ServeFaultKind| std::mem::discriminant(f) == std::mem::discriminant(&fault);
+            if faults.iter().any(same_stage) {
+                return Err(format!("duplicate serve fault '{entry}'"));
+            }
+            faults.push(fault);
+        }
+        if faults.is_empty() {
+            return Err("empty serve fault spec".to_string());
+        }
+        Ok(Self { faults })
+    }
+
+    fn parse_entry(entry: &str) -> Result<ServeFaultKind, String> {
+        match entry.split(':').collect::<Vec<_>>().as_slice() {
+            ["load", "corrupt"] => Ok(ServeFaultKind::LoadCorrupt),
+            ["request", "panic"] => Ok(ServeFaultKind::RequestPanic),
+            ["queue", "hold"] => Ok(ServeFaultKind::QueueHold),
+            ["request", "delay", ms] => {
+                let digits = ms.strip_suffix("ms").ok_or_else(|| {
+                    format!("delay in '{entry}' must end in 'ms' (e.g. request:delay:100ms)")
+                })?;
+                let ms = digits.parse::<u64>().map_err(|_| {
+                    format!("delay in '{entry}' must be a whole number of milliseconds")
+                })?;
+                Ok(ServeFaultKind::RequestDelay { ms })
+            }
+            ["request", "delay"] => Err(format!(
+                "delay in '{entry}' needs a duration (e.g. request:delay:100ms)"
+            )),
+            _ => Err(format!(
+                "unknown serve fault '{entry}' (expected load:corrupt, \
+                 request:delay:<MS>ms, request:panic or queue:hold)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for ServeFaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{fault}")?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,6 +584,62 @@ mod tests {
                 completed_epochs: 0
             })
         );
+    }
+
+    #[test]
+    fn serve_plan_round_trips_through_display() {
+        let spec = "load:corrupt,request:delay:100ms,request:panic,queue:hold";
+        let plan = ServeFaultPlan::parse(spec).unwrap();
+        assert_eq!(plan.to_string(), spec);
+        assert_eq!(ServeFaultPlan::parse(&plan.to_string()).unwrap(), plan);
+        assert!(plan.load_corrupt());
+        assert_eq!(plan.request_delay_ms(), Some(100));
+        assert!(plan.request_panic());
+        assert!(plan.queue_hold());
+
+        let partial = ServeFaultPlan::parse("request:panic").unwrap();
+        assert!(!partial.load_corrupt());
+        assert_eq!(partial.request_delay_ms(), None);
+        assert!(!partial.queue_hold());
+        assert!(!ServeFaultPlan::none().request_panic());
+    }
+
+    #[test]
+    fn bad_serve_specs_are_rejected_with_messages() {
+        for spec in [
+            "",
+            "load",
+            "load:torn",
+            "corrupt",
+            "request:delay",
+            "request:delay:100",
+            "request:delay:fastms",
+            "request:explode",
+            "queue:hold:1",
+            "request:panic,request:panic",
+            "request:delay:1ms,request:delay:2ms",
+            "load:corrupt,,queue:hold",
+        ] {
+            assert!(
+                ServeFaultPlan::parse(spec).is_err(),
+                "accepted bad serve spec {spec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn virtual_clock_charges_delay_without_sleeping() {
+        let start = Instant::now();
+        assert_eq!(FaultClock::Virtual.delay_ms(10_000), 10_000.0);
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "virtual delay must not sleep"
+        );
+        // The real clock actually sleeps and charges nothing extra.
+        let start = Instant::now();
+        assert_eq!(FaultClock::Real.delay_ms(10), 0.0);
+        assert!(start.elapsed() >= Duration::from_millis(10));
+        assert_eq!(FaultClock::default(), FaultClock::Real);
     }
 
     #[test]

@@ -31,6 +31,8 @@
 //! work queue, with per-cell determinism and failure isolation, aggregated
 //! into a serializable [`sweep::SweepReport`].
 
+pub mod artifact_io;
+pub mod checkpoint;
 pub mod codec;
 pub mod ctabgan;
 pub mod experiment;
@@ -43,6 +45,11 @@ pub mod tabddpm;
 pub mod traits;
 pub mod tvae;
 
+pub use artifact_io::{atomic_write, fnv1a_hex, parse_log_rows, Fnv1a, TailPolicy};
+pub use checkpoint::{
+    Checkpoint, CheckpointError, CheckpointHeader, CheckpointPayload, CheckpointRegistry,
+    QuarantinedCheckpoint, CHECKPOINT_VERSION,
+};
 pub use codec::{ColumnSpan, TableCodec};
 pub use ctabgan::{CtabGan, CtabGanConfig};
 pub use experiment::{
@@ -51,18 +58,20 @@ pub use experiment::{
     PreparedData,
 };
 pub use fault::{
-    derive_attempt_seed, panic_message, CellBudget, Fault, FaultKind, FaultPlan, FitControl,
+    derive_attempt_seed, panic_message, CellBudget, Fault, FaultClock, FaultKind, FaultPlan,
+    FitControl, ServeFaultKind, ServeFaultPlan,
 };
 pub use pipeline::{
-    build_model, fit_and_sample, fit_and_sample_controlled, ModelKind, TrainingBudget,
+    build_model, build_payload, fit_and_sample, fit_and_sample_controlled, ModelKind,
+    TrainingBudget,
 };
 pub use smote::{SmoteConfig, SmoteSampler};
 pub use sweep::{
-    grid_fingerprint, run_cell, run_sweep, run_sweep_resumable, run_sweep_resumable_journaled,
-    run_sweep_resumable_observed, run_sweep_resumable_with, run_sweep_with, CellError, CellRun,
-    CellSuccess, FitContext, JournalHeader, JournalWriter, NamedGeneratorConfig, ShardSpec,
-    SweepArtifactError, SweepCell, SweepCellRow, SweepGrid, SweepOptions, SweepOutcome,
-    SweepReport, SweepRunSummary, JOURNAL_VERSION,
+    grid_fingerprint, run_cell, run_sweep, run_sweep_resumable, run_sweep_resumable_durable,
+    run_sweep_resumable_journaled, run_sweep_resumable_observed, run_sweep_resumable_with,
+    run_sweep_with, CellError, CellRun, CellSuccess, FitContext, JournalHeader, JournalWriter,
+    NamedGeneratorConfig, ShardSpec, SweepArtifactError, SweepCell, SweepCellRow, SweepGrid,
+    SweepOptions, SweepOutcome, SweepReport, SweepRunSummary, JOURNAL_VERSION,
 };
 pub use tabddpm::{TabDdpm, TabDdpmConfig};
 pub use traits::{SurrogateError, TabularGenerator};

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use tabular::Table;
 
+use crate::checkpoint::CheckpointPayload;
 use crate::ctabgan::{CtabGan, CtabGanConfig};
 use crate::fault::FitControl;
 use crate::smote::{SmoteConfig, SmoteSampler};
@@ -108,21 +109,20 @@ impl TrainingBudget {
     }
 }
 
-/// Build a surrogate model of the requested kind with a given budget and
-/// base seed.
-pub fn build_model(
-    kind: ModelKind,
-    budget: TrainingBudget,
-    seed: u64,
-) -> Box<dyn TabularGenerator> {
+/// Build an unfitted model of the requested kind in checkpointable form.
+/// This is the single source of truth for budget- and seed-dependent model
+/// configuration: [`build_model`] and the checkpoint save/load path both go
+/// through it, so a reloaded checkpoint is configured exactly like a
+/// freshly built model.
+pub fn build_payload(kind: ModelKind, budget: TrainingBudget, seed: u64) -> CheckpointPayload {
     match kind {
-        ModelKind::Smote => Box::new(SmoteSampler::new(SmoteConfig::default())),
+        ModelKind::Smote => CheckpointPayload::Smote(SmoteSampler::new(SmoteConfig::default())),
         ModelKind::Tvae => {
             let base = match budget {
                 TrainingBudget::Smoke => TvaeConfig::fast(),
                 _ => TvaeConfig::default(),
             };
-            Box::new(Tvae::new(TvaeConfig {
+            CheckpointPayload::Tvae(Tvae::new(TvaeConfig {
                 epochs: budget.scale_epochs(base.epochs),
                 seed,
                 ..base
@@ -133,7 +133,7 @@ pub fn build_model(
                 TrainingBudget::Smoke => CtabGanConfig::fast(),
                 _ => CtabGanConfig::default(),
             };
-            Box::new(CtabGan::new(CtabGanConfig {
+            CheckpointPayload::CtabGan(CtabGan::new(CtabGanConfig {
                 epochs: budget.scale_epochs(base.epochs),
                 seed,
                 ..base
@@ -144,13 +144,23 @@ pub fn build_model(
                 TrainingBudget::Smoke => TabDdpmConfig::fast(),
                 _ => TabDdpmConfig::default(),
             };
-            Box::new(TabDdpm::new(TabDdpmConfig {
+            CheckpointPayload::TabDdpm(TabDdpm::new(TabDdpmConfig {
                 epochs: budget.scale_epochs(base.epochs),
                 seed,
                 ..base
             }))
         }
     }
+}
+
+/// Build a surrogate model of the requested kind with a given budget and
+/// base seed.
+pub fn build_model(
+    kind: ModelKind,
+    budget: TrainingBudget,
+    seed: u64,
+) -> Box<dyn TabularGenerator> {
+    build_payload(kind, budget, seed).into_generator()
 }
 
 /// Fit a model of the requested kind on `train` and sample `n_samples`

@@ -42,7 +42,11 @@ impl Default for SmoteConfig {
 }
 
 /// The fitted SMOTE sampler.
-#[derive(Debug, Clone)]
+///
+/// Serializable in full (config, fitted codec, anchor matrix and
+/// neighbour lists) so a fitted sampler checkpoints and reloads with
+/// byte-identical sampling.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SmoteSampler {
     config: SmoteConfig,
     codec: Option<TableCodec>,

@@ -61,7 +61,7 @@ use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -70,11 +70,13 @@ use metrics::{evaluate_surrogate, EvaluationConfig, MetricError, SurrogateReport
 use pandasim::GeneratorConfig;
 use tabular::Table;
 
+use crate::artifact_io::{parse_log_rows, Fnv1a, RowError, TailPolicy};
+use crate::checkpoint::Checkpoint;
 use crate::experiment::{prepare_data_from_config, ExecutionMode, PreparedData};
 use crate::fault::{
-    derive_attempt_seed, panic_message, CellBudget, FaultKind, FaultPlan, FitControl,
+    derive_attempt_seed, panic_message, CellBudget, FaultClock, FaultKind, FaultPlan, FitControl,
 };
-use crate::pipeline::{fit_and_sample_controlled, ModelKind, TrainingBudget};
+use crate::pipeline::{build_payload, fit_and_sample_controlled, ModelKind, TrainingBudget};
 use crate::traits::SurrogateError;
 
 /// A named generator configuration — one value on the sweep's
@@ -278,38 +280,35 @@ impl std::fmt::Display for ShardSpec {
 /// differs — a stale artifact from an edited grid can never be silently
 /// mixed into a fresh run. Rendered as 16 lowercase hex digits.
 pub fn grid_fingerprint(grid: &SweepGrid, options: &SweepOptions) -> String {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut feed = |token: &str| {
-        // Length-prefix every token so concatenations cannot collide.
-        for byte in token.len().to_le_bytes().into_iter().chain(token.bytes()) {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
+    // Length-prefixed token feed (Fnv1a::feed_token) so concatenations
+    // cannot collide. Execution-only knobs (mode, keep_tables, clock,
+    // checkpoint directory) stay out: they cannot change results, so
+    // artifacts remain resumable across them.
+    let mut hash = Fnv1a::new();
     for seed in &grid.seeds {
-        feed(&format!("seed:{seed}"));
+        hash.feed_token(&format!("seed:{seed}"));
     }
     for budget in &grid.budgets {
-        feed(&format!("budget:{}", budget.name()));
+        hash.feed_token(&format!("budget:{}", budget.name()));
     }
     for generator in &grid.generators {
         let config = serde_json::to_string(&generator.config).expect("render generator config");
-        feed(&format!("generator:{}:{config}", generator.name));
+        hash.feed_token(&format!("generator:{}:{config}", generator.name));
     }
     for model in &grid.models {
-        feed(&format!("model:{}", model.name()));
+        hash.feed_token(&format!("model:{}", model.name()));
     }
-    feed(&format!("sample_rows:{:?}", options.sample_rows));
+    hash.feed_token(&format!("sample_rows:{:?}", options.sample_rows));
     let evaluation = serde_json::to_string(&options.evaluation).expect("render evaluation config");
-    feed(&format!("evaluation:{evaluation}"));
-    feed(&format!(
+    hash.feed_token(&format!("evaluation:{evaluation}"));
+    hash.feed_token(&format!(
         "cell_budget:wall_ms={:?}:max_epochs={:?}",
         options.budget.wall_clock.map(|d| d.as_millis()),
         options.budget.max_epochs
     ));
-    feed(&format!("retries:{}", options.retries));
-    feed(&format!("faults:{}", options.faults));
-    format!("{hash:016x}")
+    hash.feed_token(&format!("retries:{}", options.retries));
+    hash.feed_token(&format!("faults:{}", options.faults));
+    hash.finish_hex()
 }
 
 /// Options shared by every cell of a sweep.
@@ -340,6 +339,11 @@ pub struct SweepOptions {
     /// Deterministic fault injection, keyed by flat cell index. Empty by
     /// default.
     pub faults: FaultPlan,
+    /// How injected delay faults burn time. [`FaultClock::Virtual`] charges
+    /// the delay to the cell's `wall_ms` without sleeping, so fault
+    /// matrices stop wasting real CI minutes. Execution-only (like `mode`):
+    /// not part of the grid fingerprint.
+    pub clock: FaultClock,
 }
 
 impl Default for SweepOptions {
@@ -352,6 +356,7 @@ impl Default for SweepOptions {
             budget: CellBudget::unlimited(),
             retries: 0,
             faults: FaultPlan::none(),
+            clock: FaultClock::default(),
         }
     }
 }
@@ -937,10 +942,12 @@ impl SweepReport {
     /// The journal is line-delimited: a [`JournalHeader`] line, then one
     /// [`SweepCellRow`] per line in completion order. A process killed
     /// mid-append leaves at most one torn trailing line — any strict prefix
-    /// of a JSON object line fails to parse — so recovery drops an
-    /// unparseable *last* line silently. Corruption anywhere else (an
-    /// interior line that fails to parse, a bad header) is an error:
-    /// fsync'd interior rows can't legitimately be damaged by a crash.
+    /// of a JSON object line fails to parse — so recovery reads rows under
+    /// [`TailPolicy::DropTorn`] (shared with the checkpoint loader via
+    /// [`crate::artifact_io::parse_log_rows`]): an unparseable *last* line
+    /// is dropped silently. Corruption anywhere else (an interior line that
+    /// fails to parse, a bad header) is an error: fsync'd interior rows
+    /// can't legitimately be damaged by a crash.
     pub fn recover_journal(text: &str) -> Result<SweepReport, String> {
         let mut lines = text.split('\n');
         let header_line = lines.next().unwrap_or_default();
@@ -953,21 +960,14 @@ impl SweepReport {
             ));
         }
         let rest: Vec<&str> = lines.collect();
-        let mut rows: Vec<SweepCellRow> = Vec::new();
-        for (i, line) in rest.iter().enumerate() {
-            let is_last = i + 1 == rest.len();
-            if line.is_empty() {
-                if is_last {
-                    break; // trailing newline at EOF
-                }
-                return Err(format!("journal line {} is empty", i + 2));
-            }
-            match serde_json::from_str::<SweepCellRow>(line) {
-                Ok(row) => rows.push(row),
-                Err(_) if is_last => break, // torn tail from a mid-write crash
-                Err(e) => return Err(format!("journal line {}: {e}", i + 2)),
-            }
-        }
+        let parsed = parse_log_rows(&rest, 2, TailPolicy::DropTorn, |line| {
+            serde_json::from_str::<SweepCellRow>(line)
+        })
+        .map_err(|e| match e {
+            RowError::Empty { line } => format!("journal line {line} is empty"),
+            RowError::Parse { line, error } => format!("journal line {line}: {error}"),
+        })?;
+        let mut rows = parsed.rows;
         // Rows land in completion order (parallel cells finish when they
         // finish); the artifact invariant is grid order.
         rows.sort_by_key(|row| row.index);
@@ -1018,7 +1018,9 @@ fn default_fitter(
 /// One attempt of a cell's fit→sample→evaluate pipeline, with injected
 /// faults applied and panics captured. The `start` instant anchors the
 /// budget deadline to the *cell*, not the attempt: retries never extend a
-/// wall-clock budget.
+/// wall-clock budget. The second element of the return value is the
+/// virtual milliseconds this attempt charged (injected delays under
+/// [`FaultClock::Virtual`]); the caller folds them into `wall_ms`.
 fn run_cell_attempt<F>(
     data: &PreparedData,
     cell: &SweepCell,
@@ -1026,7 +1028,7 @@ fn run_cell_attempt<F>(
     fitter: &F,
     attempt: u32,
     start: Instant,
-) -> Result<CellSuccess, CellError>
+) -> (Result<CellSuccess, CellError>, f64)
 where
     F: Fn(&SweepCell, &Table, &FitContext) -> Result<Table, SurrogateError> + Sync,
 {
@@ -1051,16 +1053,20 @@ where
         seed: derive_attempt_seed(cell.seed, attempt),
         control,
     };
-    catch_unwind(AssertUnwindSafe(|| {
+    // Delays burn on the configured clock *outside* the unwind boundary:
+    // under a virtual clock nothing sleeps and the duration is charged to
+    // the cell's wall accounting instead.
+    let virtual_ms = match fault {
+        Some(FaultKind::Delay { ms }) => options.clock.delay_ms(ms),
+        _ => 0.0,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| {
         match fault {
             Some(FaultKind::Panic { .. }) => {
                 panic!("injected fault: panic at cell{}", cell.index);
             }
             Some(FaultKind::Nan { .. }) => {
                 return Err(CellError::NonFiniteLoss { epoch: 0 });
-            }
-            Some(FaultKind::Delay { ms }) => {
-                std::thread::sleep(Duration::from_millis(ms));
             }
             _ => {}
         }
@@ -1090,7 +1096,8 @@ where
         Err(CellError::Panicked {
             message: panic_message(payload),
         })
-    })
+    });
+    (result, virtual_ms)
 }
 
 /// Fit→sample→evaluate one cell against an already prepared dataset, with
@@ -1108,8 +1115,11 @@ where
 {
     let start = Instant::now();
     let mut attempt = 0u32;
+    let mut virtual_ms = 0.0;
     let outcome = loop {
-        let result = run_cell_attempt(data, cell, options, fitter, attempt, start);
+        let (result, attempt_virtual_ms) =
+            run_cell_attempt(data, cell, options, fitter, attempt, start);
+        virtual_ms += attempt_virtual_ms;
         match &result {
             Err(error)
                 if attempt < options.retries
@@ -1124,7 +1134,9 @@ where
         cell: cell.clone(),
         outcome,
         attempts: attempt + 1,
-        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        // Virtual delay charges count as wall time: a virtual-clock run
+        // reports the delays it *would* have burned, without sleeping.
+        wall_ms: start.elapsed().as_secs_f64() * 1e3 + virtual_ms,
     }
 }
 
@@ -1342,6 +1354,57 @@ pub fn run_sweep_resumable_journaled(
         shard,
         prior,
         |cell, train, ctx: &FitContext| default_fitter(cell, train, options.sample_rows, ctx),
+        &|row| {
+            if let Some(journal) = journal {
+                if let Err(e) = journal.append(row) {
+                    eprintln!("warning: journal append failed: {e}");
+                }
+            }
+        },
+    )
+}
+
+/// [`run_sweep_resumable_journaled`] with an optional checkpoint
+/// directory: every cell whose fit succeeds is persisted as a
+/// crash-safe [`Checkpoint`] artifact (`<cell-id>.ckpt`, written
+/// atomically) before it is sampled, so a finished sweep leaves a
+/// directory the `serve` binary can load. The checkpointing fit is
+/// compute-identical to the default fitter — same model construction,
+/// same control token, same sampling seed — so checkpointed sweeps
+/// remain byte-identical to plain ones. A failed save is reported on
+/// stderr but never fails the cell: like the journal, checkpoints are a
+/// durability aid, not a correctness dependency.
+pub fn run_sweep_resumable_durable(
+    grid: &SweepGrid,
+    options: &SweepOptions,
+    shard: Option<ShardSpec>,
+    prior: Option<&SweepReport>,
+    journal: Option<&JournalWriter>,
+    checkpoint_dir: Option<&Path>,
+) -> Result<SweepRunSummary, SweepArtifactError> {
+    let Some(dir) = checkpoint_dir else {
+        return run_sweep_resumable_journaled(grid, options, shard, prior, journal);
+    };
+    run_sweep_resumable_observed(
+        grid,
+        options,
+        shard,
+        prior,
+        |cell: &SweepCell, train: &Table, ctx: &FitContext| {
+            let rows = options.sample_rows.unwrap_or_else(|| train.n_rows());
+            let mut payload = build_payload(cell.model, cell.budget, ctx.seed);
+            payload
+                .generator_mut()
+                .fit_with_control(train, &ctx.control)?;
+            // Checkpoint under the cell's identity (its id-forming seed),
+            // even when a retry fitted with a derived attempt seed — the
+            // payload itself records what it actually trained with.
+            let checkpoint = Checkpoint::new(&cell.generator.name, cell.seed, cell.budget, payload);
+            if let Err(e) = checkpoint.save_to_dir(dir) {
+                eprintln!("warning: checkpoint save failed for {}: {e}", cell.id());
+            }
+            checkpoint.sample(rows, ctx.seed.wrapping_add(1))
+        },
         &|row| {
             if let Some(journal) = journal {
                 if let Err(e) = journal.append(row) {

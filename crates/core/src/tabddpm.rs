@@ -106,7 +106,12 @@ fn cosine_alpha_bar(timesteps: usize) -> Vec<f64> {
 }
 
 /// The TabDDPM surrogate model.
-#[derive(Debug, Clone)]
+///
+/// Serializable in full — config, fitted codec/denoiser state, the noise
+/// schedule and the loss history all round-trip — so a fitted model can be
+/// persisted as a [`crate::checkpoint::Checkpoint`] and sampled later with
+/// byte-identical output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TabDdpm {
     config: TabDdpmConfig,
     codec: Option<TableCodec>,

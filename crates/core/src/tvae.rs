@@ -69,7 +69,11 @@ impl TvaeConfig {
 }
 
 /// The TVAE surrogate model.
-#[derive(Debug, Clone)]
+///
+/// Serializable in full (config, fitted codec/encoder/decoder state, loss
+/// history) so a fitted model checkpoints and reloads with byte-identical
+/// sampling.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Tvae {
     config: TvaeConfig,
     codec: Option<TableCodec>,

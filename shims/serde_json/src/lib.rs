@@ -361,6 +361,10 @@ fn write_number(n: f64, out: &mut String) {
     if !n.is_finite() {
         // JSON has no NaN/Infinity; upstream serde_json also refuses them.
         out.push_str("null");
+    } else if n == 0.0 && n.is_sign_negative() {
+        // The integer fast path below would render -0.0 as "0", losing the
+        // sign bit; checkpointed model weights must round-trip losslessly.
+        out.push_str("-0.0");
     } else if n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
         out.push_str(&format!("{}", n as i64));
     } else {
@@ -414,6 +418,20 @@ mod tests {
     fn non_finite_numbers_become_null() {
         assert_eq!(to_string(&f64::NAN).unwrap(), "null");
         assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_sign_bit() {
+        assert_eq!(to_string(&-0.0f64).unwrap(), "-0.0");
+        assert_eq!(to_string(&0.0f64).unwrap(), "0");
+        let back: f64 = from_str("-0.0").unwrap();
+        assert!(back == 0.0 && back.is_sign_negative());
+        // Model weights round-trip bit-for-bit through render → parse.
+        for w in [-0.0f64, 0.0, -1.5, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300] {
+            let text = to_string(&w).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), w.to_bits(), "{w} mangled via {text:?}");
+        }
     }
 
     #[test]

@@ -585,3 +585,109 @@ fn retried_cells_are_deterministic_through_the_real_pipeline() {
         "same grid, options and fault plan must reproduce the same artifact"
     );
 }
+
+/// `--checkpoint-dir` sweeps persist every fitted cell as a loadable
+/// checkpoint AND stay byte-identical to plain sweeps: the checkpointing
+/// fitter is the same computation with a save in the middle, and the
+/// persisted artifacts resample the exact synthetic bytes the sweep
+/// produced.
+#[test]
+fn durable_sweep_checkpoints_every_cell_and_stays_byte_identical() {
+    use panda_surrogate::surrogate::checkpoint::CheckpointRegistry;
+    use panda_surrogate::surrogate::sweep::run_sweep_resumable_durable;
+
+    let grid = SweepGrid {
+        seeds: vec![61, 62],
+        budgets: vec![TrainingBudget::Smoke],
+        generators: vec![variant("small", 1_500, 150.0)],
+        models: vec![ModelKind::Smote, ModelKind::TabDdpm],
+    };
+    let options = SweepOptions {
+        sample_rows: Some(120),
+        ..test_options()
+    };
+    let dir = std::env::temp_dir().join(format!("panda_sweep_durable_test_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let durable = run_sweep_resumable_durable(&grid, &options, None, None, None, Some(&dir))
+        .expect("durable sweep");
+    let plain = run_sweep(&grid, &options);
+    assert_eq!(durable.runs.len(), 4);
+
+    let registry = CheckpointRegistry::load_dir(&dir).expect("checkpoint dir loads");
+    assert!(!registry.is_degraded());
+    assert_eq!(
+        registry.entries.len(),
+        4,
+        "every fitted cell must leave a checkpoint"
+    );
+
+    for (durable_run, plain_run) in durable.runs.iter().zip(&plain.runs) {
+        let cell = &durable_run.cell;
+        assert_eq!(cell.id(), plain_run.cell.id());
+        let durable_table = &durable_run.outcome.as_ref().expect("cell passed").synthetic;
+        let plain_table = &plain_run.outcome.as_ref().expect("cell passed").synthetic;
+        // Checkpointing must not perturb the sweep's own outputs...
+        assert_eq!(
+            durable_table,
+            plain_table,
+            "{} diverged under --checkpoint-dir",
+            cell.id()
+        );
+        // ...and the persisted checkpoint must resample those exact bytes
+        // (the sweep samples with the cell seed + 1 after fitting).
+        let checkpoint = registry
+            .entries
+            .iter()
+            .find(|c| c.key() == cell.id())
+            .unwrap_or_else(|| panic!("no checkpoint for {}", cell.id()));
+        let resampled = checkpoint
+            .sample(120, cell.seed.wrapping_add(1))
+            .expect("checkpoint samples");
+        assert_eq!(
+            Some(&resampled),
+            durable_table.as_ref(),
+            "{} checkpoint resample is not byte-identical",
+            cell.id()
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Injected delays under a virtual clock charge the cell's wall-clock
+/// accounting without sleeping: a sweep carrying 90 s of injected delay
+/// finishes in real seconds, but its rows still report the delay.
+#[test]
+fn virtual_clock_charges_injected_delays_without_sleeping() {
+    use panda_surrogate::surrogate::{FaultClock, FaultPlan};
+
+    let grid = SweepGrid {
+        seeds: vec![71],
+        budgets: vec![TrainingBudget::Smoke],
+        generators: vec![variant("small", 1_200, 150.0)],
+        models: vec![ModelKind::Smote],
+    };
+    let options = SweepOptions {
+        keep_tables: false,
+        faults: FaultPlan::parse("cell0:delay:90000ms").expect("valid plan"),
+        clock: FaultClock::Virtual,
+        ..test_options()
+    };
+    let start = std::time::Instant::now();
+    let outcome = run_sweep(&grid, &options);
+    let real_elapsed = start.elapsed();
+    assert!(
+        real_elapsed < std::time::Duration::from_secs(60),
+        "virtual clock must not sleep through the 90s injected delay \
+         (took {real_elapsed:?})"
+    );
+    let report = outcome.report();
+    assert_eq!(report.failed_cells, 0);
+    assert!(
+        report.cells[0].wall_ms >= 90_000.0,
+        "the 90s virtual delay must be charged to wall_ms, got {}",
+        report.cells[0].wall_ms
+    );
+}
