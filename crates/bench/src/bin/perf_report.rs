@@ -41,6 +41,11 @@
 //!     sequential (`baseline_kind: "seq_own_dtype"`).
 //!   * `mlp_infer_<shape>_f32` — `Mlp32` inference vs the `f64` `Mlp`
 //!     (`baseline_kind: "mlp_infer_f64"`).
+//! * **Serving bench** — `serve_batching_64x4`: sixty-four 4-row sample
+//!   requests answered by one coalesced `sample_batch` pass (the serve
+//!   loop's micro-batch scheduler) vs sixty-four sequential `sample` calls
+//!   on the same fitted TVAE (`baseline_kind: "unbatched_sample_calls"`),
+//!   gated at 1.0x by `--check` like every unsuffixed entry.
 //!
 //! Every kernel entry carries `threads` and `dtype` fields, and entry
 //! *names* encode both (`_t4`, `_f32` suffixes), so a regenerated report
@@ -75,7 +80,8 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use surrogate::mixed::{mixed_activation, mixed_activation_backward, mixed_reconstruction_loss};
 use surrogate::{
-    CtabGan, CtabGanConfig, TabDdpm, TabDdpmConfig, TableCodec, TabularGenerator, Tvae, TvaeConfig,
+    CtabGan, CtabGanConfig, SampleSpec, TabDdpm, TabDdpmConfig, TableCodec, TabularGenerator, Tvae,
+    TvaeConfig,
 };
 use tabular::{Column, FeatureKind, Table};
 
@@ -1352,6 +1358,51 @@ fn kernel_regressions(kernels: &[KernelBench], host_cores: usize) -> Vec<String>
         .collect()
 }
 
+/// Micro-batched serving throughput: 64 independent 4-row sample requests
+/// answered by one coalesced `sample_batch` pass (what the serve loop's
+/// batch scheduler issues; 256 total rows — a power of two, so padding adds
+/// nothing) against the same 64 requests answered by sequential `sample`
+/// calls (the unbatched serve loop). The paper-default TVAE decoder
+/// (latent 16 → 128 → 128 → table width) is wide enough that the coalesced
+/// pass crosses the packed-kernel shape split, while each 4-row unbatched
+/// call stays on the direct row kernels — the kernel-tier jump that
+/// micro-batching exists to buy under many small concurrent requests —
+/// while staying byte-identical (pinned by the core and e2e test suites).
+/// The entry has no `_tN` suffix, so `--check` gates it unconditionally.
+fn serve_batching_bench(quick: bool) -> KernelBench {
+    let table = epoch_table(256, 2024);
+    let mut model = Tvae::new(TvaeConfig {
+        epochs: 4,
+        seed: 2024,
+        ..TvaeConfig::default()
+    });
+    model.fit(&table).expect("tvae fits");
+    let specs: Vec<SampleSpec> = (0..64)
+        .map(|i| SampleSpec::new(4, 100 + i as u64))
+        .collect();
+    let (reps, inner) = if quick { (5, 2) } else { (7, 4) };
+    let new_ns = time_ns(reps, inner, || {
+        std::hint::black_box(model.sample_batch(&specs).expect("batched sampling"));
+    });
+    let base_ns = time_ns(reps, inner, || {
+        for spec in &specs {
+            std::hint::black_box(
+                model
+                    .sample(spec.rows, spec.seed)
+                    .expect("unbatched sampling"),
+            );
+        }
+    });
+    kernel_entry_tiered(
+        "serve_batching_64x4",
+        "unbatched_sample_calls",
+        1,
+        "f64",
+        new_ns,
+        base_ns,
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
@@ -1382,6 +1433,8 @@ fn main() {
     );
     let mut kernels = kernel_benches(quick);
     kernels.extend(ladder_benches(quick, opts.dtype));
+    eprintln!("perf_report: timing micro-batched serving (64 x 4-row TVAE sample requests)...");
+    kernels.push(serve_batching_bench(quick));
     for k in &kernels {
         eprintln!(
             "  {:<36} new {:>12.0} ns   {:<16} {:>12.0} ns   speedup {:.2}x  [t{} {}]",

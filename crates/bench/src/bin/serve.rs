@@ -16,17 +16,36 @@
 //!   with a typed `overload` response instead of growing an unbounded
 //!   backlog.
 //! * **Deadlines** — `--deadline-ms` bounds each request's time from
-//!   arrival; an overrun answers `deadline` instead of blocking the queue.
+//!   arrival, checked both before *and after* handling; an overrun answers
+//!   `deadline` instead of blocking the queue.
 //! * **Panic capture** — a panicking handler answers `panic`; the worker
 //!   and the process survive.
+//! * **Row caps** — `--max-rows` bounds how many rows one `sample` request
+//!   may ask for; larger requests answer a typed `bad_request` naming the
+//!   limit instead of pinning the worker on an unbounded forward pass.
+//!
+//! The worker is a *micro-batching scheduler*: each time it wakes it
+//! drains the queue (optionally waiting `--batch-window-ms` for
+//! stragglers), groups the drained `sample` requests by registry key, and
+//! answers each group with one coalesced generator forward pass through
+//! `Checkpoint::sample_batch` — per-request rows stacked into a single
+//! power-of-two-padded matrix walk through the packed kernels, then split
+//! back into per-request responses. Batching is a pure throughput
+//! optimisation: every response (rows, digest, per-request `sample_seed`
+//! determinism) is byte-identical to serving the same requests one at a
+//! time, and `--max-batch-rows` bounds how many rows one coalesced pass
+//! may carry.
 //!
 //! `--inject` drives all of the above deterministically in CI (see
 //! `surrogate::fault::ServeFaultPlan`): `load:corrupt` quarantines the
 //! first checkpoint, `request:delay:100ms` charges every request a
 //! processing delay (combined with `--virtual-clock` it burns no real
-//! time), `request:panic` panics in the handler, and `queue:hold` makes
-//! the worker hold its first request until a later one has been shed, so
-//! the overload path is testable without timing races.
+//! time), `request:panic` panics in the handler, `queue:hold` makes the
+//! worker hold its first request until a later one has been shed,
+//! `batch:hold:<N>` holds batch assembly until N requests are queued (so
+//! concurrent requests land in one coalesced batch without timing races),
+//! and `batch:split` forces single-request batches — the control arm for
+//! batched-vs-unbatched digest comparisons.
 //!
 //! Protocol (one JSON object per line; unknown fields rejected):
 //!   {"id":1,"op":"health"}
@@ -34,13 +53,15 @@
 //!   {"id":3,"op":"sample","model":"tabddpm","preset":"small","seed":2024,
 //!    "budget":"smoke","rows":64,"sample_seed":7}
 //! Sample responses carry the row count and an FNV-1a digest of the
-//! canonical table rendering, so two loads of one checkpoint can be
-//! checked for byte-identical sampling without shipping the table.
+//! canonical table rendering, so two loads of one checkpoint — or a
+//! batched and an unbatched serve — can be checked for byte-identical
+//! sampling without shipping the table.
 
+use std::collections::BTreeMap;
 use std::io::BufRead;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, TrySendError};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -50,7 +71,8 @@ use surrogate::checkpoint::{
     Checkpoint, CheckpointError, CheckpointRegistry, QuarantinedCheckpoint,
 };
 use surrogate::fault::panic_message;
-use surrogate::{FaultClock, ModelKind, ServeFaultPlan, TrainingBudget};
+use surrogate::{FaultClock, ModelKind, SampleSpec, ServeFaultPlan, TrainingBudget};
+use tabular::Table;
 
 const USAGE: &str = "\
 serve: supervised serving loop over crash-safe model checkpoints
@@ -61,10 +83,21 @@ serve: supervised serving loop over crash-safe model checkpoints
   --queue-depth N        bounded request queue depth, N >= 1 (default 64);
                          a full queue sheds requests with a typed 'overload'
                          response
-  --deadline-ms N        per-request deadline from arrival, N >= 1; overruns
-                         answer 'deadline' (default: none)
+  --deadline-ms N        per-request deadline from arrival, N >= 1, checked
+                         before and after handling; overruns answer
+                         'deadline' (default: none)
+  --batch-window-ms N    after the first request of a batch, wait up to N ms
+                         for more before sampling (default 0: no wait; the
+                         scheduler still coalesces whatever is queued)
+  --max-batch-rows N     cap the total rows one coalesced sampling pass may
+                         carry, N >= 1 (default 4096); larger batches are
+                         chunked, never refused
+  --max-rows N           cap the rows one sample request may ask for,
+                         N >= 1 (default 65536); larger requests answer a
+                         typed 'bad_request' naming the limit
   --inject SPEC          deterministic fault injection, e.g.
-                         load:corrupt,request:delay:100ms,request:panic,queue:hold
+                         load:corrupt,request:delay:100ms,request:panic,
+                         queue:hold,batch:hold:3,batch:split
   --virtual-clock        injected request delays charge the deadline clock
                          without sleeping
 
@@ -74,6 +107,13 @@ Requests are JSON lines on stdin, responses JSON lines on stdout:
   {\"id\":3,\"op\":\"sample\",\"model\":\"tabddpm\",\"preset\":\"small\",
    \"seed\":2024,\"budget\":\"smoke\",\"rows\":64,\"sample_seed\":7}
 ";
+
+/// Default `--max-rows`: generous for benchmarking, small enough that one
+/// request cannot pin the worker on a multi-gigabyte forward pass.
+const DEFAULT_MAX_ROWS: usize = 65_536;
+
+/// Default `--max-batch-rows`: one coalesced pass stays cache-friendly.
+const DEFAULT_MAX_BATCH_ROWS: usize = 4_096;
 
 /// Exit for malformed command lines.
 fn usage_error(message: &str) -> ! {
@@ -92,11 +132,31 @@ fn flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
-fn value(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+/// Flags that consume the following argument.
+const VALUE_FLAGS: &[&str] = &[
+    "--checkpoints",
+    "--queue-depth",
+    "--deadline-ms",
+    "--batch-window-ms",
+    "--max-batch-rows",
+    "--max-rows",
+    "--inject",
+];
+
+/// Extract the value of `name`, refusing to consume another flag as the
+/// value — `--checkpoints --queue-depth 1` is a usage error naming
+/// `--checkpoints`, not a directory called "--queue-depth".
+fn value(args: &[String], name: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    match args.get(i + 1) {
+        Some(v) if v.starts_with("--") || VALUE_FLAGS.contains(&v.as_str()) => {
+            Err(format!("{name} needs a value, but found the flag '{v}'"))
+        }
+        Some(v) => Ok(Some(v.clone())),
+        None => Err(format!("{name} needs a value")),
+    }
 }
 
 /// Parse `--queue-depth N` (at least 1 — a zero-depth queue would shed
@@ -116,6 +176,36 @@ fn parse_deadline_ms(text: &str) -> Result<u64, String> {
         Ok(0) => Err(format!("bad --deadline-ms '{text}' (want >= 1)")),
         Ok(n) => Ok(n),
         Err(_) => Err(format!("bad --deadline-ms '{text}' (want an integer >= 1)")),
+    }
+}
+
+/// Parse `--batch-window-ms N` (0 disables the wait; the scheduler still
+/// coalesces whatever is already queued).
+fn parse_batch_window_ms(text: &str) -> Result<u64, String> {
+    text.trim()
+        .parse::<u64>()
+        .map_err(|_| format!("bad --batch-window-ms '{text}' (want an integer >= 0)"))
+}
+
+/// Parse `--max-batch-rows N` (at least 1 — a zero budget could never
+/// carry a request).
+fn parse_max_batch_rows(text: &str) -> Result<usize, String> {
+    match text.trim().parse::<usize>() {
+        Ok(0) => Err(format!("bad --max-batch-rows '{text}' (want >= 1)")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "bad --max-batch-rows '{text}' (want an integer >= 1)"
+        )),
+    }
+}
+
+/// Parse `--max-rows N` (at least 1 — a zero cap would refuse every
+/// sample).
+fn parse_max_rows(text: &str) -> Result<usize, String> {
+    match text.trim().parse::<usize>() {
+        Ok(0) => Err(format!("bad --max-rows '{text}' (want >= 1)")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("bad --max-rows '{text}' (want an integer >= 1)")),
     }
 }
 
@@ -194,12 +284,26 @@ impl Response {
     }
 }
 
+/// The successful `sample` response for one served table.
+fn sample_success(id: Option<u64>, key: String, table: &Table) -> Response {
+    let rendered = serde_json::to_string(table).expect("table serializes");
+    Response {
+        id,
+        ok: true,
+        status: "ok".to_string(),
+        detail: None,
+        key: Some(key),
+        rows: Some(table.n_rows()),
+        digest: Some(fnv1a_hex(rendered.as_bytes())),
+        models: None,
+        quarantined: None,
+    }
+}
+
 /// Match `sample` selectors against the registry. Every present field must
-/// match; the result must be a single entry.
-fn select<'a>(
-    entries: &'a [Checkpoint],
-    request: &Request,
-) -> Result<&'a Checkpoint, (String, String)> {
+/// match; the result must be a single entry, returned by index so the
+/// batch scheduler can group requests by checkpoint.
+fn select(entries: &[Checkpoint], request: &Request) -> Result<usize, (String, String)> {
     let model = match request.model.as_deref() {
         Some(name) => Some(
             ModelKind::parse(name)
@@ -216,32 +320,37 @@ fn select<'a>(
         })?),
         None => None,
     };
-    let matches: Vec<&Checkpoint> = entries
+    let matches: Vec<usize> = entries
         .iter()
-        .filter(|c| model.is_none_or(|m| c.model == m))
-        .filter(|c| budget.is_none_or(|b| c.budget == b))
-        .filter(|c| request.preset.as_deref().is_none_or(|p| c.preset == p))
-        .filter(|c| request.seed.is_none_or(|s| c.seed == s))
+        .enumerate()
+        .filter(|(_, c)| model.is_none_or(|m| c.model == m))
+        .filter(|(_, c)| budget.is_none_or(|b| c.budget == b))
+        .filter(|(_, c)| request.preset.as_deref().is_none_or(|p| c.preset == p))
+        .filter(|(_, c)| request.seed.is_none_or(|s| c.seed == s))
+        .map(|(i, _)| i)
         .collect();
     match matches.as_slice() {
         [] => Err((
             "not_found".to_string(),
             "no checkpoint matches the request selectors".to_string(),
         )),
-        [one] => Ok(one),
+        [one] => Ok(*one),
         many => Err((
             "ambiguous".to_string(),
             format!(
                 "{} checkpoints match; add selectors (e.g. {})",
                 many.len(),
-                many[0].key()
+                entries[many[0]].key()
             ),
         )),
     }
 }
 
 /// Handle one request against the registry (deadline/panic/shed handling
-/// live in the caller). Only this part runs under `catch_unwind`.
+/// live in the caller). Only this part runs under `catch_unwind`. The
+/// `sample` arm goes through `sample_batch` with a batch of one, so the
+/// batched scheduler and this direct path share a single sampling code
+/// path.
 fn handle(registry: &CheckpointRegistry, request: &Request) -> Response {
     match request.op.as_str() {
         "health" => Response {
@@ -272,27 +381,15 @@ fn handle(registry: &CheckpointRegistry, request: &Request) -> Response {
         },
         "sample" => match select(&registry.entries, request) {
             Err((status, detail)) => Response::failure(request.id, &status, detail),
-            Ok(checkpoint) => {
+            Ok(entry) => {
+                let checkpoint = &registry.entries[entry];
                 let rows = request.rows.unwrap_or(32);
                 let seed = request
                     .sample_seed
                     .unwrap_or_else(|| checkpoint.seed.wrapping_add(1));
-                match checkpoint.sample(rows, seed) {
+                match checkpoint.sample_batch(&[SampleSpec::new(rows, seed)]) {
                     Err(e) => Response::failure(request.id, "error", e.to_string()),
-                    Ok(table) => {
-                        let rendered = serde_json::to_string(&table).expect("table serializes");
-                        Response {
-                            id: request.id,
-                            ok: true,
-                            status: "ok".to_string(),
-                            detail: None,
-                            key: Some(checkpoint.key()),
-                            rows: Some(table.n_rows()),
-                            digest: Some(fnv1a_hex(rendered.as_bytes())),
-                            models: None,
-                            quarantined: None,
-                        }
-                    }
+                    Ok(tables) => sample_success(request.id, checkpoint.key(), &tables[0]),
                 }
             }
         },
@@ -304,20 +401,227 @@ fn handle(registry: &CheckpointRegistry, request: &Request) -> Response {
     }
 }
 
+/// A request's place in batch processing: already answered, or waiting on
+/// its group's coalesced sampling pass.
+enum Slot {
+    Done(Response),
+    Sample { entry: usize, spec: SampleSpec },
+}
+
+/// Split one checkpoint's `(batch index, spec)` items into chunks whose
+/// total rows stay within `max_batch_rows`. A single oversized spec still
+/// gets a chunk of its own (the per-request `--max-rows` cap is enforced
+/// upstream); under `batch:split` every item is its own chunk, which
+/// degrades the scheduler to exactly the unbatched loop.
+fn chunk_specs(
+    items: &[(usize, SampleSpec)],
+    max_batch_rows: usize,
+    split: bool,
+) -> Vec<Vec<(usize, SampleSpec)>> {
+    let mut chunks = Vec::new();
+    let mut current: Vec<(usize, SampleSpec)> = Vec::new();
+    let mut current_rows = 0usize;
+    for &(index, spec) in items {
+        if !current.is_empty() && (split || current_rows + spec.rows > max_batch_rows) {
+            chunks.push(std::mem::take(&mut current));
+            current_rows = 0;
+        }
+        current.push((index, spec));
+        current_rows += spec.rows;
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Everything the batch scheduler needs besides the registry and the
+/// requests themselves.
+struct BatchPolicy {
+    deadline_ms: Option<u64>,
+    max_rows: usize,
+    max_batch_rows: usize,
+    faults: ServeFaultPlan,
+    clock: FaultClock,
+}
+
+/// Answer one drained batch, in arrival order.
+///
+/// Three passes: (1) per request — charge any injected delay, check the
+/// deadline, and either answer non-`sample` ops directly or resolve the
+/// request to a (checkpoint, spec) pair; (2) group the resolved specs by
+/// checkpoint, chunk each group by `max_batch_rows`, and answer every
+/// chunk with one coalesced `sample_batch` pass; (3) re-check each
+/// served request's deadline *after* handling — a response that took too
+/// long to produce answers `deadline`, it does not pretend the deadline
+/// was met just because the request was dequeued in time.
+fn process_batch(
+    registry: &CheckpointRegistry,
+    batch: &[(Request, Instant)],
+    policy: &BatchPolicy,
+) -> Vec<Response> {
+    let over_deadline = |arrival: &Instant, virtual_ms: f64| -> Option<(u64, f64)> {
+        policy.deadline_ms.and_then(|limit| {
+            let elapsed_ms = arrival.elapsed().as_secs_f64() * 1e3 + virtual_ms;
+            (elapsed_ms >= limit as f64).then_some((limit, elapsed_ms))
+        })
+    };
+
+    let mut virtual_ms = vec![0.0f64; batch.len()];
+    let mut slots: Vec<Slot> = Vec::with_capacity(batch.len());
+    for (i, (request, arrival)) in batch.iter().enumerate() {
+        // Injected processing delay burns on the configured clock; under
+        // --virtual-clock it only charges the deadline accounting.
+        virtual_ms[i] = match policy.faults.request_delay_ms() {
+            Some(ms) => policy.clock.delay_ms(ms),
+            None => 0.0,
+        };
+        if let Some((limit, elapsed_ms)) = over_deadline(arrival, virtual_ms[i]) {
+            slots.push(Slot::Done(Response::failure(
+                request.id,
+                "deadline",
+                format!("request exceeded its {limit}ms deadline ({elapsed_ms:.0}ms)"),
+            )));
+            continue;
+        }
+        if policy.faults.request_panic() {
+            let payload = std::panic::catch_unwind(|| {
+                panic!("injected fault: panic in request handler");
+            })
+            .expect_err("injected panic unwinds");
+            slots.push(Slot::Done(Response::failure(
+                request.id,
+                "panic",
+                panic_message(payload),
+            )));
+            continue;
+        }
+        if request.op != "sample" {
+            let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                handle(registry, request)
+            }))
+            .unwrap_or_else(|payload| {
+                Response::failure(request.id, "panic", panic_message(payload))
+            });
+            slots.push(Slot::Done(response));
+            continue;
+        }
+        let rows = request.rows.unwrap_or(32);
+        if rows > policy.max_rows {
+            slots.push(Slot::Done(Response::failure(
+                request.id,
+                "bad_request",
+                format!(
+                    "rows {rows} exceeds the --max-rows limit of {}",
+                    policy.max_rows
+                ),
+            )));
+            continue;
+        }
+        match select(&registry.entries, request) {
+            Err((status, detail)) => {
+                slots.push(Slot::Done(Response::failure(request.id, &status, detail)));
+            }
+            Ok(entry) => {
+                let seed = request
+                    .sample_seed
+                    .unwrap_or_else(|| registry.entries[entry].seed.wrapping_add(1));
+                slots.push(Slot::Sample {
+                    entry,
+                    spec: SampleSpec::new(rows, seed),
+                });
+            }
+        }
+    }
+
+    let mut groups: BTreeMap<usize, Vec<(usize, SampleSpec)>> = BTreeMap::new();
+    for (i, slot) in slots.iter().enumerate() {
+        if let Slot::Sample { entry, spec } = slot {
+            groups.entry(*entry).or_default().push((i, *spec));
+        }
+    }
+    for (entry, items) in groups {
+        let checkpoint = &registry.entries[entry];
+        for chunk in chunk_specs(&items, policy.max_batch_rows, policy.faults.batch_split()) {
+            let specs: Vec<SampleSpec> = chunk.iter().map(|&(_, spec)| spec).collect();
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                checkpoint.sample_batch(&specs)
+            }));
+            match outcome {
+                Err(payload) => {
+                    let message = panic_message(payload);
+                    for &(i, _) in &chunk {
+                        slots[i] =
+                            Slot::Done(Response::failure(batch[i].0.id, "panic", message.clone()));
+                    }
+                }
+                Ok(Err(e)) => {
+                    let message = e.to_string();
+                    for &(i, _) in &chunk {
+                        slots[i] =
+                            Slot::Done(Response::failure(batch[i].0.id, "error", message.clone()));
+                    }
+                }
+                Ok(Ok(tables)) => {
+                    for (&(i, _), table) in chunk.iter().zip(&tables) {
+                        slots[i] =
+                            Slot::Done(sample_success(batch[i].0.id, checkpoint.key(), table));
+                    }
+                }
+            }
+        }
+    }
+
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            let response = match slot {
+                Slot::Done(response) => response,
+                Slot::Sample { .. } => unreachable!("sample slot left unanswered"),
+            };
+            if !response.ok {
+                return response;
+            }
+            match over_deadline(&batch[i].1, virtual_ms[i]) {
+                Some((limit, elapsed_ms)) => Response::failure(
+                    batch[i].0.id,
+                    "deadline",
+                    format!(
+                        "request exceeded its {limit}ms deadline after handling \
+                         ({elapsed_ms:.0}ms)"
+                    ),
+                ),
+                None => response,
+            }
+        })
+        .collect()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         print!("{USAGE}");
         return;
     }
-    let dir = value(&args, "--checkpoints")
-        .unwrap_or_else(|| usage_error("--checkpoints DIR is required"));
-    let queue_depth = value(&args, "--queue-depth")
+    let value = |name: &str| value(&args, name).unwrap_or_else(|e| usage_error(&e));
+    let dir =
+        value("--checkpoints").unwrap_or_else(|| usage_error("--checkpoints DIR is required"));
+    let queue_depth = value("--queue-depth")
         .map(|v| parse_queue_depth(&v).unwrap_or_else(|e| usage_error(&e)))
         .unwrap_or(64);
-    let deadline_ms = value(&args, "--deadline-ms")
-        .map(|v| parse_deadline_ms(&v).unwrap_or_else(|e| usage_error(&e)));
-    let faults = value(&args, "--inject")
+    let deadline_ms =
+        value("--deadline-ms").map(|v| parse_deadline_ms(&v).unwrap_or_else(|e| usage_error(&e)));
+    let batch_window_ms = value("--batch-window-ms")
+        .map(|v| parse_batch_window_ms(&v).unwrap_or_else(|e| usage_error(&e)))
+        .unwrap_or(0);
+    let max_batch_rows = value("--max-batch-rows")
+        .map(|v| parse_max_batch_rows(&v).unwrap_or_else(|e| usage_error(&e)))
+        .unwrap_or(DEFAULT_MAX_BATCH_ROWS);
+    let max_rows = value("--max-rows")
+        .map(|v| parse_max_rows(&v).unwrap_or_else(|e| usage_error(&e)))
+        .unwrap_or(DEFAULT_MAX_ROWS);
+    let faults = value("--inject")
         .map(|v| {
             ServeFaultPlan::parse(&v).unwrap_or_else(|e| usage_error(&format!("bad --inject: {e}")))
         })
@@ -362,7 +666,8 @@ fn main() {
         runtime_error(&format!("no checkpoints in {dir}"));
     }
     eprintln!(
-        "serve: ready (queue depth {queue_depth}, deadline {})",
+        "serve: ready (queue depth {queue_depth}, deadline {}, batch window {batch_window_ms}ms, \
+         max batch rows {max_batch_rows}, max rows {max_rows})",
         deadline_ms.map_or_else(|| "none".to_string(), |ms| format!("{ms}ms"))
     );
 
@@ -370,10 +675,17 @@ fn main() {
     let (tx, rx) = sync_channel::<(Request, Instant)>(queue_depth);
     let worker = {
         let shed = Arc::clone(&shed);
-        let faults = faults.clone();
+        let policy = BatchPolicy {
+            deadline_ms,
+            max_rows,
+            max_batch_rows,
+            faults: faults.clone(),
+            clock,
+        };
         std::thread::spawn(move || {
-            let mut held = !faults.queue_hold();
-            for (request, arrival) in rx {
+            let mut held = !policy.faults.queue_hold();
+            let mut batch_hold = policy.faults.batch_hold_min();
+            while let Ok(first) = rx.recv() {
                 if !held {
                     // queue:hold — park on the first request until at least
                     // one later request has been shed (bounded by a real
@@ -384,34 +696,38 @@ fn main() {
                     }
                     held = true;
                 }
-                // Injected processing delay burns on the configured clock;
-                // under --virtual-clock it only charges the deadline below.
-                let virtual_ms = match faults.request_delay_ms() {
-                    Some(ms) => clock.delay_ms(ms),
-                    None => 0.0,
-                };
-                if let Some(limit) = deadline_ms {
-                    let elapsed_ms = arrival.elapsed().as_secs_f64() * 1e3 + virtual_ms;
-                    if elapsed_ms >= limit as f64 {
-                        Response::failure(
-                            request.id,
-                            "deadline",
-                            format!("request exceeded its {limit}ms deadline ({elapsed_ms:.0}ms)"),
-                        )
-                        .emit();
-                        continue;
+                let mut batch = vec![first];
+                if let Some(min_requests) = batch_hold.take() {
+                    // batch:hold:<N> — park batch assembly until N requests
+                    // are collected, so concurrent senders land in one
+                    // coalesced batch (same real-time give-up as above).
+                    let give_up = Instant::now() + Duration::from_secs(10);
+                    while batch.len() < min_requests && Instant::now() < give_up {
+                        match rx.recv_timeout(Duration::from_millis(5)) {
+                            Ok(item) => batch.push(item),
+                            Err(RecvTimeoutError::Timeout) => {}
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
                     }
                 }
-                let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    if faults.request_panic() {
-                        panic!("injected fault: panic in request handler");
+                if batch_window_ms > 0 {
+                    let window_end = Instant::now() + Duration::from_millis(batch_window_ms);
+                    while let Some(remaining) = window_end.checked_duration_since(Instant::now()) {
+                        if remaining.is_zero() {
+                            break;
+                        }
+                        match rx.recv_timeout(remaining) {
+                            Ok(item) => batch.push(item),
+                            Err(_) => break,
+                        }
                     }
-                    handle(&registry, &request)
-                }))
-                .unwrap_or_else(|payload| {
-                    Response::failure(request.id, "panic", panic_message(payload))
-                });
-                response.emit();
+                }
+                while let Ok(item) = rx.try_recv() {
+                    batch.push(item);
+                }
+                for response in process_batch(&registry, &batch, &policy) {
+                    response.emit();
+                }
             }
         })
     };
@@ -465,6 +781,79 @@ fn main() {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use surrogate::checkpoint::CheckpointPayload;
+    use surrogate::{build_payload, SmoteConfig, SmoteSampler, TabularGenerator};
+    use tabular::Column;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// A registry holding one fitted SMOTE checkpoint, so batch-processing
+    /// tests can serve real samples without training a network.
+    fn fitted_registry() -> CheckpointRegistry {
+        let mut table = Table::new();
+        let values: Vec<f64> = (0..40)
+            .map(|i| (i as f64 * 0.37).sin() * 50.0 + 50.0)
+            .collect();
+        let labels: Vec<&str> = (0..40)
+            .map(|i| if i % 3 == 0 { "BNL" } else { "CERN" })
+            .collect();
+        table
+            .push_column("workload", Column::Numerical(values))
+            .unwrap();
+        table
+            .push_column("site", Column::from_labels(&labels))
+            .unwrap();
+        let mut sampler = SmoteSampler::new(SmoteConfig::default());
+        sampler.fit(&table).unwrap();
+        CheckpointRegistry {
+            entries: vec![Checkpoint::new(
+                "small",
+                2024,
+                TrainingBudget::Smoke,
+                CheckpointPayload::Smote(sampler),
+            )],
+            quarantined: Vec::new(),
+            ignored_temp: 0,
+        }
+    }
+
+    fn sample_request(id: u64, rows: usize, sample_seed: u64) -> Request {
+        Request {
+            id: Some(id),
+            op: "sample".to_string(),
+            model: None,
+            preset: None,
+            seed: None,
+            budget: None,
+            rows: Some(rows),
+            sample_seed: Some(sample_seed),
+        }
+    }
+
+    fn op_request(id: u64, op: &str) -> Request {
+        Request {
+            id: Some(id),
+            op: op.to_string(),
+            model: None,
+            preset: None,
+            seed: None,
+            budget: None,
+            rows: None,
+            sample_seed: None,
+        }
+    }
+
+    fn policy(deadline_ms: Option<u64>, faults: ServeFaultPlan) -> BatchPolicy {
+        BatchPolicy {
+            deadline_ms,
+            max_rows: 1024,
+            max_batch_rows: 8,
+            faults,
+            clock: FaultClock::Real,
+        }
+    }
 
     #[test]
     fn queue_depth_parser_requires_a_positive_depth() {
@@ -494,6 +883,75 @@ mod tests {
     }
 
     #[test]
+    fn batching_parsers_name_their_flags() {
+        assert_eq!(parse_batch_window_ms("0").unwrap(), 0);
+        assert_eq!(parse_batch_window_ms("25").unwrap(), 25);
+        for bad in ["", "-1", "soon"] {
+            assert!(
+                parse_batch_window_ms(bad)
+                    .unwrap_err()
+                    .contains("--batch-window-ms"),
+                "{bad:?} must be rejected with the flag name"
+            );
+        }
+        assert_eq!(parse_max_batch_rows("512").unwrap(), 512);
+        for bad in ["0", "", "-1", "wide"] {
+            assert!(
+                parse_max_batch_rows(bad)
+                    .unwrap_err()
+                    .contains("--max-batch-rows"),
+                "{bad:?} must be rejected with the flag name"
+            );
+        }
+        assert_eq!(parse_max_rows("65536").unwrap(), 65536);
+        for bad in ["0", "", "-1", "lots"] {
+            assert!(
+                parse_max_rows(bad).unwrap_err().contains("--max-rows"),
+                "{bad:?} must be rejected with the flag name"
+            );
+        }
+    }
+
+    #[test]
+    fn value_extraction_refuses_flag_shaped_values() {
+        // The old extractor silently consumed the next flag as a value, so
+        // `--checkpoints --queue-depth 1` became a directory named
+        // "--queue-depth". Now it is a usage error naming both flags.
+        let err = value(
+            &args(&["--checkpoints", "--queue-depth", "1"]),
+            "--checkpoints",
+        )
+        .unwrap_err();
+        assert!(err.contains("--checkpoints"), "{err}");
+        assert!(err.contains("--queue-depth"), "{err}");
+
+        let err = value(&args(&["--inject"]), "--inject").unwrap_err();
+        assert!(err.contains("--inject needs a value"), "{err}");
+
+        let err = value(
+            &args(&["--deadline-ms", "--virtual-clock"]),
+            "--deadline-ms",
+        )
+        .unwrap_err();
+        assert!(err.contains("--virtual-clock"), "{err}");
+
+        assert_eq!(
+            value(&args(&["--queue-depth", "9"]), "--queue-depth").unwrap(),
+            Some("9".to_string())
+        );
+        // Absent flag, and a negative-number value, both stay fine: the
+        // typed parsers reject "-3" with a better message.
+        assert_eq!(
+            value(&args(&["--queue-depth", "9"]), "--max-rows").unwrap(),
+            None
+        );
+        assert_eq!(
+            value(&args(&["--deadline-ms", "-3"]), "--deadline-ms").unwrap(),
+            Some("-3".to_string())
+        );
+    }
+
+    #[test]
     fn requests_parse_with_optional_selectors() {
         let full: Request = serde_json::from_str(
             r#"{"id":3,"op":"sample","model":"tabddpm","preset":"small","seed":2024,
@@ -514,7 +972,6 @@ mod tests {
 
     #[test]
     fn selection_requires_a_unique_match() {
-        use surrogate::build_payload;
         let entries: Vec<Checkpoint> = [
             (ModelKind::Smote, 2024),
             (ModelKind::Smote, 2025),
@@ -542,9 +999,9 @@ mod tests {
         };
 
         let unique = select(&entries, &request(Some("tabddpm"), None)).unwrap();
-        assert_eq!(unique.key(), "s2024-smoke-small-tabddpm");
+        assert_eq!(entries[unique].key(), "s2024-smoke-small-tabddpm");
         let unique = select(&entries, &request(Some("smote"), Some(2025))).unwrap();
-        assert_eq!(unique.seed, 2025);
+        assert_eq!(entries[unique].seed, 2025);
 
         let (status, _) = select(&entries, &request(Some("smote"), None)).unwrap_err();
         assert_eq!(status, "ambiguous");
@@ -556,7 +1013,6 @@ mod tests {
 
     #[test]
     fn unknown_ops_and_unfitted_models_answer_typed_failures() {
-        use surrogate::build_payload;
         let registry = CheckpointRegistry {
             entries: vec![Checkpoint::new(
                 "small",
@@ -594,5 +1050,141 @@ mod tests {
         assert_eq!(response.status, "ok");
         assert_eq!(response.models.as_deref().map(<[String]>::len), Some(1));
         assert_eq!(response.quarantined, Some(0));
+    }
+
+    #[test]
+    fn chunking_respects_the_row_budget_and_split_injection() {
+        let spec = |rows: usize| SampleSpec::new(rows, 1);
+        let items = vec![(0, spec(4)), (1, spec(3)), (2, spec(6)), (3, spec(2))];
+
+        // 4+3 fits in 8, adding 6 would not; 6+2 fits exactly.
+        let chunks = chunk_specs(&items, 8, false);
+        let shape: Vec<Vec<usize>> = chunks
+            .iter()
+            .map(|c| c.iter().map(|&(i, _)| i).collect())
+            .collect();
+        assert_eq!(shape, vec![vec![0, 1], vec![2, 3]]);
+
+        // batch:split degrades to one chunk per request.
+        assert_eq!(chunk_specs(&items, 8, true).len(), 4);
+
+        // An oversized spec still gets its own chunk rather than vanishing.
+        assert_eq!(chunk_specs(&[(0, spec(100))], 8, false).len(), 1);
+        assert!(chunk_specs(&[], 8, false).is_empty());
+    }
+
+    #[test]
+    fn batches_answer_in_arrival_order_and_match_the_unbatched_path() {
+        let registry = fitted_registry();
+        let now = Instant::now();
+        let batch = vec![
+            (op_request(0, "health"), now),
+            (sample_request(1, 6, 9), now),
+            (sample_request(2, 6, 9), now),
+            (sample_request(3, 5000, 9), now),
+            (op_request(4, "explode"), now),
+        ];
+        // max_batch_rows 8 forces the two 6-row requests into separate
+        // coalesced passes — chunking must not change the bytes.
+        let responses = process_batch(&registry, &batch, &policy(None, ServeFaultPlan::none()));
+
+        assert_eq!(responses.len(), 5);
+        let ids: Vec<Option<u64>> = responses.iter().map(|r| r.id).collect();
+        assert_eq!(ids, (0..5).map(Some).collect::<Vec<_>>());
+
+        assert_eq!(responses[0].status, "ok");
+        assert_eq!(responses[1].status, "ok");
+        assert_eq!(responses[2].status, "ok");
+        assert_eq!(responses[1].rows, Some(6));
+        assert!(responses[1].digest.is_some());
+        // Identical (rows, sample_seed) requests are byte-identical, and
+        // both match the direct single-request path.
+        assert_eq!(responses[1].digest, responses[2].digest);
+        let direct = handle(&registry, &sample_request(1, 6, 9));
+        assert_eq!(direct.digest, responses[1].digest);
+
+        // The row cap answers a typed bad_request naming the limit.
+        assert_eq!(responses[3].status, "bad_request");
+        let detail = responses[3].detail.as_deref().unwrap();
+        assert!(detail.contains("--max-rows"), "{detail}");
+        assert!(detail.contains("1024"), "{detail}");
+
+        assert_eq!(responses[4].status, "bad_request");
+
+        // batch:split answers the same bytes through single-request
+        // batches — the control arm CI compares against.
+        let split = process_batch(
+            &registry,
+            &batch,
+            &policy(None, ServeFaultPlan::parse("batch:split").unwrap()),
+        );
+        assert_eq!(split[1].digest, responses[1].digest);
+        assert_eq!(split[2].digest, responses[2].digest);
+    }
+
+    #[test]
+    fn deadlines_are_rechecked_after_handling() {
+        // Each request is charged a real 200ms injected delay against a
+        // 300ms deadline. The first request passes its pre-handle check
+        // (~200ms elapsed), but by the time the batch finishes the second
+        // request's delay has burned ~400ms — the old loop would still
+        // have answered ok; the re-check converts it to a deadline miss.
+        let registry = fitted_registry();
+        let now = Instant::now();
+        let batch = vec![
+            (op_request(0, "health"), now),
+            (op_request(1, "health"), now),
+        ];
+        let responses = process_batch(
+            &registry,
+            &batch,
+            &policy(
+                Some(300),
+                ServeFaultPlan::parse("request:delay:200ms").unwrap(),
+            ),
+        );
+        assert_eq!(responses[0].status, "deadline");
+        assert!(
+            responses[0]
+                .detail
+                .as_deref()
+                .unwrap()
+                .contains("after handling"),
+            "first request must fail the post-handle re-check, got {:?}",
+            responses[0].detail
+        );
+        assert_eq!(responses[1].status, "deadline");
+        assert!(
+            !responses[1]
+                .detail
+                .as_deref()
+                .unwrap()
+                .contains("after handling"),
+            "second request must already fail the pre-handle check"
+        );
+    }
+
+    #[test]
+    fn injected_panics_answer_per_request() {
+        let registry = fitted_registry();
+        let now = Instant::now();
+        let batch = vec![
+            (sample_request(0, 4, 1), now),
+            (op_request(1, "health"), now),
+        ];
+        let responses = process_batch(
+            &registry,
+            &batch,
+            &policy(None, ServeFaultPlan::parse("request:panic").unwrap()),
+        );
+        assert_eq!(responses.len(), 2);
+        for response in &responses {
+            assert_eq!(response.status, "panic");
+            assert!(response
+                .detail
+                .as_deref()
+                .unwrap()
+                .contains("injected fault"));
+        }
     }
 }

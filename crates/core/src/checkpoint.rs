@@ -48,7 +48,7 @@ use crate::ctabgan::CtabGan;
 use crate::pipeline::{ModelKind, TrainingBudget};
 use crate::smote::SmoteSampler;
 use crate::tabddpm::TabDdpm;
-use crate::traits::{SurrogateError, TabularGenerator};
+use crate::traits::{SampleSpec, SurrogateError, TabularGenerator};
 use crate::tvae::Tvae;
 
 /// Version of the checkpoint artifact format. Bumped when the header or
@@ -461,6 +461,14 @@ impl Checkpoint {
     /// [`TabularGenerator::sample`]).
     pub fn sample(&self, n: usize, seed: u64) -> Result<Table, SurrogateError> {
         self.payload.generator().sample(n, seed)
+    }
+
+    /// Answer a batch of independent sampling requests against the
+    /// checkpointed model in one coalesced forward pass (see
+    /// [`TabularGenerator::sample_batch`]); each returned table is
+    /// byte-identical to [`Checkpoint::sample`] with the same spec.
+    pub fn sample_batch(&self, specs: &[SampleSpec]) -> Result<Vec<Table>, SurrogateError> {
+        self.payload.generator().sample_batch(specs)
     }
 }
 

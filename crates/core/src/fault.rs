@@ -371,6 +371,14 @@ pub enum ServeFaultKind {
     /// has been shed for overload — makes queue-full shedding testable
     /// without timing races.
     QueueHold,
+    /// The worker holds batch assembly until at least `min_requests`
+    /// requests have been queued — forces concurrent requests into one
+    /// coalesced batch without timing races.
+    BatchHold { min_requests: usize },
+    /// Force single-request batches: the scheduler coalesces nothing, so
+    /// serving behaves exactly like the unbatched loop — the control arm
+    /// for batched-vs-unbatched digest comparisons.
+    BatchSplit,
 }
 
 impl fmt::Display for ServeFaultKind {
@@ -380,6 +388,10 @@ impl fmt::Display for ServeFaultKind {
             ServeFaultKind::RequestDelay { ms } => write!(f, "request:delay:{ms}ms"),
             ServeFaultKind::RequestPanic => write!(f, "request:panic"),
             ServeFaultKind::QueueHold => write!(f, "queue:hold"),
+            ServeFaultKind::BatchHold { min_requests } => {
+                write!(f, "batch:hold:{min_requests}")
+            }
+            ServeFaultKind::BatchSplit => write!(f, "batch:split"),
         }
     }
 }
@@ -426,10 +438,24 @@ impl ServeFaultPlan {
         self.faults.contains(&ServeFaultKind::QueueHold)
     }
 
+    /// The minimum number of requests the scheduler must collect before
+    /// assembling its first batch, if `batch:hold:<N>` is planned.
+    pub fn batch_hold_min(&self) -> Option<usize> {
+        self.faults.iter().find_map(|f| match f {
+            ServeFaultKind::BatchHold { min_requests } => Some(*min_requests),
+            _ => None,
+        })
+    }
+
+    /// Whether the scheduler should force single-request batches.
+    pub fn batch_split(&self) -> bool {
+        self.faults.contains(&ServeFaultKind::BatchSplit)
+    }
+
     /// Parse a comma-separated serve fault spec. Entries are
-    /// `load:corrupt`, `request:delay:<MS>ms`, `request:panic`, or
-    /// `queue:hold`; duplicates of one stage fault and empty specs are
-    /// rejected.
+    /// `load:corrupt`, `request:delay:<MS>ms`, `request:panic`,
+    /// `queue:hold`, `batch:hold:<N>`, or `batch:split`; duplicates of one
+    /// stage fault and empty specs are rejected.
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut faults: Vec<ServeFaultKind> = Vec::new();
         for entry in spec.split(',') {
@@ -468,9 +494,21 @@ impl ServeFaultPlan {
             ["request", "delay"] => Err(format!(
                 "delay in '{entry}' needs a duration (e.g. request:delay:100ms)"
             )),
+            ["batch", "split"] => Ok(ServeFaultKind::BatchSplit),
+            ["batch", "hold", n] => {
+                let min_requests =
+                    n.parse::<usize>().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                        format!("batch hold in '{entry}' needs a request count of at least 1")
+                    })?;
+                Ok(ServeFaultKind::BatchHold { min_requests })
+            }
+            ["batch", "hold"] => Err(format!(
+                "batch hold in '{entry}' needs a request count (e.g. batch:hold:3)"
+            )),
             _ => Err(format!(
                 "unknown serve fault '{entry}' (expected load:corrupt, \
-                 request:delay:<MS>ms, request:panic or queue:hold)"
+                 request:delay:<MS>ms, request:panic, queue:hold, \
+                 batch:hold:<N> or batch:split)"
             )),
         }
     }
@@ -588,7 +626,8 @@ mod tests {
 
     #[test]
     fn serve_plan_round_trips_through_display() {
-        let spec = "load:corrupt,request:delay:100ms,request:panic,queue:hold";
+        let spec = "load:corrupt,request:delay:100ms,request:panic,queue:hold,\
+                    batch:hold:3,batch:split";
         let plan = ServeFaultPlan::parse(spec).unwrap();
         assert_eq!(plan.to_string(), spec);
         assert_eq!(ServeFaultPlan::parse(&plan.to_string()).unwrap(), plan);
@@ -596,11 +635,15 @@ mod tests {
         assert_eq!(plan.request_delay_ms(), Some(100));
         assert!(plan.request_panic());
         assert!(plan.queue_hold());
+        assert_eq!(plan.batch_hold_min(), Some(3));
+        assert!(plan.batch_split());
 
         let partial = ServeFaultPlan::parse("request:panic").unwrap();
         assert!(!partial.load_corrupt());
         assert_eq!(partial.request_delay_ms(), None);
         assert!(!partial.queue_hold());
+        assert_eq!(partial.batch_hold_min(), None);
+        assert!(!partial.batch_split());
         assert!(!ServeFaultPlan::none().request_panic());
     }
 
@@ -619,6 +662,12 @@ mod tests {
             "request:panic,request:panic",
             "request:delay:1ms,request:delay:2ms",
             "load:corrupt,,queue:hold",
+            "batch:hold",
+            "batch:hold:0",
+            "batch:hold:many",
+            "batch:split:2",
+            "batch:hold:2,batch:hold:3",
+            "batch:split,batch:split",
         ] {
             assert!(
                 ServeFaultPlan::parse(spec).is_err(),

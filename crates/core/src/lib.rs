@@ -62,8 +62,8 @@ pub use fault::{
     FitControl, ServeFaultKind, ServeFaultPlan,
 };
 pub use pipeline::{
-    build_model, build_payload, fit_and_sample, fit_and_sample_controlled, ModelKind,
-    TrainingBudget,
+    build_model, build_payload, fit_and_sample, fit_and_sample_batch, fit_and_sample_controlled,
+    ModelKind, TrainingBudget,
 };
 pub use smote::{SmoteConfig, SmoteSampler};
 pub use sweep::{
@@ -74,5 +74,5 @@ pub use sweep::{
     SweepOptions, SweepOutcome, SweepReport, SweepRunSummary, JOURNAL_VERSION,
 };
 pub use tabddpm::{TabDdpm, TabDdpmConfig};
-pub use traits::{SurrogateError, TabularGenerator};
+pub use traits::{SampleSpec, SurrogateError, TabularGenerator};
 pub use tvae::{Tvae, TvaeConfig};

@@ -27,7 +27,7 @@ use tabular::FeatureKind;
 
 use crate::codec::{ColumnSpan, TableCodec};
 use crate::fault::FitControl;
-use crate::traits::{SurrogateError, TabularGenerator};
+use crate::traits::{SampleSpec, SurrogateError, TabularGenerator};
 
 /// TabDDPM hyper-parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -377,6 +377,93 @@ impl TabularGenerator for TabDdpm {
         }
         codec.decode(&x.to_f64())
     }
+
+    fn sample_batch(&self, specs: &[SampleSpec]) -> Result<Vec<Table>, SurrogateError> {
+        let codec = self
+            .codec
+            .as_ref()
+            .ok_or(SurrogateError::NotFitted("TabDDPM"))?;
+        let denoiser = self.denoiser.as_ref().expect("denoiser set when codec is");
+        if specs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let width = codec.encoded_width();
+        let timesteps = self.config.timesteps;
+
+        let mut alphas = Vec::with_capacity(timesteps);
+        for t in 0..timesteps {
+            let prev = if t == 0 { 1.0 } else { self.alpha_bar[t - 1] };
+            alphas.push((self.alpha_bar[t] / prev).clamp(1e-5, 0.9999));
+        }
+
+        // One RNG stream per spec, drawn in a standalone `sample`'s order:
+        // the initial latents up front, then that spec's ancestral noise
+        // block at every reverse step. All specs share one 2ᵏ-row-padded
+        // state matrix, so each of the `T` denoiser forward passes is a
+        // single packed-kernel call for the whole batch, ping-ponging one
+        // pair of reused buffers instead of allocating per step. The
+        // posterior-mean update is per-element with the same
+        // subtract/multiply/divide chain as the unbatched path, so every
+        // spec's rows stay bit-identical to sampling it alone; the padding
+        // rows (zero noise, never reseeded) are dead weight the final split
+        // discards.
+        let mut rngs: Vec<StdRng> = specs
+            .iter()
+            .map(|s| StdRng::seed_from_u64(s.seed))
+            .collect();
+        let mut x = Matrix::zeros(SampleSpec::padded_rows(specs), width);
+        let mut offset = 0;
+        for (spec, rng) in specs.iter().zip(&mut rngs) {
+            x.paste(offset, 0, &standard_normal_matrix(spec.rows, width, rng));
+            offset += spec.rows;
+        }
+
+        let padded = x.rows();
+        let mut input = Matrix::zeros(padded, width + 2);
+        let mut eps_hat = Matrix::default();
+        let mut scratch = Matrix::default();
+        for t in (0..timesteps).rev() {
+            let mut emb = [0.0f64; 2];
+            Self::write_time_embedding((t + 1) as f64 / timesteps as f64, &mut emb);
+            for r in 0..padded {
+                let row = input.row_mut(r);
+                row[..width].copy_from_slice(x.row(r));
+                row[width..].copy_from_slice(&emb);
+            }
+            denoiser.infer_into(&input, &mut eps_hat, &mut scratch);
+
+            let alpha = alphas[t];
+            let alpha_bar = self.alpha_bar[t];
+            let coef = (1.0 - alpha) / (1.0 - alpha_bar).sqrt();
+            let sqrt_alpha = alpha.sqrt();
+            for (xv, &e) in x.data_mut().iter_mut().zip(eps_hat.data()) {
+                *xv = (*xv - coef * e) / sqrt_alpha;
+            }
+            if t > 0 {
+                let sigma = ((1.0 - alphas[t]) * (1.0 - self.alpha_bar[t - 1]) / (1.0 - alpha_bar))
+                    .max(0.0)
+                    .sqrt();
+                let mut offset = 0;
+                for (spec, rng) in specs.iter().zip(&mut rngs) {
+                    let z = standard_normal_matrix(spec.rows, width, rng);
+                    for r in 0..spec.rows {
+                        for (xv, &zv) in x.row_mut(offset + r).iter_mut().zip(z.row(r)) {
+                            *xv += zv * sigma;
+                        }
+                    }
+                    offset += spec.rows;
+                }
+            }
+        }
+
+        let mut tables = Vec::with_capacity(specs.len());
+        let mut offset = 0;
+        for spec in specs {
+            tables.push(codec.decode(&x.slice_rows(offset, offset + spec.rows))?);
+            offset += spec.rows;
+        }
+        Ok(tables)
+    }
 }
 
 #[cfg(test)]
@@ -464,6 +551,30 @@ mod tests {
             model.sample(5, 0),
             Err(SurrogateError::NotFitted(_))
         ));
+        assert!(matches!(
+            model.sample_batch(&[SampleSpec::new(5, 0)]),
+            Err(SurrogateError::NotFitted(_))
+        ));
+    }
+
+    #[test]
+    fn batched_sampling_is_byte_identical_to_unbatched() {
+        // The hardest case for the identity contract: every one of the T
+        // reverse steps interleaves a shared batched forward pass with
+        // per-spec ancestral noise draws.
+        let train = toy(150, 11);
+        let mut model = TabDdpm::new(TabDdpmConfig::fast());
+        model.fit(&train).unwrap();
+        let specs = [
+            SampleSpec::new(5, 21),
+            SampleSpec::new(12, 4),
+            SampleSpec::new(5, 21),
+        ];
+        let batched = model.sample_batch(&specs).unwrap();
+        assert_eq!(batched.len(), specs.len());
+        for (spec, table) in specs.iter().zip(&batched) {
+            assert_eq!(table, &model.sample(spec.rows, spec.seed).unwrap());
+        }
     }
 
     #[test]

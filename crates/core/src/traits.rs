@@ -63,6 +63,42 @@ impl From<TabularError> for SurrogateError {
     }
 }
 
+/// One sampling request inside a [`TabularGenerator::sample_batch`] call:
+/// how many rows to draw and under which seed.
+///
+/// Each spec is its own deterministic RNG stream — batching specs together
+/// never changes any spec's output relative to a standalone
+/// [`TabularGenerator::sample`] call with the same `(rows, seed)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleSpec {
+    /// Synthetic rows to draw for this request.
+    pub rows: usize,
+    /// Seed of this request's RNG stream.
+    pub seed: u64,
+}
+
+impl SampleSpec {
+    /// Bundle a row count with its sampling seed.
+    pub fn new(rows: usize, seed: u64) -> Self {
+        Self { rows, seed }
+    }
+
+    /// Total rows across a batch of specs.
+    pub fn total_rows(specs: &[SampleSpec]) -> usize {
+        specs.iter().map(|s| s.rows).sum()
+    }
+
+    /// Rows of the `2ᵏ`-padded stacked batch the MLP-backed generators run
+    /// their coalesced forward passes over: the next power of two at or
+    /// above the total (and at least 1), so the packed kernels always see
+    /// power-of-two row blocks. Padding rows are zeros, computed and then
+    /// discarded — row-independent kernels make them invisible to every
+    /// real row.
+    pub fn padded_rows(specs: &[SampleSpec]) -> usize {
+        Self::total_rows(specs).next_power_of_two()
+    }
+}
+
 /// A generative model over mixed-type tabular data.
 ///
 /// Implementations are deterministic given the seeds in their configuration,
@@ -107,5 +143,23 @@ pub trait TabularGenerator {
     /// the call.
     fn sample_f32(&self, n: usize, seed: u64) -> Result<Table, SurrogateError> {
         self.sample(n, seed)
+    }
+
+    /// Sample several independent requests in one call, one output table per
+    /// spec, in spec order.
+    ///
+    /// The contract is **byte-identity**: `sample_batch(specs)[i]` equals
+    /// `sample(specs[i].rows, specs[i].seed)` exactly, for every spec and
+    /// every batch composition. MLP-backed generators override this to draw
+    /// each spec's noise from its own RNG stream, stack the per-spec blocks
+    /// into one `2ᵏ`-row-padded matrix, and run a *single* packed-kernel
+    /// forward pass per network step (reusing one packed buffer across the
+    /// batch) before splitting the rows back out — the serving loop's
+    /// micro-batching rides on this. Identity holds because every kernel on
+    /// the path computes each output row from its input row alone, with a
+    /// row-count-independent reduction order. The default handles the specs
+    /// sequentially, which satisfies the contract trivially.
+    fn sample_batch(&self, specs: &[SampleSpec]) -> Result<Vec<Table>, SurrogateError> {
+        specs.iter().map(|s| self.sample(s.rows, s.seed)).collect()
     }
 }

@@ -19,7 +19,7 @@ use tabular::Table;
 use crate::codec::TableCodec;
 use crate::fault::FitControl;
 use crate::mixed::mixed_reconstruction_loss;
-use crate::traits::{SurrogateError, TabularGenerator};
+use crate::traits::{SampleSpec, SurrogateError, TabularGenerator};
 
 /// TVAE hyper-parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -234,6 +234,43 @@ impl TabularGenerator for Tvae {
         let raw = decoder.to_f32().infer(&z);
         codec.decode(&raw.to_f64())
     }
+
+    fn sample_batch(&self, specs: &[SampleSpec]) -> Result<Vec<Table>, SurrogateError> {
+        let codec = self
+            .codec
+            .as_ref()
+            .ok_or(SurrogateError::NotFitted("TVAE"))?;
+        let decoder = self.decoder.as_ref().expect("decoder set when codec is");
+        if specs.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Each spec's latents come from its own RNG stream — exactly the
+        // draws a standalone `sample(rows, seed)` makes — stacked into one
+        // 2ᵏ-row-padded block so the decoder runs a single packed forward
+        // pass for the whole batch. Row-independent kernels make the
+        // stacking (and the zero padding rows) invisible to every spec.
+        let mut z = Matrix::zeros(SampleSpec::padded_rows(specs), self.config.latent_dim);
+        let mut offset = 0;
+        for spec in specs {
+            let mut rng = StdRng::seed_from_u64(spec.seed);
+            z.paste(
+                offset,
+                0,
+                &standard_normal_matrix(spec.rows, self.config.latent_dim, &mut rng),
+            );
+            offset += spec.rows;
+        }
+        let mut raw = Matrix::default();
+        let mut scratch = Matrix::default();
+        decoder.infer_into(&z, &mut raw, &mut scratch);
+        let mut tables = Vec::with_capacity(specs.len());
+        let mut offset = 0;
+        for spec in specs {
+            tables.push(codec.decode(&raw.slice_rows(offset, offset + spec.rows))?);
+            offset += spec.rows;
+        }
+        Ok(tables)
+    }
 }
 
 #[cfg(test)]
@@ -301,6 +338,29 @@ mod tests {
             model.sample(5, 0),
             Err(SurrogateError::NotFitted(_))
         ));
+        assert!(matches!(
+            model.sample_batch(&[SampleSpec::new(5, 0)]),
+            Err(SurrogateError::NotFitted(_))
+        ));
+    }
+
+    #[test]
+    fn batched_sampling_is_byte_identical_to_unbatched() {
+        let train = toy(150, 8);
+        let mut model = Tvae::new(TvaeConfig::fast());
+        model.fit(&train).unwrap();
+        // Mixed row counts and seeds, including a duplicate seed and a
+        // total (7+9+7 = 23) that forces padding up to 32 rows.
+        let specs = [
+            SampleSpec::new(7, 11),
+            SampleSpec::new(9, 5),
+            SampleSpec::new(7, 11),
+        ];
+        let batched = model.sample_batch(&specs).unwrap();
+        for (spec, table) in specs.iter().zip(&batched) {
+            assert_eq!(table, &model.sample(spec.rows, spec.seed).unwrap());
+        }
+        assert!(model.sample_batch(&[]).unwrap().is_empty());
     }
 
     #[test]

@@ -237,6 +237,18 @@ impl Matrix {
         }
     }
 
+    /// Slice a contiguous range of rows (`start..end`), the inverse of
+    /// [`Matrix::paste`]-stacking: a batched forward pass over stacked
+    /// per-request blocks splits its output back out with this.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.rows, "row slice out of range");
+        Matrix::from_vec(
+            end - start,
+            self.cols,
+            self.data[start * self.cols..end * self.cols].to_vec(),
+        )
+    }
+
     /// Slice a contiguous range of columns.
     pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
         assert!(
