@@ -1,0 +1,115 @@
+//! Criterion bench: the event-queue tentpole in isolation — calendar queue
+//! vs the seed binary heap on synthetic event streams, plus full arena
+//! simulation runs under both schedulers (the pair the `htcsim_throughput`
+//! entries of `BENCH_nn.json` gate in CI).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htcsim::{
+    CalendarQueue, EventKind, EventScheduler, GridSimulator, HeapQueue, JobArena, SimConfig,
+};
+use pandasim::SiteCatalog;
+
+/// Classic "hold" benchmark for DES priority queues: prime the queue with
+/// `n` events, then run pop→push transitions where each push lands at the
+/// popped time plus a service increment — a discrete-event steady state, in
+/// which (like the simulator) nothing is ever scheduled behind the clock.
+/// Increments mix WAN-latency transfer completions, job runtimes and
+/// far-future stragglers.
+fn hold<Q: EventScheduler>(n: usize, transitions: usize) -> f64 {
+    let mut queue = Q::default();
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64, state)
+    };
+    for i in 0..n {
+        let (unit, _) = next();
+        queue.push(unit * 168.0, EventKind::JobArrival { job: i as u32 });
+    }
+    let mut last = 0.0;
+    for i in 0..transitions {
+        let event = queue.pop().expect("primed queue never drains");
+        last = event.time;
+        let (unit, s) = next();
+        let delta = match s % 8 {
+            0 => unit * 0.1,      // transfer completions
+            1..=5 => unit * 12.0, // job runtimes
+            _ => unit * 400.0,    // stragglers / future arrivals
+        };
+        queue.push(
+            event.time + delta,
+            EventKind::JobFinish {
+                job: i as u32,
+                site: 0,
+            },
+        );
+    }
+    last
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let (n, transitions) = (50_000, 500_000);
+    let mut group = c.benchmark_group("htcsim_event_queue");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("calendar", transitions),
+        &transitions,
+        |b, &t| b.iter(|| hold::<CalendarQueue>(n, t)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("heap", transitions),
+        &transitions,
+        |b, &t| b.iter(|| hold::<HeapQueue>(n, t)),
+    );
+    group.finish();
+}
+
+/// Synthetic planetary-scale workload pushed straight into the arena (no
+/// string tables in the loop).
+fn synthetic_arena(n_jobs: usize, n_sites: usize) -> (SiteCatalog, JobArena) {
+    let catalog = SiteCatalog::atlas_like(n_sites);
+    let site_names: Vec<String> = catalog.sites().iter().map(|s| s.name.clone()).collect();
+    let mut arena = JobArena::with_capacity(n_jobs);
+    let mut state = 0x2545f4914f6cdd1du64;
+    for i in 0..n_jobs {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let unit = (state >> 11) as f64 / (1u64 << 53) as f64;
+        let dataset = format!("ds{}", state % 512);
+        let origin = &site_names[(state % site_names.len() as u64) as usize];
+        arena.push(
+            unit * (n_jobs as f64 / 150.0),
+            if i % 7 == 0 { 8 } else { 4 },
+            0.5 + unit * 6.0,
+            &dataset,
+            (state % 1_000) as f64 * 1e9,
+            Some(origin),
+        );
+    }
+    (catalog, arena)
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let (catalog, arena) = synthetic_arena(50_000, 40);
+    let mut group = c.benchmark_group("htcsim_sim_run");
+    group.sample_size(10);
+    group.bench_function("calendar", |b| {
+        b.iter(|| {
+            let mut simulator = GridSimulator::new(&catalog, SimConfig::default());
+            simulator.run_arena_with::<CalendarQueue>(&arena)
+        })
+    });
+    group.bench_function("heap", |b| {
+        b.iter(|| {
+            let mut simulator = GridSimulator::new(&catalog, SimConfig::default());
+            simulator.run_arena_with::<HeapQueue>(&arena)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queues, bench_sim);
+criterion_main!(benches);

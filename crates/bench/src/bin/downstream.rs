@@ -34,10 +34,16 @@ fn main() {
         std::process::exit(1);
     }
 
+    let jobs_or_exit = |source: &str, table: &tabular::Table| -> Vec<SimJob> {
+        SimJob::from_table(table).unwrap_or_else(|err| {
+            eprintln!("error: {source} workload table is unusable: {err}");
+            std::process::exit(1);
+        })
+    };
     let mut sources: Vec<(String, Vec<SimJob>)> =
-        vec![("GT".to_string(), SimJob::from_table(&data.train))];
+        vec![("GT".to_string(), jobs_or_exit("GT", &data.train))];
     for (name, synthetic) in fits.successes() {
-        sources.push((name.to_string(), SimJob::from_table(synthetic)));
+        sources.push((name.to_string(), jobs_or_exit(name, synthetic)));
     }
 
     let mut artifact = DownstreamArtifact {

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::site::SimSite;
-use crate::storage::{ReplicaCatalog, TransferModel};
+use crate::storage::{DatasetId, ReplicaCatalog, TransferModel};
 
 /// The brokerage policy deciding which site a job is dispatched to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -36,28 +36,34 @@ impl BrokerPolicy {
         }
     }
 
+    /// Parse a policy from its report name (or enum spelling).
+    pub fn parse(name: &str) -> Option<Self> {
+        let lower = name.to_ascii_lowercase();
+        BrokerPolicy::ALL
+            .into_iter()
+            .find(|p| p.name().replace('-', "") == lower.replace(['-', '_'], ""))
+    }
+
     /// Choose a site for a job needing `cores` cores and reading `dataset`.
     ///
     /// Returns `None` when no site can currently accommodate the job (the
-    /// simulator then parks the job until a slot frees up).
+    /// simulator then parks the job until a slot frees up). The round-robin
+    /// cursor only advances when some site is feasible, and ties (equal free
+    /// slots, equal locality cost) resolve to the smallest site index —
+    /// both invariants are load-bearing for run-to-run determinism. This is
+    /// the per-event hot path: no allocation, one pass over the site arena.
     #[allow(clippy::too_many_arguments)] // mirrors the simulator's brokerage context
     pub fn choose(
         self,
         sites: &[SimSite],
         cores: u32,
-        dataset: &str,
+        dataset: DatasetId,
         catalog: &ReplicaCatalog,
         transfer: &TransferModel,
         bytes: f64,
         round_robin_cursor: &mut usize,
     ) -> Option<usize> {
-        let feasible: Vec<usize> = sites
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.can_run(cores))
-            .map(|(i, _)| i)
-            .collect();
-        if feasible.is_empty() {
+        if !sites.iter().any(|s| s.can_run(cores)) {
             return None;
         }
         match self {
@@ -66,31 +72,41 @@ impl BrokerPolicy {
                 for _ in 0..sites.len() {
                     let candidate = *round_robin_cursor % sites.len();
                     *round_robin_cursor += 1;
-                    if feasible.contains(&candidate) {
+                    if sites[candidate].can_run(cores) {
                         return Some(candidate);
                     }
                 }
-                feasible.first().copied()
+                sites.iter().position(|s| s.can_run(cores))
             }
-            BrokerPolicy::LeastLoaded => feasible.into_iter().max_by(|&a, &b| {
-                sites[a]
-                    .free_slots()
-                    .cmp(&sites[b].free_slots())
-                    .then_with(|| b.cmp(&a))
-            }),
+            BrokerPolicy::LeastLoaded => {
+                let mut best: Option<(usize, u32)> = None;
+                for (i, site) in sites.iter().enumerate() {
+                    if !site.can_run(cores) {
+                        continue;
+                    }
+                    let free = site.free_slots();
+                    if best.is_none_or(|(_, best_free)| free > best_free) {
+                        best = Some((i, free));
+                    }
+                }
+                best.map(|(i, _)| i)
+            }
             BrokerPolicy::DataLocality => {
                 // Score = estimated hours lost to transfer minus a small bonus
                 // for free capacity; lower is better.
-                feasible.into_iter().min_by(|&a, &b| {
-                    let cost = |i: usize| {
-                        let local = catalog.has_replica(dataset, i);
-                        let t = transfer.transfer_hours(bytes, local);
-                        t - 1e-3 * sites[i].free_slots() as f64
-                    };
-                    cost(a)
-                        .partial_cmp(&cost(b))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
+                let mut best: Option<(usize, f64)> = None;
+                for (i, site) in sites.iter().enumerate() {
+                    if !site.can_run(cores) {
+                        continue;
+                    }
+                    let local = catalog.has_replica(dataset, i as u32);
+                    let cost =
+                        transfer.transfer_hours(bytes, local) - 1e-3 * site.free_slots() as f64;
+                    if best.is_none_or(|(_, best_cost)| cost < best_cost) {
+                        best = Some((i, cost));
+                    }
+                }
+                best.map(|(i, _)| i)
             }
         }
     }
@@ -99,6 +115,8 @@ impl BrokerPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const DS: DatasetId = 0;
 
     fn sites() -> Vec<SimSite> {
         vec![
@@ -117,11 +135,27 @@ mod tests {
         let picks: Vec<usize> = (0..6)
             .map(|_| {
                 BrokerPolicy::RoundRobin
-                    .choose(&sites, 1, "ds", &catalog, &transfer, 1e9, &mut cursor)
+                    .choose(&sites, 1, DS, &catalog, &transfer, 1e9, &mut cursor)
                     .unwrap()
             })
             .collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn infeasible_round_robin_leaves_the_cursor_alone() {
+        let mut sites = sites();
+        for s in &mut sites {
+            let slots = s.slots;
+            s.acquire(slots);
+        }
+        let catalog = ReplicaCatalog::new();
+        let transfer = TransferModel::default();
+        let mut cursor = 1;
+        assert!(BrokerPolicy::RoundRobin
+            .choose(&sites, 1, DS, &catalog, &transfer, 1e9, &mut cursor)
+            .is_none());
+        assert_eq!(cursor, 1, "cursor must not move when nothing is feasible");
     }
 
     #[test]
@@ -133,20 +167,32 @@ mod tests {
         let transfer = TransferModel::default();
         let mut cursor = 0;
         let pick = BrokerPolicy::LeastLoaded
-            .choose(&sites, 1, "ds", &catalog, &transfer, 1e9, &mut cursor)
+            .choose(&sites, 1, DS, &catalog, &transfer, 1e9, &mut cursor)
             .unwrap();
         assert_eq!(pick, 1);
+    }
+
+    #[test]
+    fn least_loaded_ties_resolve_to_the_smallest_index() {
+        let sites = sites(); // A and B both idle with 10 slots
+        let catalog = ReplicaCatalog::new();
+        let transfer = TransferModel::default();
+        let mut cursor = 0;
+        let pick = BrokerPolicy::LeastLoaded
+            .choose(&sites, 1, DS, &catalog, &transfer, 1e9, &mut cursor)
+            .unwrap();
+        assert_eq!(pick, 0);
     }
 
     #[test]
     fn data_locality_prefers_replica_site() {
         let sites = sites();
         let mut catalog = ReplicaCatalog::new();
-        catalog.add_replica("ds", 2);
+        catalog.add_replica(DS, 2);
         let transfer = TransferModel::default();
         let mut cursor = 0;
         let pick = BrokerPolicy::DataLocality
-            .choose(&sites, 1, "ds", &catalog, &transfer, 5e11, &mut cursor)
+            .choose(&sites, 1, DS, &catalog, &transfer, 5e11, &mut cursor)
             .unwrap();
         assert_eq!(pick, 2);
     }
@@ -156,11 +202,11 @@ mod tests {
         let mut sites = sites();
         sites[2].acquire(4); // replica site has no free slots
         let mut catalog = ReplicaCatalog::new();
-        catalog.add_replica("ds", 2);
+        catalog.add_replica(DS, 2);
         let transfer = TransferModel::default();
         let mut cursor = 0;
         let pick = BrokerPolicy::DataLocality
-            .choose(&sites, 1, "ds", &catalog, &transfer, 5e11, &mut cursor)
+            .choose(&sites, 1, DS, &catalog, &transfer, 5e11, &mut cursor)
             .unwrap();
         assert_ne!(pick, 2);
     }
@@ -177,7 +223,7 @@ mod tests {
         let mut cursor = 0;
         for policy in BrokerPolicy::ALL {
             assert!(policy
-                .choose(&sites, 1, "ds", &catalog, &transfer, 1e9, &mut cursor)
+                .choose(&sites, 1, DS, &catalog, &transfer, 1e9, &mut cursor)
                 .is_none());
         }
     }
@@ -191,9 +237,25 @@ mod tests {
         // 8 cores cannot fit on site C (4 slots).
         for _ in 0..10 {
             let pick = BrokerPolicy::RoundRobin
-                .choose(&sites, 8, "ds", &catalog, &transfer, 1e9, &mut cursor)
+                .choose(&sites, 8, DS, &catalog, &transfer, 1e9, &mut cursor)
                 .unwrap();
             assert_ne!(pick, 2);
         }
+    }
+
+    #[test]
+    fn policy_names_parse_back() {
+        for policy in BrokerPolicy::ALL {
+            assert_eq!(BrokerPolicy::parse(policy.name()), Some(policy));
+        }
+        assert_eq!(
+            BrokerPolicy::parse("RoundRobin"),
+            Some(BrokerPolicy::RoundRobin)
+        );
+        assert_eq!(
+            BrokerPolicy::parse("least_loaded"),
+            Some(BrokerPolicy::LeastLoaded)
+        );
+        assert_eq!(BrokerPolicy::parse("fifo"), None);
     }
 }

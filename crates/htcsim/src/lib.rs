@@ -10,23 +10,34 @@
 //! costs, and pluggable brokerage policies. Feeding it a real workload and a
 //! surrogate-generated workload and comparing the simulator's responses is an
 //! additional, application-level check of surrogate fidelity (the
-//! `downstream` experiment binary).
+//! `downstream` and `simloop` experiment binaries).
 //!
-//! * [`event`] — the time-ordered event queue,
+//! Built for planetary scale: jobs live in struct-of-arrays
+//! [`arena`] storage with interned `u32` dataset/site ids, events flow
+//! through a bucketed [`event::CalendarQueue`] (amortised `O(1)` vs the
+//! heap's `O(log n)`, byte-identical pop order), and the per-event path
+//! performs no allocation — tens of millions of job events per run.
+//!
+//! * [`event`] — the time-ordered event schedulers (calendar queue + heap
+//!   oracle),
+//! * [`arena`] — columnar job storage with interned identifiers,
 //! * [`site`] — execution sites with slot accounting,
-//! * [`storage`] — dataset replica catalogue and the transfer-time model,
+//! * [`storage`] — symbol interning, the dataset replica catalogue, and the
+//!   transfer-time model,
 //! * [`broker`] — job-to-site brokerage policies,
-//! * [`sim`] — the [`GridSimulator`](sim::GridSimulator) main loop and its
-//!   summary report.
+//! * [`sim`] — the [`GridSimulator`](sim::GridSimulator) main loop, its
+//!   summary report, and the time-resolved [`SimTrace`](sim::SimTrace).
 
+pub mod arena;
 pub mod broker;
 pub mod event;
 pub mod sim;
 pub mod site;
 pub mod storage;
 
+pub use arena::{JobArena, SimInputError, NO_ORIGIN};
 pub use broker::BrokerPolicy;
-pub use event::{Event, EventKind, EventQueue};
-pub use sim::{GridSimulator, SimConfig, SimJob, SimReport};
+pub use event::{CalendarQueue, Event, EventKind, EventScheduler, HeapQueue};
+pub use sim::{GridSimulator, SimConfig, SimJob, SimReport, SimTrace};
 pub use site::SimSite;
-pub use storage::{ReplicaCatalog, TransferModel};
+pub use storage::{DatasetId, ReplicaCatalog, SiteId, SymbolTable, TransferModel};

@@ -1,15 +1,25 @@
 //! The grid simulator main loop and its summary report.
+//!
+//! The loop is generic over the [`EventScheduler`] so the calendar queue can
+//! be pinned byte-identical against the binary-heap oracle, and it runs
+//! entirely over [`JobArena`] struct-of-arrays storage: after setup, a
+//! simulated event touches only integer ids and pre-allocated vectors — no
+//! per-event allocation, hashing, or string traffic.
+
+use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
 use pandasim::{JobRecord, SiteCatalog};
 
+use crate::arena::{JobArena, SimInputError, NO_ORIGIN};
 use crate::broker::BrokerPolicy;
-use crate::event::{EventKind, EventQueue};
+use crate::event::{CalendarQueue, EventKind, EventScheduler};
 use crate::site::SimSite;
 use crate::storage::{ReplicaCatalog, TransferModel};
 
-/// One job as the simulator sees it.
+/// One job as the simulator sees it (row form; the simulator itself runs on
+/// the columnar [`JobArena`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimJob {
     /// Arrival (submission) time in hours from the start of the window.
@@ -42,37 +52,12 @@ impl SimJob {
     }
 
     /// Build simulator jobs from the nine-feature modelling table produced by
-    /// `pandasim::records_to_table` (or by a surrogate model). Dataset
-    /// identity is not part of the nine features, so each row gets a
-    /// project/datatype-derived pseudo-dataset, which keeps the locality
-    /// structure at the granularity the surrogate models actually learn.
-    pub fn from_table(table: &tabular::Table) -> Vec<Self> {
-        let n = table.n_rows();
-        let creation = table
-            .numerical("creationtime")
-            .expect("creationtime column");
-        let bytes = table
-            .numerical("inputfilebytes")
-            .expect("inputfilebytes column");
-        let workload = table.numerical("workload").expect("workload column");
-        (0..n)
-            .map(|r| {
-                let project = table.label("project", r).unwrap_or("unknown");
-                let datatype = table.label("datatype", r).unwrap_or("unknown");
-                let site = table.label("computingsite", r).unwrap_or("unknown");
-                // Workload is cores × HS23 × hours; convert back to CPU hours
-                // assuming a reference HS23 of 15 and 4 cores.
-                let cpu_hours = (workload[r] / 15.0 / 4.0).clamp(1e-3, 96.0 * 4.0);
-                Self {
-                    arrival_hours: creation[r] * 24.0,
-                    cores: 4,
-                    cpu_hours,
-                    dataset: format!("{project}.{datatype}"),
-                    input_bytes: bytes[r].max(0.0),
-                    origin_site: Some(site.to_string()),
-                }
-            })
-            .collect()
+    /// `pandasim::records_to_table` (or by a surrogate model). See
+    /// [`JobArena::from_table`] for the column contract; a missing required
+    /// column is a typed [`SimInputError`] naming it.
+    pub fn from_table(table: &tabular::Table) -> Result<Vec<Self>, SimInputError> {
+        let arena = JobArena::from_table(table)?;
+        Ok((0..arena.len()).map(|i| arena.job(i)).collect())
     }
 }
 
@@ -121,18 +106,80 @@ pub struct SimReport {
     pub mean_utilization: f64,
 }
 
+/// Time-resolved observables of one simulation run, for fidelity
+/// comparisons (the `simloop` harness): the pending-queue depth binned over
+/// the makespan plus per-site utilisation and completion counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimTrace {
+    /// Width of each queue-depth bin, in hours (`makespan / bins`).
+    pub bin_hours: f64,
+    /// Time-weighted mean pending-queue depth per bin.
+    pub queue_depth: Vec<f64>,
+    /// Site names, aligned with the per-site vectors.
+    pub site_names: Vec<String>,
+    /// Utilisation of each site over the makespan.
+    pub site_utilization: Vec<f64>,
+    /// Jobs completed at each site.
+    pub site_jobs_completed: Vec<u64>,
+}
+
 /// The event-driven grid simulator.
 #[derive(Debug)]
 pub struct GridSimulator {
     config: SimConfig,
     sites: Vec<SimSite>,
-    catalog: ReplicaCatalog,
+    site_lookup: HashMap<String, usize>,
+}
+
+/// Dispatch one job: broker it, account the transfer, and schedule its
+/// `TransferComplete`. Returns false when no site has capacity.
+#[allow(clippy::too_many_arguments)] // the full brokerage context, passed flat
+fn dispatch<Q: EventScheduler>(
+    arena: &JobArena,
+    job: u32,
+    now: f64,
+    config: &SimConfig,
+    sites: &mut [SimSite],
+    catalog: &ReplicaCatalog,
+    queue: &mut Q,
+    wan_bytes: &mut f64,
+    transfer_hours: &mut [f64],
+    rr_cursor: &mut usize,
+) -> bool {
+    let j = job as usize;
+    let choice = config.policy.choose(
+        sites,
+        arena.cores[j],
+        arena.dataset[j],
+        catalog,
+        &config.transfer,
+        arena.input_bytes[j],
+        rr_cursor,
+    );
+    let Some(site_idx) = choice else {
+        return false;
+    };
+    sites[site_idx].acquire(arena.cores[j]);
+    let local = catalog.has_replica(arena.dataset[j], site_idx as u32);
+    let t_hours = config.transfer.transfer_hours(arena.input_bytes[j], local);
+    if !local {
+        *wan_bytes += arena.input_bytes[j];
+    }
+    transfer_hours[j] = t_hours;
+    queue.push(
+        now + t_hours,
+        EventKind::TransferComplete {
+            job,
+            site: site_idx as u32,
+        },
+    );
+    true
 }
 
 impl GridSimulator {
     /// Build a simulator over a site catalogue.
     pub fn new(catalog: &SiteCatalog, config: SimConfig) -> Self {
-        let sites = catalog
+        let sites: Vec<SimSite> = catalog
             .sites()
             .iter()
             .map(|s| {
@@ -140,10 +187,15 @@ impl GridSimulator {
                 SimSite::new(&s.name, slots, s.hs23_per_core)
             })
             .collect();
+        let site_lookup = sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.clone(), i))
+            .collect();
         Self {
             config,
             sites,
-            catalog: ReplicaCatalog::new(),
+            site_lookup,
         }
     }
 
@@ -152,145 +204,210 @@ impl GridSimulator {
         self.sites.len()
     }
 
-    fn site_index(&self, name: &str) -> Option<usize> {
-        self.sites.iter().position(|s| s.name == name)
+    /// The simulated sites (post-run state carries utilisation counters).
+    pub fn sites(&self) -> &[SimSite] {
+        &self.sites
     }
 
-    /// Run the simulation over a list of jobs and return the aggregate
-    /// response. Jobs whose origin site is known seed the replica catalogue,
-    /// so data-aware policies have locality information to exploit.
+    /// Run the simulation over row-structured jobs (compatibility path:
+    /// builds a [`JobArena`] and runs on the default calendar queue).
     pub fn run(&mut self, jobs: &[SimJob]) -> SimReport {
-        // Seed replicas from the origin sites.
-        for job in jobs {
-            if let Some(origin) = &job.origin_site {
-                if let Some(idx) = self.site_index(origin) {
-                    self.catalog.add_replica(&job.dataset, idx);
+        let arena = JobArena::from_jobs(jobs);
+        self.run_arena(&arena)
+    }
+
+    /// Run the simulation over an arena on the default [`CalendarQueue`].
+    pub fn run_arena(&mut self, arena: &JobArena) -> SimReport {
+        self.run_inner::<CalendarQueue>(arena, None)
+    }
+
+    /// Run on an explicit scheduler implementation — the hook the oracle
+    /// tests and throughput benches use to pin [`CalendarQueue`] against
+    /// [`HeapQueue`] byte for byte.
+    pub fn run_arena_with<Q: EventScheduler>(&mut self, arena: &JobArena) -> SimReport {
+        self.run_inner::<Q>(arena, None)
+    }
+
+    /// Run on the default scheduler while recording a [`SimTrace`] with
+    /// `bins` queue-depth bins over the makespan.
+    pub fn run_arena_traced(&mut self, arena: &JobArena, bins: usize) -> (SimReport, SimTrace) {
+        let mut samples: Vec<(f64, u32)> = Vec::new();
+        let report = self.run_inner::<CalendarQueue>(arena, Some(&mut samples));
+        let trace = self.bin_trace(&samples, report.makespan_hours, bins);
+        (report, trace)
+    }
+
+    /// Convert raw `(time, depth)` step samples into a binned trace.
+    fn bin_trace(&self, samples: &[(f64, u32)], makespan: f64, bins: usize) -> SimTrace {
+        let bins = bins.max(1);
+        let mut queue_depth = vec![0.0f64; bins];
+        let bin_hours = if makespan > 0.0 {
+            makespan / bins as f64
+        } else {
+            0.0
+        };
+        if bin_hours > 0.0 {
+            // Samples are a right-continuous step function of pending depth.
+            let mut prev_t = 0.0f64;
+            let mut depth = 0u32;
+            let integrate = |from: f64, to: f64, d: u32, acc: &mut [f64]| {
+                if d == 0 || to <= from {
+                    return;
+                }
+                let (from, to) = (from.min(makespan), to.min(makespan));
+                let mut lo = from;
+                while lo < to {
+                    let bin = ((lo / bin_hours) as usize).min(bins - 1);
+                    let edge = ((bin + 1) as f64 * bin_hours).min(to);
+                    acc[bin] += d as f64 * (edge - lo);
+                    if edge <= lo {
+                        break;
+                    }
+                    lo = edge;
+                }
+            };
+            for &(t, d) in samples {
+                integrate(prev_t, t, depth, &mut queue_depth);
+                prev_t = t.max(prev_t);
+                depth = d;
+            }
+            integrate(prev_t, makespan, depth, &mut queue_depth);
+            for v in &mut queue_depth {
+                *v /= bin_hours;
+            }
+        }
+        SimTrace {
+            bin_hours,
+            queue_depth,
+            site_names: self.sites.iter().map(|s| s.name.clone()).collect(),
+            site_utilization: self.sites.iter().map(|s| s.utilization(makespan)).collect(),
+            site_jobs_completed: self.sites.iter().map(|s| s.jobs_completed).collect(),
+        }
+    }
+
+    /// The event loop. Jobs whose origin site is known seed a per-run
+    /// replica catalogue, so data-aware policies have locality information
+    /// to exploit. When `trace` is given, every pending-depth change is
+    /// recorded as a `(time, depth)` step sample.
+    fn run_inner<Q: EventScheduler>(
+        &mut self,
+        arena: &JobArena,
+        mut trace: Option<&mut Vec<(f64, u32)>>,
+    ) -> SimReport {
+        let config = &self.config;
+        let sites = &mut self.sites;
+
+        // Map each interned origin symbol to a simulated site once, then
+        // seed replicas with pure integer traffic.
+        let origin_to_site: Vec<Option<usize>> = arena
+            .origin_site_names()
+            .iter()
+            .map(|name| self.site_lookup.get(name).copied())
+            .collect();
+        let mut catalog = ReplicaCatalog::with_datasets(arena.n_datasets());
+        for j in 0..arena.len() {
+            let origin = arena.origin[j];
+            if origin != NO_ORIGIN {
+                if let Some(site) = origin_to_site[origin as usize] {
+                    catalog.add_replica(arena.dataset[j], site as u32);
                 }
             }
         }
 
-        let mut queue = EventQueue::new();
-        for (i, job) in jobs.iter().enumerate() {
-            queue.push(job.arrival_hours.max(0.0), EventKind::JobArrival { job: i });
+        let mut queue = Q::default();
+        for (i, &arrival) in arena.arrival_hours.iter().enumerate() {
+            queue.push(arrival.max(0.0), EventKind::JobArrival { job: i as u32 });
         }
 
-        let mut pending: Vec<usize> = Vec::new();
-        let mut wait_hours = vec![0.0f64; jobs.len()];
-        let mut transfer_hours = vec![0.0f64; jobs.len()];
-        let mut arrival_time = vec![0.0f64; jobs.len()];
+        let mut pending: Vec<u32> = Vec::new();
+        let mut wait_hours = vec![0.0f64; arena.len()];
+        let mut transfer_hours = vec![0.0f64; arena.len()];
+        let mut arrival_time = vec![0.0f64; arena.len()];
         let mut completed = 0usize;
         let mut makespan: f64 = 0.0;
         let mut wan_bytes = 0.0f64;
         let mut rr_cursor = 0usize;
 
-        let dispatch = |job_idx: usize,
-                        now: f64,
-                        sites: &mut Vec<SimSite>,
-                        catalog: &ReplicaCatalog,
-                        queue: &mut EventQueue,
-                        wan_bytes: &mut f64,
-                        transfer_hours: &mut Vec<f64>,
-                        rr_cursor: &mut usize|
-         -> bool {
-            let job = &jobs[job_idx];
-            let choice = self.config.policy.choose(
-                sites,
-                job.cores,
-                &job.dataset,
-                catalog,
-                &self.config.transfer,
-                job.input_bytes,
-                rr_cursor,
-            );
-            let Some(site_idx) = choice else {
-                return false;
-            };
-            sites[site_idx].acquire(job.cores);
-            let local = catalog.has_replica(&job.dataset, site_idx);
-            let t_hours = self.config.transfer.transfer_hours(job.input_bytes, local);
-            if !local {
-                *wan_bytes += job.input_bytes;
-            }
-            transfer_hours[job_idx] = t_hours;
-            queue.push(
-                now + t_hours,
-                EventKind::TransferComplete {
-                    job: job_idx,
-                    site: site_idx,
-                },
-            );
-            true
-        };
-
         while let Some(event) = queue.pop() {
             let now = event.time;
             match event.kind {
                 EventKind::JobArrival { job } => {
-                    arrival_time[job] = now;
+                    arrival_time[job as usize] = now;
                     if !dispatch(
+                        arena,
                         job,
                         now,
-                        &mut self.sites,
-                        &self.catalog,
+                        config,
+                        sites,
+                        &catalog,
                         &mut queue,
                         &mut wan_bytes,
                         &mut transfer_hours,
                         &mut rr_cursor,
                     ) {
                         pending.push(job);
+                        if let Some(samples) = trace.as_deref_mut() {
+                            samples.push((now, pending.len() as u32));
+                        }
                     } else {
-                        wait_hours[job] = 0.0;
+                        wait_hours[job as usize] = 0.0;
                     }
                 }
                 EventKind::TransferComplete { job, site } => {
                     // Wall time: CPU hours scaled by the site's speed relative
                     // to the reference, divided across the cores.
-                    let speed = self.sites[site].hs23_per_core / self.config.reference_hs23;
-                    let wall = (jobs[job].cpu_hours / jobs[job].cores as f64 / speed).max(1e-4);
+                    let j = job as usize;
+                    let speed = sites[site as usize].hs23_per_core / config.reference_hs23;
+                    let wall = (arena.cpu_hours[j] / arena.cores[j] as f64 / speed).max(1e-4);
                     queue.push(now + wall, EventKind::JobFinish { job, site });
                 }
                 EventKind::JobFinish { job, site } => {
-                    let speed = self.sites[site].hs23_per_core / self.config.reference_hs23;
-                    let wall = (jobs[job].cpu_hours / jobs[job].cores as f64 / speed).max(1e-4);
-                    self.sites[site].release(jobs[job].cores, wall);
+                    let j = job as usize;
+                    let speed = sites[site as usize].hs23_per_core / config.reference_hs23;
+                    let wall = (arena.cpu_hours[j] / arena.cores[j] as f64 / speed).max(1e-4);
+                    sites[site as usize].release(arena.cores[j], wall);
                     completed += 1;
                     makespan = makespan.max(now);
 
-                    // Try to start parked jobs now that slots freed up.
-                    let mut still_pending = Vec::new();
-                    for &p in &pending {
+                    // Try to start parked jobs now that slots freed up:
+                    // in-place, in arrival order, no per-event allocation.
+                    let before = pending.len();
+                    pending.retain(|&p| {
                         if dispatch(
+                            arena,
                             p,
                             now,
-                            &mut self.sites,
-                            &self.catalog,
+                            config,
+                            sites,
+                            &catalog,
                             &mut queue,
                             &mut wan_bytes,
                             &mut transfer_hours,
                             &mut rr_cursor,
                         ) {
-                            wait_hours[p] = now - arrival_time[p];
+                            wait_hours[p as usize] = now - arrival_time[p as usize];
+                            false
                         } else {
-                            still_pending.push(p);
+                            true
+                        }
+                    });
+                    if pending.len() != before {
+                        if let Some(samples) = trace.as_deref_mut() {
+                            samples.push((now, pending.len() as u32));
                         }
                     }
-                    pending = still_pending;
                 }
             }
         }
 
-        let n = jobs.len().max(1) as f64;
+        let n = arena.len().max(1) as f64;
         let mean_utilization = if makespan > 0.0 {
-            self.sites
-                .iter()
-                .map(|s| s.utilization(makespan))
-                .sum::<f64>()
-                / self.sites.len().max(1) as f64
+            sites.iter().map(|s| s.utilization(makespan)).sum::<f64>() / sites.len().max(1) as f64
         } else {
             0.0
         };
         SimReport {
-            policy: self.config.policy.name().to_string(),
+            policy: config.policy.name().to_string(),
             completed,
             makespan_hours: makespan,
             mean_wait_hours: wait_hours.iter().sum::<f64>() / n,
@@ -304,6 +421,7 @@ impl GridSimulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::HeapQueue;
     use pandasim::{FilterFunnel, GeneratorConfig, WorkloadGenerator};
 
     fn small_jobs() -> (SiteCatalog, Vec<SimJob>) {
@@ -328,6 +446,23 @@ mod tests {
         assert!(report.makespan_hours > 0.0);
         assert!(report.mean_wait_hours >= 0.0);
         assert!(report.mean_utilization >= 0.0 && report.mean_utilization <= 1.0);
+    }
+
+    #[test]
+    fn calendar_and_heap_schedulers_agree_exactly() {
+        let (catalog, jobs) = small_jobs();
+        let arena = JobArena::from_jobs(&jobs);
+        for policy in BrokerPolicy::ALL {
+            let config = SimConfig {
+                policy,
+                ..Default::default()
+            };
+            let mut heap_sim = GridSimulator::new(&catalog, config.clone());
+            let mut cal_sim = GridSimulator::new(&catalog, config);
+            let heap = heap_sim.run_arena_with::<HeapQueue>(&arena);
+            let cal = cal_sim.run_arena_with::<CalendarQueue>(&arena);
+            assert_eq!(heap, cal, "policy {}", policy.name());
+        }
     }
 
     #[test]
@@ -372,7 +507,7 @@ mod tests {
         let gross = generator.generate();
         let funnel = FilterFunnel::apply(&gross);
         let table = pandasim::records_to_table(&funnel.records);
-        let jobs = SimJob::from_table(&table);
+        let jobs = SimJob::from_table(&table).expect("full modelling table");
         assert_eq!(jobs.len(), table.n_rows());
         for job in jobs.iter().take(100) {
             assert!(job.arrival_hours >= 0.0);
@@ -396,5 +531,49 @@ mod tests {
         assert_eq!(report.completed, 150.min(jobs.len()));
         // With scarce slots some jobs must have waited.
         assert!(report.mean_wait_hours >= 0.0);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_report() {
+        let (catalog, jobs) = small_jobs();
+        let arena = JobArena::from_jobs(&jobs);
+        let mut plain = GridSimulator::new(&catalog, SimConfig::default());
+        let mut traced = GridSimulator::new(&catalog, SimConfig::default());
+        let report = plain.run_arena(&arena);
+        let (traced_report, trace) = traced.run_arena_traced(&arena, 24);
+        assert_eq!(report, traced_report, "tracing must not perturb the run");
+        assert_eq!(trace.queue_depth.len(), 24);
+        assert_eq!(trace.site_names.len(), trace.site_utilization.len());
+        assert_eq!(trace.site_names.len(), trace.site_jobs_completed.len());
+        assert!((trace.bin_hours * 24.0 - report.makespan_hours).abs() < 1e-9);
+        assert!(trace.queue_depth.iter().all(|&d| d >= 0.0 && d.is_finite()));
+        let total_completed: u64 = trace.site_jobs_completed.iter().sum();
+        assert_eq!(total_completed as usize, report.completed);
+    }
+
+    #[test]
+    fn queue_depth_trace_sees_slot_starvation() {
+        // A single 8-slot site (the floor) with a burst of 4-core jobs at
+        // t=0 can run only two at a time — the rest must park.
+        let catalog = SiteCatalog::new(vec![pandasim::Site {
+            name: "ONLY".to_string(),
+            hs23_per_core: 15.0,
+            capacity_weight: 1.0,
+            reliability: 1.0,
+            slots: 8,
+            tier: 1,
+        }]);
+        let mut arena = JobArena::new();
+        for _ in 0..32 {
+            arena.push(0.0, 4, 1.0, "ds", 0.0, Some("ONLY"));
+        }
+        let mut starved = GridSimulator::new(&catalog, SimConfig::default());
+        let (report, trace) = starved.run_arena_traced(&arena, 16);
+        assert_eq!(report.completed, 32);
+        assert!(report.mean_wait_hours > 0.0);
+        assert!(
+            trace.queue_depth.iter().any(|&d| d > 0.0),
+            "a slot-starved grid must show queueing in the trace"
+        );
     }
 }

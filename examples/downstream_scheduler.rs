@@ -35,8 +35,9 @@ fn main() {
     )
     .expect("TabDDPM fits and samples");
 
-    let real_jobs = SimJob::from_table(train);
-    let synthetic_jobs = SimJob::from_table(&synthetic);
+    let real_jobs = SimJob::from_table(train).expect("real table has the modelling columns");
+    let synthetic_jobs =
+        SimJob::from_table(&synthetic).expect("synthetic table has the modelling columns");
     println!(
         "driving the grid simulator with {} real and {} synthetic jobs\n",
         real_jobs.len(),

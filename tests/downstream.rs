@@ -29,7 +29,10 @@ fn simulator_completes_real_and_synthetic_workloads() {
     )
     .expect("SMOTE fits");
 
-    for jobs in [SimJob::from_table(&table), SimJob::from_table(&synthetic)] {
+    for jobs in [
+        SimJob::from_table(&table).expect("real table has the modelling columns"),
+        SimJob::from_table(&synthetic).expect("synthetic table has the modelling columns"),
+    ] {
         let mut simulator = GridSimulator::new(generator.sites(), SimConfig::default());
         let report = simulator.run(&jobs);
         assert_eq!(report.completed, jobs.len());
@@ -55,7 +58,7 @@ fn policy_ordering_is_preserved_under_synthetic_workloads() {
     .expect("SMOTE fits");
 
     for (label, source) in [("real", &table), ("synthetic", &synthetic)] {
-        let jobs = SimJob::from_table(source);
+        let jobs = SimJob::from_table(source).expect("modelling columns present");
         let mut wan_by_policy = Vec::new();
         for policy in [BrokerPolicy::DataLocality, BrokerPolicy::RoundRobin] {
             let mut simulator = GridSimulator::new(
@@ -94,7 +97,7 @@ fn synthetic_workload_yields_similar_simulator_response() {
     .expect("SMOTE fits");
 
     let run = |t: &panda_surrogate::tabular::Table| {
-        let jobs = SimJob::from_table(t);
+        let jobs = SimJob::from_table(t).expect("modelling columns present");
         let mut simulator = GridSimulator::new(generator.sites(), SimConfig::default());
         simulator.run(&jobs)
     };
